@@ -1,0 +1,59 @@
+// Ablation A13: the three-way baseline comparison. SYNCHRONOUS is the
+// paper's adversary (one-dimensional, no sharing); the Hong/XPRS pairing
+// adaptation shares resources but only between TWO complementary
+// pipelines at a time (§2's critique); TREESCHEDULE shares among all
+// concurrent operators. The gap between Hong and TREESCHEDULE isolates
+// the value of *general* multi-operator sharing beyond pairwise
+// IO/CPU matching.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.workload.num_joins = 40;
+  config.overlap = 0.3;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader(
+      "ablation_baselines: TREESCHEDULE vs SYNCHRONOUS vs Hong pairing",
+      "the related-work comparison of Section 2", config);
+
+  TablePrinter table("Average response time (seconds), 40-join queries");
+  table.SetHeader({"sites", "TREESCHEDULE", "HONG-PAIRING", "SYNCHRONOUS",
+                   "HONG/TREE", "SYNC/TREE"});
+  for (int sites : {10, 20, 40, 80, 140}) {
+    config.machine.num_sites = sites;
+    auto stats = MeasureSchedulers(
+        {SchedulerKind::kTreeSchedule, SchedulerKind::kHongPairing,
+         SchedulerKind::kSynchronous},
+        config);
+    if (!stats.ok()) {
+      std::printf("error: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({StrFormat("%d", sites),
+                  StrFormat("%.2f", (*stats)[0].mean() / 1000.0),
+                  StrFormat("%.2f", (*stats)[1].mean() / 1000.0),
+                  StrFormat("%.2f", (*stats)[2].mean() / 1000.0),
+                  StrFormat("%.2f",
+                            (*stats)[1].mean() / (*stats)[0].mean()),
+                  StrFormat("%.2f",
+                            (*stats)[2].mean() / (*stats)[0].mean())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: on small machines Hong's pairing nearly matches\n"
+      "TREESCHEDULE (two complementary pipelines saturate few sites) and\n"
+      "clearly beats the sharing-free SYNCHRONOUS. As the machine grows,\n"
+      "two-at-a-time concurrency plateaus — Hong falls behind TREESCHEDULE\n"
+      "and eventually even behind SYNCHRONOUS, whose independent subtrees\n"
+      "at least run in parallel. General multi-operator sharing, not just\n"
+      "IO/CPU pairing, is what scales.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A1: empirical tightness of Theorem 5.1(a). For random small
+// instances of independent parallelized operators, compare the
+// OPERATORSCHEDULE makespan against the exact optimum (branch and bound)
+// and report the observed performance-ratio distribution vs the proved
+// (2d+1) worst case.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/exhaustive.h"
+#include "core/operator_schedule.h"
+#include "test_support.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  const int trials = bench::QuickMode(argc, argv) ? 20 : 60;
+  ExperimentConfig config = bench::DefaultConfig();
+  bench::PrintHeader(
+      "ablation_bounds: OPERATORSCHEDULE vs exact optimum (Theorem 5.1a)",
+      "Theorem 5.1 (worst-case analysis), empirical counterpart", config);
+
+  TablePrinter table("Observed performance ratio, list/optimal");
+  table.SetHeader({"d", "bound 2d+1", "mean", "p95", "max", "optimal found"});
+
+  for (int d : {1, 2, 3}) {
+    OverlapUsageModel usage(0.5);
+    Rng rng(static_cast<uint64_t>(1000 + d));
+    RunningStat ratio;
+    std::vector<double> ratios;
+    int proven = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<ParallelizedOp> ops;
+      const int m = 3 + static_cast<int>(rng.Index(3));
+      for (int i = 0; i < m; ++i) {
+        const int degree = 1 + static_cast<int>(rng.Index(2));
+        std::vector<WorkVector> clones;
+        for (int k = 0; k < degree; ++k) {
+          WorkVector w(static_cast<size_t>(d));
+          for (int r = 0; r < d; ++r) {
+            w[static_cast<size_t>(r)] =
+                rng.Bernoulli(0.3) ? rng.UniformDouble(5, 20)
+                                   : rng.UniformDouble(0, 3);
+          }
+          clones.push_back(std::move(w));
+        }
+        ops.push_back(bench_support::MakeOp(i, std::move(clones), usage));
+      }
+      auto list = OperatorSchedule(ops, 3, d);
+      auto exact = ExhaustiveOptimalMakespan(ops, 3, d);
+      if (!list.ok() || !exact.ok() || exact->makespan <= 0) continue;
+      if (exact->proven_optimal) ++proven;
+      const double r = list->Makespan() / exact->makespan;
+      ratio.Add(r);
+      ratios.push_back(r);
+    }
+    table.AddRow({StrFormat("%d", d), StrFormat("%d", 2 * d + 1),
+                  StrFormat("%.3f", ratio.mean()),
+                  StrFormat("%.3f", Percentile(ratios, 0.95)),
+                  StrFormat("%.3f", ratio.max()),
+                  StrFormat("%d/%d", proven, trials)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper §5.5/§6.2): the average ratio is very close\n"
+      "to 1 — the analytical worst-case bounds are pessimistic relative to\n"
+      "average behavior.\n");
+  return 0;
+}

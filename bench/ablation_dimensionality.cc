@@ -1,0 +1,98 @@
+// Ablation A4: the value of multi-dimensional packing as dimensionality
+// grows. Synthetic operator batches whose work vectors are concentrated
+// on one random resource each — the best case for resource sharing —
+// packed (a) by the multi-dimensional rule and (b) by a scalar
+// (one-dimensional) rendering of the same instance that only sees total
+// work. Both evaluated under the multi-dimensional makespan.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/operator_schedule.h"
+#include "test_support.h"
+
+namespace {
+
+// Packs the instance pretending it's one-dimensional (vectors replaced by
+// their totals) and then re-evaluates the resulting placement in full
+// dimensionality.
+double ScalarPackedMakespan(const std::vector<mrs::ParallelizedOp>& ops,
+                            int p, int d,
+                            const mrs::OverlapUsageModel& usage) {
+  using namespace mrs;
+  std::vector<ParallelizedOp> scalar = ops;
+  for (auto& op : scalar) {
+    for (auto& w : op.clones) {
+      const double total = w.Total();
+      w = WorkVector(w.dim());
+      w[0] = total;  // all mass on one axis: scalar view
+    }
+  }
+  auto packed = OperatorSchedule(scalar, p, d);
+  if (!packed.ok()) return -1.0;
+  // Replay the placement with the true vectors.
+  Schedule replay(p, d);
+  for (const auto& placement : packed->placements()) {
+    for (const auto& op : ops) {
+      if (op.op_id == placement.op_id) {
+        if (!replay.Place(op, placement.clone_idx, placement.site).ok()) {
+          return -1.0;
+        }
+      }
+    }
+  }
+  (void)usage;
+  return replay.Makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  const int trials = bench::QuickMode(argc, argv) ? 30 : 150;
+  ExperimentConfig config = bench::DefaultConfig();
+  bench::PrintHeader(
+      "ablation_dimensionality: multi-dimensional vs scalar packing",
+      "the core premise of Sections 4-5 (multi-dimensionality)", config);
+
+  TablePrinter table(
+      "Scalar-packing makespan relative to multi-dimensional (higher = "
+      "multi-dim wins)");
+  table.SetHeader({"d", "mean", "p95"});
+
+  for (int d : {1, 2, 3, 4, 5}) {
+    OverlapUsageModel usage(1.0);  // perfect overlap isolates packing
+    Rng rng(static_cast<uint64_t>(77 + d));
+    RunningStat ratio;
+    std::vector<double> ratios;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<ParallelizedOp> ops;
+      const int m = 12;
+      for (int i = 0; i < m; ++i) {
+        WorkVector w(static_cast<size_t>(d));
+        // Work concentrated on one random resource.
+        w[rng.Index(static_cast<size_t>(d))] = rng.UniformDouble(5, 15);
+        ops.push_back(bench_support::MakeOp(i, {std::move(w)}, usage));
+      }
+      auto multi = OperatorSchedule(ops, 4, d);
+      if (!multi.ok()) return 1;
+      const double scalar = ScalarPackedMakespan(ops, 4, d, usage);
+      if (scalar < 0) return 1;
+      const double r = scalar / multi->Makespan();
+      ratio.Add(r);
+      ratios.push_back(r);
+    }
+    table.AddRow({StrFormat("%d", d), StrFormat("%.3f", ratio.mean()),
+                  StrFormat("%.3f", Percentile(ratios, 0.95))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at d=1 the two rules coincide (ratio 1); the\n"
+      "advantage of seeing per-resource loads grows with d because scalar\n"
+      "packing cannot co-locate operators with complementary needs.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A3: why the paper's list scheduling rule looks the way it
+// does. Compares the makespan of OPERATORSCHEDULE variants on the same
+// workloads:
+//   * list order: non-increasing l(w) (paper) vs increasing, input,
+//     random;
+//   * site choice: least-loaded (paper) vs first-allowable.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/operator_schedule.h"
+#include "test_support.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  const int trials = bench::QuickMode(argc, argv) ? 30 : 200;
+  ExperimentConfig config = bench::DefaultConfig();
+  bench::PrintHeader(
+      "ablation_listorder: list-order and site-choice policies",
+      "design choices behind Figure 3 (OPERATORSCHEDULE)", config);
+
+  struct Variant {
+    const char* name;
+    OperatorScheduleOptions options;
+  };
+  std::vector<Variant> variants = {
+      {"decreasing l(w) + least-loaded (paper)", {}},
+      {"increasing l(w) + least-loaded",
+       {ListOrder::kIncreasingLength, SiteChoice::kLeastLoaded, 0}},
+      {"input order + least-loaded",
+       {ListOrder::kInputOrder, SiteChoice::kLeastLoaded, 0}},
+      {"random order + least-loaded",
+       {ListOrder::kRandom, SiteChoice::kLeastLoaded, 17}},
+      {"decreasing l(w) + first-allowable",
+       {ListOrder::kDecreasingLength, SiteChoice::kFirstAllowable, 0}},
+  };
+
+  OverlapUsageModel usage(0.5);
+  const int p = 8;
+  const int d = 3;
+
+  std::vector<RunningStat> stats(variants.size());
+  Rng rng(2024);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<ParallelizedOp> ops;
+    const int m = 10 + static_cast<int>(rng.Index(20));
+    for (int i = 0; i < m; ++i) {
+      const int degree = 1 + static_cast<int>(rng.Index(4));
+      std::vector<WorkVector> clones;
+      for (int k = 0; k < degree; ++k) {
+        WorkVector w(static_cast<size_t>(d));
+        for (int r = 0; r < d; ++r) {
+          w[static_cast<size_t>(r)] = rng.Bernoulli(0.25)
+                                          ? rng.UniformDouble(10, 50)
+                                          : rng.UniformDouble(0, 5);
+        }
+        clones.push_back(std::move(w));
+      }
+      ops.push_back(bench_support::MakeOp(i, std::move(clones), usage));
+    }
+    double baseline = 0.0;
+    for (size_t v = 0; v < variants.size(); ++v) {
+      auto s = OperatorSchedule(ops, p, d, variants[v].options);
+      if (!s.ok()) return 1;
+      if (v == 0) baseline = s->Makespan();
+      stats[v].Add(s->Makespan() / baseline);
+    }
+  }
+
+  TablePrinter table("Makespan relative to the paper's rule (lower=better)");
+  table.SetHeader({"variant", "mean", "max"});
+  for (size_t v = 0; v < variants.size(); ++v) {
+    table.AddRow({variants[v].name, StrFormat("%.3f", stats[v].mean()),
+                  StrFormat("%.3f", stats[v].max())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the paper's longest-first + least-loaded rule\n"
+      "dominates; random/input orders lose moderately, first-allowable\n"
+      "site choice loses badly (it ignores load balance entirely).\n");
+  return 0;
+}

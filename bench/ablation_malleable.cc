@@ -1,0 +1,105 @@
+// Ablation A2: coarse-grain CG_f parallelization vs the §7 malleable
+// (GF, LB-minimizing) selection, on full bushy plans via TREESCHEDULE.
+// The malleable scheduler pays extra selection work for freedom from the
+// granularity knob.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/malleable.h"
+#include "core/tree_schedule.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.workload.num_joins = 30;
+  config.overlap = 0.5;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader(
+      "ablation_malleable: CG_f parallelization vs malleable (Section 7)",
+      "Section 7 (malleable extension)", config);
+
+  // The per-phase malleable selection with the Theorem 7.1 objective
+  // (argmin LB) vs the practical surrogate (argmin h + l/P); see
+  // MalleableObjective in core/malleable.h. The TreeSchedule malleable
+  // policy uses the surrogate; the LB objective is measured here directly.
+  auto measure_lb_objective = [&](const ExperimentConfig& cfg) {
+    RunningStat stat;
+    for (int q = 0; q < cfg.queries_per_point; ++q) {
+      auto artifacts = PrepareQuery(cfg, q);
+      if (!artifacts.ok()) return stat;
+      const OverlapUsageModel usage(cfg.overlap);
+      // Phase-by-phase with the LB objective: reuse TreeSchedule's phases
+      // but swap the selection objective by scheduling each phase here.
+      double response = 0.0;
+      TreeScheduleResult partial;
+      for (int k = 0; k < artifacts->task_tree.num_phases(); ++k) {
+        std::vector<ParallelizedOp> fixed;
+        std::vector<OperatorCost> floating;
+        for (int oid : artifacts->task_tree.PhaseOps(k)) {
+          const PhysicalOp& op = artifacts->op_tree.op(oid);
+          const OperatorCost& cost =
+              artifacts->costs[static_cast<size_t>(oid)];
+          if (op.kind == OperatorKind::kProbe) {
+            auto home = partial.HomeOf(op.blocking_input);
+            auto rooted = ParallelizeRooted(cost, cfg.cost, usage, home,
+                                            cfg.machine.num_sites);
+            if (!rooted.ok()) return stat;
+            fixed.push_back(std::move(rooted).value());
+          } else {
+            floating.push_back(cost);
+          }
+        }
+        auto schedule = MalleableSchedule(
+            floating, fixed, cfg.cost, usage, cfg.machine.num_sites,
+            cfg.machine.dims, {}, MalleableObjective::kLowerBound);
+        if (!schedule.ok()) return stat;
+        PhaseSchedule phase{k, fixed, std::move(schedule).value(), 0.0};
+        phase.makespan = phase.schedule.Makespan();
+        response += phase.makespan;
+        partial.phases.push_back(std::move(phase));
+      }
+      stat.Add(response);
+    }
+    return stat;
+  };
+
+  TablePrinter table("Average response time (seconds), 30-join queries");
+  table.SetHeader({"sites", "TREE(f=0.3)", "TREE(f=0.7)",
+                   "malleable(surrogate)", "malleable(LB obj)",
+                   "best-f/surrogate"});
+  for (int sites : {10, 20, 40, 80, 140}) {
+    config.machine.num_sites = sites;
+    config.granularity = 0.3;
+    auto f03 = MeasureAverageResponse(SchedulerKind::kTreeSchedule, config);
+    config.granularity = 0.7;
+    auto f07 = MeasureAverageResponse(SchedulerKind::kTreeSchedule, config);
+    auto malleable =
+        MeasureAverageResponse(SchedulerKind::kTreeScheduleMalleable, config);
+    RunningStat lb_obj = measure_lb_objective(config);
+    if (!f03.ok() || !f07.ok() || !malleable.ok()) return 1;
+    const double best_f = std::min(f03->mean(), f07->mean());
+    table.AddRow({StrFormat("%d", sites),
+                  StrFormat("%.2f", f03->mean() / 1000.0),
+                  StrFormat("%.2f", f07->mean() / 1000.0),
+                  StrFormat("%.2f", malleable->mean() / 1000.0),
+                  StrFormat("%.2f", lb_obj.mean() / 1000.0),
+                  StrFormat("%.2f", best_f / malleable->mean())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the surrogate-objective malleable scheduler tracks\n"
+      "the best fixed-f configuration without tuning f. The pure Theorem\n"
+      "7.1 objective (argmin LB) honors its (2d+1) guarantee but\n"
+      "under-parallelizes in practice — minimizing a lower bound stops\n"
+      "crediting parallelism once the packing term dominates. The paper\n"
+      "proves Section 7 but never evaluates it; this table is why the\n"
+      "library defaults to the surrogate.\n");
+  return 0;
+}

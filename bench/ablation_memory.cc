@@ -1,0 +1,67 @@
+// Ablation A8 (extension): the cost of non-preemptable memory. Sweeps
+// per-site memory over the paper's workload and reports average response
+// time, phase splits, and infeasibility rate — quantifying how far
+// assumption A1 (no memory limits) is from a real machine.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/memory_aware.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.workload.num_joins = 20;
+  config.machine.num_sites = 20;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader(
+      "ablation_memory: relaxing assumption A1 (no memory limits)",
+      "Section 8 extension: memory as a non-preemptable resource", config);
+
+  const OverlapUsageModel usage(config.overlap);
+  TreeScheduleOptions options;
+  options.granularity = config.granularity;
+
+  TablePrinter table(
+      "20-join queries on 20 sites, varying per-site memory");
+  table.SetHeader({"site memory", "avg response (s)", "avg splits",
+                   "feasible", "avg peak residency"});
+  for (double mb : {1024.0, 32.0, 16.0, 8.0, 4.0, 2.0}) {
+    MemoryOptions memory;
+    memory.site_memory_bytes = mb * 1024 * 1024;
+    RunningStat response;
+    RunningStat splits;
+    RunningStat peak;
+    int feasible = 0;
+    for (int q = 0; q < config.queries_per_point; ++q) {
+      auto artifacts = PrepareQuery(config, q);
+      if (!artifacts.ok()) return 1;
+      auto result = MemoryAwareTreeSchedule(
+          artifacts->op_tree, artifacts->task_tree, artifacts->costs,
+          config.cost, config.machine, usage, options, memory);
+      if (!result.ok()) continue;
+      ++feasible;
+      response.Add(result->response_time);
+      splits.Add(static_cast<double>(result->phase_splits));
+      peak.Add(result->peak_site_memory);
+    }
+    table.AddRow(
+        {StrFormat("%.0f MB", mb),
+         feasible > 0 ? StrFormat("%.2f", response.mean() / 1000.0) : "-",
+         feasible > 0 ? StrFormat("%.1f", splits.mean()) : "-",
+         StrFormat("%d/%d", feasible, config.queries_per_point),
+         feasible > 0 ? FormatBytes(peak.mean()) : "-"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: ample memory reproduces plain TREESCHEDULE (zero\n"
+      "splits); shrinking memory first leaves response untouched (degrees\n"
+      "rise to spread tables), then adds synchronization subphases with a\n"
+      "growing response penalty, then turns infeasible.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A12: execution skew — relaxing experimental assumption EA1
+// ("no execution skew"). The scheduler plans with perfectly even clone
+// splits; reality delivers Zipf-skewed ones. This bench measures how the
+// realized response degrades with the skew parameter theta, for both
+// schedulers, on the paper's workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/tree_schedule.h"
+#include "workload/skew.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.workload.num_joins = 20;
+  config.machine.num_sites = 40;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader("ablation_skew: relaxing assumption EA1 (no skew)",
+                     "experimental assumption EA1", config);
+
+  const OverlapUsageModel usage(config.overlap);
+  TreeScheduleOptions options;
+  options.granularity = config.granularity;
+
+  TablePrinter table(
+      "Realized/planned response ratio under Zipf(theta) clone skew");
+  table.SetHeader({"theta", "mean", "p95", "max"});
+  for (double theta : {0.0, 0.25, 0.5, 1.0, 1.5}) {
+    RunningStat ratio;
+    std::vector<double> ratios;
+    for (int q = 0; q < config.queries_per_point; ++q) {
+      auto artifacts = PrepareQuery(config, q);
+      if (!artifacts.ok()) return 1;
+      auto plan = TreeSchedule(artifacts->op_tree, artifacts->task_tree,
+                               artifacts->costs, config.cost, config.machine,
+                               usage, options);
+      if (!plan.ok()) return 1;
+      for (uint64_t trial = 0; trial < 3; ++trial) {
+        SkewParams skew;
+        skew.theta = theta;
+        skew.seed = config.seed + trial;
+        auto realized = SkewedResponseTime(*plan, skew, usage);
+        if (!realized.ok()) return 1;
+        const double r = realized.value() / plan->response_time;
+        ratio.Add(r);
+        ratios.push_back(r);
+      }
+    }
+    table.AddRow({StrFormat("%.2f", theta), StrFormat("%.3f", ratio.mean()),
+                  StrFormat("%.3f", Percentile(ratios, 0.95)),
+                  StrFormat("%.3f", ratio.max())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: theta=0 reproduces the analytic response exactly\n"
+      "(assumption EA1); realized response degrades smoothly with skew.\n"
+      "Zipf weights are harsh — at theta=1 the hottest of N clones gets\n"
+      "~N/ln(N) times the mean share, so multi-x degradation there is the\n"
+      "model behaving correctly, not a scheduler defect. The analytic\n"
+      "makespans of Section 6 carry this error bar wherever EA1 fails.\n");
+  return 0;
+}

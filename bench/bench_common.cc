@@ -1,0 +1,43 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mrs {
+namespace bench {
+
+void PrintHeader(const std::string& title, const std::string& paper_artifact,
+                 const ExperimentConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s of Garofalakis & Ioannidis, SIGMOD 1996\n",
+              paper_artifact.c_str());
+  std::printf("==============================================================\n");
+  std::printf("%s\n", config.cost.ToString().c_str());
+  std::printf("Queries per point: %d (seed %llu)\n\n",
+              config.queries_per_point,
+              static_cast<unsigned long long>(config.seed));
+}
+
+ExperimentConfig DefaultConfig() {
+  ExperimentConfig config;
+  config.seed = 9607;
+  config.queries_per_point = 20;
+  config.workload.num_joins = 40;
+  config.workload.min_tuples = 1'000;
+  config.workload.max_tuples = 100'000;
+  config.machine.num_sites = 80;
+  config.granularity = 0.7;
+  config.overlap = 0.5;
+  return config;
+}
+
+bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace mrs

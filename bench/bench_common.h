@@ -1,0 +1,26 @@
+#ifndef MRS_BENCH_BENCH_COMMON_H_
+#define MRS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace mrs {
+namespace bench {
+
+/// Prints the standard bench banner: what paper artifact this binary
+/// regenerates plus the full Table 2 parameter block.
+void PrintHeader(const std::string& title, const std::string& paper_artifact,
+                 const ExperimentConfig& config);
+
+/// The experiment defaults shared by all figure benches (paper §6.1).
+ExperimentConfig DefaultConfig();
+
+/// True if the --quick flag is present (smaller query counts for smoke
+/// runs; full fidelity otherwise).
+bool QuickMode(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace mrs
+
+#endif  // MRS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Figure 5(a): effect of the granularity parameter f on the average
+// response time of TREESCHEDULE, vs. the f-independent SYNCHRONOUS
+// baseline. Paper settings: 40-join queries, overlap eps = 0.3, system
+// sizes 10..140 sites, f in 0.3..0.9, 20 random plans per point.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "common/str_util.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.workload.num_joins = 40;
+  config.overlap = 0.3;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader("fig5a_granularity: response time vs granularity f",
+                     "Figure 5(a)", config);
+
+  const std::vector<double> granularities = {0.3, 0.4, 0.5, 0.7, 0.9};
+  const std::vector<int> site_counts = {10, 20, 40, 60, 80, 100, 120, 140};
+
+  TablePrinter table(
+      "Average response time (seconds), 40-join queries, eps=0.3");
+  std::vector<std::string> header = {"sites"};
+  for (double f : granularities) {
+    header.push_back(StrFormat("TREE(f=%.1f)", f));
+  }
+  header.push_back("SYNCHRONOUS");
+  table.SetHeader(header);
+
+  for (int sites : site_counts) {
+    config.machine.num_sites = sites;
+    std::vector<std::string> row = {StrFormat("%d", sites)};
+    for (double f : granularities) {
+      config.granularity = f;
+      auto stat =
+          MeasureAverageResponse(SchedulerKind::kTreeSchedule, config);
+      if (!stat.ok()) {
+        std::printf("error: %s\n", stat.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(StrFormat("%.2f", stat->mean() / 1000.0));
+    }
+    auto sync = MeasureAverageResponse(SchedulerKind::kSynchronous, config);
+    if (!sync.ok()) return 1;
+    row.push_back(StrFormat("%.2f", sync->mean() / 1000.0));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nCSV:\n%s", table.ToCsv().c_str());
+  std::printf(
+      "\nExpected shape (paper): small f over-restricts parallelism and\n"
+      "response drops as f grows until the operator-parallelism cap binds;\n"
+      "for sufficiently large f TREESCHEDULE beats SYNCHRONOUS across all\n"
+      "system sizes, most visibly on small machines.\n");
+  return 0;
+}

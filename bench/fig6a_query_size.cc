@@ -1,0 +1,62 @@
+// Figure 6(a): effect of query size (number of joins) on the average
+// response times of TREESCHEDULE and SYNCHRONOUS for two system sizes
+// (20 and 80 sites). Paper settings: J in {10..50}, f = 0.7, eps = 0.5,
+// 20 random plans per query size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.granularity = 0.7;
+  config.overlap = 0.5;
+  if (bench::QuickMode(argc, argv)) {
+    config.queries_per_point = 5;
+  }
+  bench::PrintHeader("fig6a_query_size: response time vs number of joins",
+                     "Figure 6(a)", config);
+
+  const std::vector<int> query_sizes = {10, 20, 30, 40, 50};
+  const std::vector<int> site_counts = {20, 80};
+
+  TablePrinter table(
+      "Average response time (seconds), f=0.7, eps=0.5");
+  std::vector<std::string> header = {"joins"};
+  for (int p : site_counts) {
+    header.push_back(StrFormat("TREE(P=%d)", p));
+    header.push_back(StrFormat("SYNC(P=%d)", p));
+    header.push_back(StrFormat("ratio(P=%d)", p));
+  }
+  table.SetHeader(header);
+
+  for (int joins : query_sizes) {
+    config.workload.num_joins = joins;
+    std::vector<std::string> row = {StrFormat("%d", joins)};
+    for (int p : site_counts) {
+      config.machine.num_sites = p;
+      auto stats = MeasureSchedulers(
+          {SchedulerKind::kTreeSchedule, SchedulerKind::kSynchronous},
+          config);
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(StrFormat("%.2f", (*stats)[0].mean() / 1000.0));
+      row.push_back(StrFormat("%.2f", (*stats)[1].mean() / 1000.0));
+      row.push_back(
+          StrFormat("%.2f", (*stats)[1].mean() / (*stats)[0].mean()));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nCSV:\n%s", table.ToCsv().c_str());
+  std::printf(
+      "\nExpected shape (paper): for a given system size, the relative\n"
+      "improvement of TREESCHEDULE over SYNCHRONOUS (the ratio columns)\n"
+      "increases monotonically with query size.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Ablation A5: scheduler runtime scaling (Propositions 5.1 / 5.2 and the
+// Section 7 selection cost), measured with google-benchmark.
+//
+//   OPERATORSCHEDULE:  O(M P (M + log P))
+//   TREESCHEDULE:      O(J P (J + log P))
+//   GF selection:      O(M P log M)
+
+#include <benchmark/benchmark.h>
+
+#include "core/malleable.h"
+#include "core/operator_schedule.h"
+#include "core/tree_schedule.h"
+#include "workload/experiment.h"
+
+namespace mrs {
+namespace {
+
+ExperimentConfig ConfigFor(int joins, int sites) {
+  ExperimentConfig config;
+  config.workload.num_joins = joins;
+  config.machine.num_sites = sites;
+  config.granularity = 0.7;
+  config.overlap = 0.5;
+  return config;
+}
+
+void BM_TreeSchedule(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  const int sites = static_cast<int>(state.range(1));
+  ExperimentConfig config = ConfigFor(joins, sites);
+  auto artifacts = PrepareQuery(config, 0);
+  if (!artifacts.ok()) {
+    state.SkipWithError("query preparation failed");
+    return;
+  }
+  const OverlapUsageModel usage(config.overlap);
+  TreeScheduleOptions options;
+  options.granularity = config.granularity;
+  for (auto _ : state) {
+    auto result = TreeSchedule(artifacts->op_tree, artifacts->task_tree,
+                               artifacts->costs, config.cost, config.machine,
+                               usage, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("J=" + std::to_string(joins) +
+                 " P=" + std::to_string(sites));
+}
+BENCHMARK(BM_TreeSchedule)
+    ->Args({10, 32})
+    ->Args({20, 32})
+    ->Args({40, 32})
+    ->Args({80, 32})
+    ->Args({40, 16})
+    ->Args({40, 64})
+    ->Args({40, 140});
+
+void BM_TreeScheduleMalleable(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  ExperimentConfig config = ConfigFor(joins, 64);
+  auto artifacts = PrepareQuery(config, 0);
+  if (!artifacts.ok()) {
+    state.SkipWithError("query preparation failed");
+    return;
+  }
+  const OverlapUsageModel usage(config.overlap);
+  TreeScheduleOptions options;
+  options.policy = ParallelizationPolicy::kMalleable;
+  for (auto _ : state) {
+    auto result = TreeSchedule(artifacts->op_tree, artifacts->task_tree,
+                               artifacts->costs, config.cost, config.machine,
+                               usage, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TreeScheduleMalleable)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_SynchronousBaseline(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  ExperimentConfig config = ConfigFor(joins, 64);
+  auto artifacts = PrepareQuery(config, 0);
+  if (!artifacts.ok()) {
+    state.SkipWithError("query preparation failed");
+    return;
+  }
+  const OverlapUsageModel usage(config.overlap);
+  for (auto _ : state) {
+    auto result = RunScheduler(SchedulerKind::kSynchronous,
+                               &artifacts.value(), config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SynchronousBaseline)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_OperatorScheduleOnly(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int sites = static_cast<int>(state.range(1));
+  const OverlapUsageModel usage(0.5);
+  const CostParams params;
+  std::vector<ParallelizedOp> ops;
+  for (int i = 0; i < m; ++i) {
+    OperatorCost cost;
+    cost.op_id = i;
+    cost.processing =
+        WorkVector({500.0 + 13.0 * (i % 7), 400.0 + 29.0 * (i % 5), 0.0});
+    cost.data_bytes = 30000.0 * (1 + i % 4);
+    auto op = ParallelizeFloating(cost, params, usage, 0.7, sites);
+    if (!op.ok()) {
+      state.SkipWithError("parallelization failed");
+      return;
+    }
+    ops.push_back(std::move(op).value());
+  }
+  for (auto _ : state) {
+    auto schedule = OperatorSchedule(ops, sites, 3);
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetLabel("M=" + std::to_string(m) + " P=" + std::to_string(sites));
+}
+BENCHMARK(BM_OperatorScheduleOnly)
+    ->Args({16, 32})
+    ->Args({64, 32})
+    ->Args({256, 32})
+    ->Args({64, 8})
+    ->Args({64, 128});
+
+}  // namespace
+}  // namespace mrs

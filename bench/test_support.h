@@ -1,0 +1,32 @@
+#ifndef MRS_BENCH_TEST_SUPPORT_H_
+#define MRS_BENCH_TEST_SUPPORT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "cost/parallelize.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+namespace bench_support {
+
+/// Assembles a ParallelizedOp from raw clone vectors (ablation benches
+/// craft synthetic instances that bypass the cost model).
+inline ParallelizedOp MakeOp(int id, std::vector<WorkVector> clones,
+                             const OverlapUsageModel& usage) {
+  ParallelizedOp op;
+  op.op_id = id;
+  op.degree = static_cast<int>(clones.size());
+  op.clones = std::move(clones);
+  for (const auto& w : op.clones) {
+    const double t = usage.SequentialTime(w);
+    op.t_seq.push_back(t);
+    op.t_par = std::max(op.t_par, t);
+  }
+  return op;
+}
+
+}  // namespace bench_support
+}  // namespace mrs
+
+#endif  // MRS_BENCH_TEST_SUPPORT_H_

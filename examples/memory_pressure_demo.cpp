@@ -1,0 +1,68 @@
+// Memory pressure demo — the §8 open problem made concrete: hash tables
+// are non-preemptable, so tight site memory forces the scheduler to trade
+// parallelism for feasibility. Sweeps per-site memory on one query and
+// shows response time, phase splits, and peak residency.
+//
+// Usage: memory_pressure_demo [num_joins] [num_sites]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/memory_aware.h"
+#include "workload/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+
+  ExperimentConfig config;
+  config.workload.num_joins = argc > 1 ? std::atoi(argv[1]) : 15;
+  config.machine.num_sites = argc > 2 ? std::atoi(argv[2]) : 16;
+  config.granularity = 0.7;
+  config.overlap = 0.5;
+
+  auto artifacts = PrepareQuery(config, 0);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "%s\n", artifacts.status().ToString().c_str());
+    return 1;
+  }
+  const OverlapUsageModel usage(config.overlap);
+  TreeScheduleOptions options;
+  options.granularity = config.granularity;
+
+  std::printf("Query: %d joins on %d sites; hash tables occupy memory from\n"
+              "build until probe completion (assumption A1 relaxed).\n\n",
+              config.workload.num_joins, config.machine.num_sites);
+
+  TablePrinter table("Response vs per-site memory");
+  table.SetHeader({"site memory", "response (s)", "subphases", "splits",
+                   "peak residency"});
+  for (double mb : {1024.0, 64.0, 16.0, 8.0, 4.0, 2.0, 1.0}) {
+    MemoryOptions memory;
+    memory.site_memory_bytes = mb * 1024 * 1024;
+    auto result = MemoryAwareTreeSchedule(
+        artifacts->op_tree, artifacts->task_tree, artifacts->costs,
+        config.cost, config.machine, usage, options, memory);
+    if (!result.ok()) {
+      table.AddRow({StrFormat("%.0f MB", mb),
+                    result.status().code() == StatusCode::kFailedPrecondition
+                        ? "infeasible"
+                        : "error",
+                    "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({StrFormat("%.0f MB", mb),
+                  StrFormat("%.2f", result->response_time / 1000.0),
+                  StrFormat("%zu", result->phases.size()),
+                  StrFormat("%d", result->phase_splits),
+                  FormatBytes(result->peak_site_memory)});
+  }
+  table.Print();
+  std::printf(
+      "\nAs memory shrinks, the scheduler first raises build degrees (to\n"
+      "shrink per-site table shares), then serializes tasks into extra\n"
+      "subphases, and finally reports infeasibility when even a single\n"
+      "table cannot fit machine-wide.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Multimedia storage server demo — the paper's §8 closing suggestion:
+// "given the generality of our scheduling framework, it would be
+// interesting to investigate its applicability to other multi-dimensional
+// processing situations (e.g., request scheduling in multimedia storage
+// servers)."
+//
+// Each admitted request batch is a set of stream-delivery jobs with
+// three-dimensional demands (disk bandwidth to read segments, CPU to
+// transcode, network to ship). Jobs are independent and preemptable —
+// exactly the OPERATORSCHEDULE setting — so we pack one admission round
+// onto the server nodes with the multi-dimensional list rule and compare
+// against scalar (total-work) packing.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/operator_schedule.h"
+#include "resource/usage_model.h"
+
+namespace {
+
+using namespace mrs;
+
+/// A synthetic request mix: streaming (disk+net), transcode (cpu+disk),
+/// and thumbnail (cpu) jobs, in milliseconds of per-resource busy time.
+ParallelizedOp MakeRequest(int id, int kind, Rng* rng,
+                           const OverlapUsageModel& usage) {
+  WorkVector w(3);  // cpu, disk, net
+  switch (kind) {
+    case 0:  // 4K stream: heavy disk + net
+      w[1] = rng->UniformDouble(3000, 9000);
+      w[2] = w[1] * rng->UniformDouble(0.8, 1.1);
+      w[0] = rng->UniformDouble(50, 200);
+      break;
+    case 1:  // transcode: heavy cpu, moderate disk
+      w[0] = rng->UniformDouble(4000, 12000);
+      w[1] = rng->UniformDouble(500, 2000);
+      w[2] = rng->UniformDouble(100, 800);
+      break;
+    default:  // thumbnail sheet: cpu burst
+      w[0] = rng->UniformDouble(800, 2500);
+      w[1] = rng->UniformDouble(100, 400);
+      w[2] = rng->UniformDouble(50, 200);
+  }
+  ParallelizedOp op;
+  op.op_id = id;
+  op.degree = 1;
+  op.clones = {w};
+  op.t_seq = {usage.SequentialTime(w)};
+  op.t_par = op.t_seq[0];
+  return op;
+}
+
+double ScalarPackedMakespan(const std::vector<ParallelizedOp>& jobs,
+                            int nodes) {
+  // Pack by total work only (a one-dimensional admission controller),
+  // then measure the true multi-dimensional completion time.
+  std::vector<ParallelizedOp> scalar = jobs;
+  for (auto& job : scalar) {
+    WorkVector w(3);
+    w[0] = job.clones[0].Total();
+    job.clones[0] = w;
+  }
+  auto packed = OperatorSchedule(scalar, nodes, 3);
+  if (!packed.ok()) return -1.0;
+  Schedule replay(nodes, 3);
+  for (const auto& placement : packed->placements()) {
+    for (const auto& job : jobs) {
+      if (job.op_id == placement.op_id) {
+        if (!replay.Place(job, placement.clone_idx, placement.site).ok()) {
+          return -1.0;
+        }
+      }
+    }
+  }
+  return replay.Makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 64;
+  const OverlapUsageModel usage(0.9);  // async I/O: high overlap
+  Rng rng(20260706);
+
+  std::printf("Multimedia server: %d nodes x {cpu, disk, net}, "
+              "one admission round of %d requests\n\n",
+              nodes, requests);
+
+  TablePrinter table("Admission round completion time (seconds)");
+  table.SetHeader({"round", "streams", "transcodes", "thumbs",
+                   "multi-dim pack", "scalar pack", "scalar/multi"});
+  for (int round = 0; round < 5; ++round) {
+    std::vector<ParallelizedOp> jobs;
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < requests; ++i) {
+      const int kind = static_cast<int>(rng.Index(3));
+      ++counts[kind];
+      jobs.push_back(MakeRequest(i, kind, &rng, usage));
+    }
+    auto multi = OperatorSchedule(jobs, nodes, 3);
+    if (!multi.ok()) return 1;
+    const double scalar = ScalarPackedMakespan(jobs, nodes);
+    if (scalar < 0) return 1;
+    table.AddRow({StrFormat("%d", round), StrFormat("%d", counts[0]),
+                  StrFormat("%d", counts[1]), StrFormat("%d", counts[2]),
+                  StrFormat("%.2f", multi->Makespan() / 1000.0),
+                  StrFormat("%.2f", scalar / 1000.0),
+                  StrFormat("%.2f", scalar / multi->Makespan())});
+  }
+  table.Print();
+  std::printf(
+      "\nThe multi-dimensional packer co-locates streams (disk/net) with\n"
+      "transcodes (cpu), filling complementary resource slots that a\n"
+      "scalar admission controller wastes — the same effect that makes\n"
+      "TREESCHEDULE beat one-dimensional query schedulers.\n");
+  return 0;
+}

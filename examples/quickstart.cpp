@@ -1,0 +1,85 @@
+// Quickstart: schedule a small bushy hash-join plan on a shared-nothing
+// machine and print the resulting multi-dimensional schedule.
+//
+//   catalog -> plan tree -> operator tree -> task tree -> costs
+//           -> TREESCHEDULE -> response time + Gantt chart
+//
+// Build and run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "core/tree_schedule.h"
+#include "cost/cost_model.h"
+#include "exec/gantt.h"
+#include "plan/operator_tree.h"
+#include "plan/plan_printer.h"
+#include "plan/plan_tree.h"
+#include "plan/task_tree.h"
+#include "resource/machine.h"
+#include "resource/usage_model.h"
+
+int main() {
+  using namespace mrs;
+
+  // 1. Describe the database: four relations of different sizes.
+  Catalog catalog;
+  for (auto [name, tuples] : std::initializer_list<
+           std::pair<const char*, int64_t>>{
+           {"customer", 30'000}, {"orders", 90'000},
+           {"supplier", 5'000}, {"parts", 40'000}}) {
+    Relation r;
+    r.name = name;
+    r.num_tuples = tuples;
+    if (!catalog.AddRelation(std::move(r)).ok()) return 1;
+  }
+
+  // 2. A bushy plan: (customer JOIN orders) JOIN (supplier JOIN parts).
+  //    AddJoin(outer, inner): the inner side feeds the hash build.
+  PlanTree plan(&catalog);
+  const int c = plan.AddLeaf(0).value();
+  const int o = plan.AddLeaf(1).value();
+  const int s = plan.AddLeaf(2).value();
+  const int p = plan.AddLeaf(3).value();
+  const int j0 = plan.AddJoin(/*outer=*/o, /*inner=*/c).value();
+  const int j1 = plan.AddJoin(/*outer=*/p, /*inner=*/s).value();
+  plan.AddJoin(j0, j1).value();
+  if (!plan.Finalize().ok()) return 1;
+  std::printf("Execution plan:\n%s\n", RenderPlanTree(plan).c_str());
+
+  // 3. Macro-expand into the physical operator tree and the query task
+  //    tree (pipelines separated by blocking build->probe edges).
+  auto op_tree_result = OperatorTree::FromPlan(plan);
+  if (!op_tree_result.ok()) return 1;
+  OperatorTree op_tree = std::move(op_tree_result).value();
+  auto task_tree_result = TaskTree::FromOperatorTree(&op_tree);
+  if (!task_tree_result.ok()) return 1;
+  TaskTree task_tree = std::move(task_tree_result).value();
+  std::printf("Synchronized phases (MinShelf):\n%s\n",
+              RenderPhases(task_tree, op_tree).c_str());
+
+  // 4. Estimate multi-dimensional operator costs (paper Table 2 defaults).
+  CostParams params;  // 1 MIPS CPU, 20ms/page disk, alpha=15ms, beta=0.6us/B
+  CostModel model(params, kDefaultDims);
+  auto costs = model.CostAll(op_tree);
+  if (!costs.ok()) return 1;
+
+  // 5. Schedule on a 12-site machine with 50% resource overlap and
+  //    granularity f = 0.7.
+  MachineConfig machine;
+  machine.num_sites = 12;
+  OverlapUsageModel usage(/*epsilon=*/0.5);
+  TreeScheduleOptions options;
+  options.granularity = 0.7;
+  auto schedule = TreeSchedule(op_tree, task_tree, costs.value(), params,
+                               machine, usage, options);
+  if (!schedule.ok()) {
+    std::printf("scheduling failed: %s\n",
+                schedule.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", schedule->ToString().c_str());
+  std::printf("%s", RenderTreeGantt(*schedule, 56).c_str());
+  return 0;
+}

@@ -1,0 +1,145 @@
+// sched_cli: schedule a plan described in the plan text format and print
+// the schedule (text, Gantt, JSON, or CSV). The downstream-integration
+// face of the library: feed it plans from your optimizer, get placements
+// back.
+//
+// Usage:
+//   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
+//             [--algorithm tree|malleable|sync] [--format text|gantt|svg|json|csv]
+//
+// Plan file format (see src/io/plan_text.h):
+//   relation customer 30000
+//   relation orders 90000
+//   plan (join orders customer)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baseline/synchronous.h"
+#include "core/tree_schedule.h"
+#include "exec/gantt.h"
+#include "io/plan_text.h"
+#include "io/schedule_export.h"
+#include "workload/experiment.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <plan-file> [--sites N] [--eps E] [--f F]\n"
+               "          [--algorithm tree|malleable|sync]\n"
+               "          [--format text|gantt|svg|json|csv]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  if (argc < 2) return Usage(argv[0]);
+
+  std::string plan_path = argv[1];
+  int sites = 16;
+  double eps = 0.5;
+  double f = 0.7;
+  std::string algorithm = "tree";
+  std::string format = "text";
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--sites") == 0) {
+      sites = std::atoi(need_value("--sites"));
+    } else if (std::strcmp(argv[i], "--eps") == 0) {
+      eps = std::atof(need_value("--eps"));
+    } else if (std::strcmp(argv[i], "--f") == 0) {
+      f = std::atof(need_value("--f"));
+    } else if (std::strcmp(argv[i], "--algorithm") == 0) {
+      algorithm = need_value("--algorithm");
+    } else if (std::strcmp(argv[i], "--format") == 0) {
+      format = need_value("--format");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::ifstream in(plan_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", plan_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParsePlanText(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  auto op_tree_result = OperatorTree::FromPlan(*parsed->plan);
+  if (!op_tree_result.ok()) return 1;
+  OperatorTree op_tree = std::move(op_tree_result).value();
+  auto task_tree = TaskTree::FromOperatorTree(&op_tree);
+  if (!task_tree.ok()) return 1;
+
+  CostParams params;
+  MachineConfig machine;
+  machine.num_sites = sites;
+  CostModel model(params, machine.dims);
+  auto costs = model.CostAll(op_tree);
+  if (!costs.ok()) return 1;
+  const OverlapUsageModel usage(eps);
+
+  if (algorithm == "sync") {
+    auto result = SynchronousSchedule(op_tree, *task_tree, costs.value(),
+                                      params, machine, usage);
+    if (!result.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->ToString().c_str());
+    return 0;
+  }
+
+  TreeScheduleOptions options;
+  options.granularity = f;
+  if (algorithm == "malleable") {
+    options.policy = ParallelizationPolicy::kMalleable;
+  } else if (algorithm != "tree") {
+    return Usage(argv[0]);
+  }
+  auto result = TreeSchedule(op_tree, *task_tree, costs.value(), params,
+                             machine, usage, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (format == "json") {
+    std::printf("%s\n", TreeScheduleToJson(*result).c_str());
+  } else if (format == "csv") {
+    std::printf("%s", TreeScheduleToCsv(*result).c_str());
+  } else if (format == "gantt") {
+    std::printf("%s", RenderTreeGantt(*result).c_str());
+  } else if (format == "svg") {
+    std::printf("%s", RenderTreeGanttSvg(*result).c_str());
+  } else {
+    std::printf("%s", result->ToString().c_str());
+    for (const auto& phase : result->phases) {
+      std::printf("%s", phase.schedule.ToString().c_str());
+    }
+  }
+  return 0;
+}

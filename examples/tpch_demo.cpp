@@ -1,0 +1,66 @@
+// TPC-H-shaped demo: schedule the three canonical TPC-H-like plan shapes
+// (Q3/Q9/Q18) at a chosen scale factor and explain where the time goes —
+// which site is critical, which resource binds it, and how utilized the
+// machine is per phase.
+//
+// Usage: tpch_demo [scale_factor] [num_sites]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "core/tree_schedule.h"
+#include "cost/cost_model.h"
+#include "exec/explain.h"
+#include "plan/task_tree.h"
+#include "workload/tpch_like.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  const int sites = argc > 2 ? std::atoi(argv[2]) : 24;
+
+  CostParams params;
+  MachineConfig machine;
+  machine.num_sites = sites;
+  if (!machine.Validate().ok()) return 1;
+  const OverlapUsageModel usage(0.5);
+
+  std::printf("TPC-H-like workload at scale factor %.3g on %d sites\n\n",
+              sf, sites);
+  for (const std::string& shape : TpchLikeShapes()) {
+    auto query = MakeTpchLikeQuery(shape, sf);
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("== %s: %s\n", query->name.c_str(),
+                query->description.c_str());
+    std::printf("   plan: %s\n", query->parsed.plan->ToString().c_str());
+
+    auto op_tree_result = OperatorTree::FromPlan(*query->parsed.plan);
+    if (!op_tree_result.ok()) return 1;
+    OperatorTree op_tree = std::move(op_tree_result).value();
+    auto task_tree = TaskTree::FromOperatorTree(&op_tree);
+    if (!task_tree.ok()) return 1;
+    CostModel model(params, machine.dims);
+    auto costs = model.CostAll(op_tree);
+    if (!costs.ok()) return 1;
+
+    auto schedule = TreeSchedule(op_tree, *task_tree, costs.value(), params,
+                                 machine, usage);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   schedule.status().ToString().c_str());
+      return 1;
+    }
+    const ScheduleExplanation explanation = ExplainSchedule(*schedule);
+    std::printf("%s\n", explanation.ToString(machine).c_str());
+  }
+  std::printf(
+      "Read the reports top-down: early phases build hash tables (often\n"
+      "network/CPU bound), late phases probe and sort (CPU/disk bound).\n"
+      "A load-bound critical site means packing quality limits response;\n"
+      "a T_par-bound one means an operator ran out of useful parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "baseline/hong.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/operator_schedule.h"
+#include "cost/parallelize.h"
+
+namespace mrs {
+
+namespace {
+
+struct TaskProfile {
+  int task_id = -1;
+  double cpu = 0.0;
+  double disk = 0.0;
+  double total = 0.0;
+  bool io_bound = false;
+};
+
+}  // namespace
+
+std::string HongResult::ToString() const {
+  std::string out = StrFormat("Hong(response=%.2fms, %zu rounds)\n",
+                              response_time, rounds.size());
+  for (const auto& r : rounds) {
+    std::vector<std::string> ids;
+    ids.reserve(r.tasks.size());
+    for (int t : r.tasks) ids.push_back(StrFormat("T%d", t));
+    out += StrFormat("  phase %d: {%s} makespan=%.2fms\n", r.phase,
+                     StrJoin(ids, ", ").c_str(), r.makespan);
+  }
+  return out;
+}
+
+Result<HongResult> HongSchedule(const OperatorTree& op_tree,
+                                const TaskTree& task_tree,
+                                const std::vector<OperatorCost>& costs,
+                                const CostParams& params,
+                                const MachineConfig& machine,
+                                const OverlapUsageModel& usage) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+  MRS_RETURN_IF_ERROR(params.Validate());
+
+  HongResult result;
+  // Homes of blocking producers scheduled in earlier rounds.
+  std::unordered_map<int, std::vector<int>> homes;
+
+  for (int k = 0; k < task_tree.num_phases(); ++k) {
+    // Profile the phase's tasks.
+    std::vector<TaskProfile> profiles;
+    for (int tid : task_tree.phase(k)) {
+      TaskProfile p;
+      p.task_id = tid;
+      for (int oid : task_tree.task(tid).ops) {
+        const OperatorCost& c = costs[static_cast<size_t>(oid)];
+        p.cpu += c.processing[kCpuDim];
+        for (size_t i = 0; i < c.processing.dim(); ++i) {
+          if (i != kCpuDim && i != kNetDim) p.disk += c.processing[i];
+        }
+        p.total += c.ProcessingArea() + params.TransferMs(c.data_bytes);
+      }
+      p.io_bound = p.disk > p.cpu;
+      profiles.push_back(p);
+    }
+    // Largest-first within each class.
+    std::vector<TaskProfile> io;
+    std::vector<TaskProfile> cpu;
+    for (const auto& p : profiles) (p.io_bound ? io : cpu).push_back(p);
+    auto by_total = [](const TaskProfile& a, const TaskProfile& b) {
+      return a.total > b.total;
+    };
+    std::sort(io.begin(), io.end(), by_total);
+    std::sort(cpu.begin(), cpu.end(), by_total);
+
+    // Greedy pairing; leftovers run alone.
+    std::vector<std::vector<int>> rounds;
+    size_t i = 0;
+    size_t c = 0;
+    while (i < io.size() && c < cpu.size()) {
+      rounds.push_back({io[i++].task_id, cpu[c++].task_id});
+    }
+    while (i < io.size()) rounds.push_back({io[i++].task_id});
+    while (c < cpu.size()) rounds.push_back({cpu[c++].task_id});
+
+    // Execute the rounds back to back.
+    for (const auto& round_tasks : rounds) {
+      std::vector<ParallelizedOp> ops;
+      for (int tid : round_tasks) {
+        for (int oid : task_tree.task(tid).ops) {
+          const PhysicalOp& op = op_tree.op(oid);
+          const OperatorCost& cost = costs[static_cast<size_t>(oid)];
+          if (op.blocking_input >= 0) {
+            auto it = homes.find(op.blocking_input);
+            if (it == homes.end()) {
+              return Status::Internal(StrFormat(
+                  "op%d scheduled before its blocking producer", oid));
+            }
+            auto rooted = ParallelizeRooted(cost, params, usage, it->second,
+                                            config.num_sites);
+            if (!rooted.ok()) return rooted.status();
+            ops.push_back(std::move(rooted).value());
+          } else {
+            // Hong sizes pipelines to use the full machine: each operator
+            // at its response-optimal degree (no CG_f restriction — XPRS
+            // had no granularity knob).
+            const int degree =
+                OptimalDegree(cost, params, usage, config.num_sites);
+            auto par = ParallelizeAtDegree(cost, params, usage, degree,
+                                           config.num_sites);
+            if (!par.ok()) return par.status();
+            ops.push_back(std::move(par).value());
+          }
+        }
+      }
+      auto schedule =
+          OperatorSchedule(ops, config.num_sites, config.dims);
+      if (!schedule.ok()) return schedule.status();
+      for (const auto& op : ops) {
+        homes[op.op_id] = schedule->HomeOf(op.op_id);
+      }
+      HongRound round;
+      round.phase = k;
+      round.tasks = round_tasks;
+      round.makespan = schedule->Makespan();
+      result.response_time += round.makespan;
+      result.rounds.push_back(std::move(round));
+    }
+  }
+  return result;
+}
+
+}  // namespace mrs

@@ -1,0 +1,293 @@
+#include "baseline/synchronous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/schedule.h"
+
+namespace mrs {
+
+namespace {
+
+/// One-dimensional stage time used for the baseline's decisions: evenly
+/// divided scalar work plus the serial coordinator startup.
+double StageTime1D(double scalar_work, int n, const CostParams& params) {
+  return scalar_work / static_cast<double>(n) +
+         params.startup_ms_per_site * static_cast<double>(n);
+}
+
+class SynchronousPlanner {
+ public:
+  SynchronousPlanner(const OperatorTree& op_tree, const TaskTree& task_tree,
+                     const std::vector<OperatorCost>& costs,
+                     const CostParams& params, const MachineConfig& machine,
+                     const OverlapUsageModel& usage)
+      : op_tree_(op_tree),
+        task_tree_(task_tree),
+        costs_(costs),
+        params_(params),
+        machine_(machine),
+        usage_(usage) {}
+
+  Result<SynchronousResult> Run() {
+    subtree_work_.assign(static_cast<size_t>(task_tree_.num_tasks()), 0.0);
+    ComputeSubtreeWork(task_tree_.root_task());
+    result_.tasks.clear();
+    auto finish = ScheduleTask(task_tree_.root_task(), 0,
+                               machine_.num_sites, /*start=*/0.0);
+    if (!finish.ok()) return finish.status();
+    result_.response_time = finish.value();
+    return std::move(result_);
+  }
+
+ private:
+  /// Scalar (one-dimensional) work of one operator: processing area plus
+  /// transfer work. Startup is modeled per-degree in StageTime1D.
+  double ScalarWork(int op_id) const {
+    const OperatorCost& c = costs_[static_cast<size_t>(op_id)];
+    return c.ProcessingArea() + params_.TransferMs(c.data_bytes);
+  }
+
+  double ComputeSubtreeWork(int task_id) {
+    const QueryTask& task = task_tree_.task(task_id);
+    double w = 0.0;
+    for (int oid : task.ops) w += ScalarWork(oid);
+    for (int c : task.children) w += ComputeSubtreeWork(c);
+    subtree_work_[static_cast<size_t>(task_id)] = w;
+    return w;
+  }
+
+  /// Partitions `total` sites among weights proportionally, each part >= 1
+  /// (largest-remainder rounding). Requires weights.size() <= total.
+  static std::vector<int> ProportionalSplit(const std::vector<double>& weights,
+                                            int total) {
+    const size_t k = weights.size();
+    MRS_CHECK(static_cast<int>(k) <= total)
+        << "ProportionalSplit requires at least one site per part";
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    std::vector<int> alloc(k, 1);
+    int remaining = total - static_cast<int>(k);
+    if (remaining <= 0 || sum <= 0.0) return alloc;
+    std::vector<double> frac(k, 0.0);
+    int given = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const double share = weights[i] / sum * static_cast<double>(remaining);
+      const int whole = static_cast<int>(std::floor(share));
+      alloc[i] += whole;
+      given += whole;
+      frac[i] = share - static_cast<double>(whole);
+    }
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return frac[a] > frac[b]; });
+    for (int r = 0; r < remaining - given; ++r) {
+      alloc[order[static_cast<size_t>(r) % k]] += 1;
+    }
+    return alloc;
+  }
+
+  /// Greedy minimax distribution of `total` sites over stages with scalar
+  /// works `works` (every stage >= 1 site): repeatedly grant a site to the
+  /// currently slowest stage while that improves it. Optimal for convex
+  /// decreasing stage-time functions, which StageTime1D is until its
+  /// startup-driven minimum — granting stops there.
+  static std::vector<int> MinimaxSplit(const std::vector<double>& works,
+                                       int total, const CostParams& params) {
+    const size_t m = works.size();
+    std::vector<int> alloc(m, 1);
+    int used = static_cast<int>(m);
+    auto time_of = [&](size_t i) {
+      return StageTime1D(works[i], alloc[i], params);
+    };
+    while (used < total) {
+      size_t slowest = 0;
+      double worst = -1.0;
+      for (size_t i = 0; i < m; ++i) {
+        if (time_of(i) > worst) {
+          worst = time_of(i);
+          slowest = i;
+        }
+      }
+      const double next =
+          StageTime1D(works[slowest], alloc[slowest] + 1, params);
+      if (next >= worst) break;  // past the slowest stage's optimum
+      alloc[slowest] += 1;
+      ++used;
+    }
+    return alloc;
+  }
+
+  /// Schedules task `task_id` and its whole subtree in sites [lo, hi),
+  /// with the subtree allowed to begin at absolute time `start`. Returns
+  /// the absolute completion time of `task_id`.
+  Result<double> ScheduleTask(int task_id, int lo, int hi, double start) {
+    const QueryTask& task = task_tree_.task(task_id);
+    const int range = hi - lo;
+    MRS_CHECK(range >= 1) << "task allotted an empty site range";
+
+    // 1. Children first (synchronous execution time): partition the range
+    // proportionally to subtree work; serialize in waves when there are
+    // more children than sites.
+    double children_finish = start;
+    if (!task.children.empty()) {
+      std::vector<int> children = task.children;
+      std::sort(children.begin(), children.end(), [&](int a, int b) {
+        return subtree_work_[static_cast<size_t>(a)] >
+               subtree_work_[static_cast<size_t>(b)];
+      });
+      double wave_start = start;
+      for (size_t pos = 0; pos < children.size();) {
+        const size_t wave_end =
+            std::min(pos + static_cast<size_t>(range), children.size());
+        std::vector<double> weights;
+        for (size_t i = pos; i < wave_end; ++i) {
+          weights.push_back(subtree_work_[static_cast<size_t>(children[i])]);
+        }
+        const std::vector<int> alloc =
+            ProportionalSplit(weights, range);
+        double wave_finish = wave_start;
+        int cursor = lo;
+        for (size_t i = pos; i < wave_end; ++i) {
+          const int n = alloc[i - pos];
+          auto f = ScheduleTask(children[i], cursor, cursor + n, wave_start);
+          if (!f.ok()) return f.status();
+          wave_finish = std::max(wave_finish, f.value());
+          cursor += n;
+        }
+        wave_start = wave_finish;
+        pos = wave_end;
+      }
+      children_finish = wave_start;
+    }
+
+    // 2. This task's pipeline: distribute sites over stages by minimax.
+    std::vector<int> stage_ops = task.ops;
+    std::vector<double> works;
+    works.reserve(stage_ops.size());
+    for (int oid : stage_ops) works.push_back(ScalarWork(oid));
+
+    SyncTaskPlacement placement;
+    placement.task_id = task_id;
+    placement.range_lo = lo;
+    placement.range_hi = hi;
+    placement.start_time = children_finish;
+
+    const int m = static_cast<int>(stage_ops.size());
+    if (m <= range) {
+      const std::vector<int> alloc = MinimaxSplit(works, range, params_);
+      int cursor = lo;
+      for (int i = 0; i < m; ++i) {
+        SyncStagePlacement stage;
+        stage.op_id = stage_ops[static_cast<size_t>(i)];
+        for (int s = 0; s < alloc[static_cast<size_t>(i)]; ++s) {
+          stage.sites.push_back(cursor + s);
+        }
+        cursor += alloc[static_cast<size_t>(i)];
+        placement.stages.push_back(std::move(stage));
+      }
+    } else {
+      // More stages than sites: wrap stages around the range, one site
+      // each (stage sharing — the serialization fallback).
+      for (int i = 0; i < m; ++i) {
+        SyncStagePlacement stage;
+        stage.op_id = stage_ops[static_cast<size_t>(i)];
+        stage.sites.push_back(lo + (i % range));
+        placement.stages.push_back(std::move(stage));
+      }
+    }
+
+    // 3. Evaluate the task's duration under the multi-dimensional model.
+    auto duration = EvaluateTask(placement);
+    if (!duration.ok()) return duration.status();
+    placement.duration = duration.value();
+    const double finish = children_finish + placement.duration;
+    StoreBuildHomes(placement);
+    result_.tasks.push_back(std::move(placement));
+    return finish;
+  }
+
+  /// Multi-dimensional makespan of one task's stages at their sites.
+  Result<double> EvaluateTask(const SyncTaskPlacement& placement) {
+    std::vector<ParallelizedOp> ops;
+    ops.reserve(placement.stages.size());
+    for (const auto& stage : placement.stages) {
+      OperatorCost cost = costs_[static_cast<size_t>(stage.op_id)];
+      // Shared-nothing extension: an op placed away from its blocking
+      // producer ships the materialized state (hash table / sorted runs /
+      // group table), approximated by the producer's input bytes.
+      const PhysicalOp& op = op_tree_.op(stage.op_id);
+      if (op.blocking_input >= 0) {
+        auto it = build_homes_.find(op.blocking_input);
+        if (it != build_homes_.end() && it->second != stage.sites) {
+          cost.data_bytes += static_cast<double>(
+              op_tree_.op(op.blocking_input).input_bytes());
+        }
+      }
+      auto rooted = ParallelizeRooted(cost, params_, usage_, stage.sites,
+                                      machine_.num_sites);
+      if (!rooted.ok()) return rooted.status();
+      ops.push_back(std::move(rooted).value());
+    }
+    Schedule schedule(machine_.num_sites, machine_.dims);
+    for (const auto& op : ops) {
+      MRS_RETURN_IF_ERROR(schedule.PlaceRooted(op));
+    }
+    return schedule.Makespan();
+  }
+
+  void StoreBuildHomes(const SyncTaskPlacement& placement) {
+    for (const auto& stage : placement.stages) {
+      if (op_tree_.op(stage.op_id).output_tuples == 0) {
+        // First half of a blocking pair: it materializes local state.
+        build_homes_[stage.op_id] = stage.sites;
+      }
+    }
+  }
+
+  const OperatorTree& op_tree_;
+  const TaskTree& task_tree_;
+  const std::vector<OperatorCost>& costs_;
+  const CostParams& params_;
+  const MachineConfig& machine_;
+  const OverlapUsageModel& usage_;
+  std::vector<double> subtree_work_;
+  std::unordered_map<int, std::vector<int>> build_homes_;
+  SynchronousResult result_;
+};
+
+}  // namespace
+
+std::string SynchronousResult::ToString() const {
+  std::string out = StrFormat("Synchronous(response=%.2fms, %zu tasks)\n",
+                              response_time, tasks.size());
+  for (const auto& t : tasks) {
+    out += StrFormat("  T%d sites=[%d,%d) start=%.2f dur=%.2f (%zu stages)\n",
+                     t.task_id, t.range_lo, t.range_hi, t.start_time,
+                     t.duration, t.stages.size());
+  }
+  return out;
+}
+
+Result<SynchronousResult> SynchronousSchedule(
+    const OperatorTree& op_tree, const TaskTree& task_tree,
+    const std::vector<OperatorCost>& costs, const CostParams& params,
+    const MachineConfig& machine, const OverlapUsageModel& usage) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+  MRS_RETURN_IF_ERROR(params.Validate());
+  SynchronousPlanner planner(op_tree, task_tree, costs, params, config, usage);
+  return planner.Run();
+}
+
+}  // namespace mrs

@@ -1,0 +1,78 @@
+#ifndef MRS_BASELINE_SYNCHRONOUS_H_
+#define MRS_BASELINE_SYNCHRONOUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "cost/parallelize.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/machine.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// Placement of one pipeline stage (operator) by the SYNCHRONOUS baseline.
+struct SyncStagePlacement {
+  int op_id = -1;
+  /// Disjoint (within the task) sites running this stage. When a task has
+  /// more stages than sites, stages wrap around and share sites.
+  std::vector<int> sites;
+};
+
+/// Placement and timing of one query task under SYNCHRONOUS.
+struct SyncTaskPlacement {
+  int task_id = -1;
+  /// Site range [lo, hi) allotted to this task's subtree.
+  int range_lo = 0;
+  int range_hi = 0;
+  std::vector<SyncStagePlacement> stages;
+  /// Absolute start time (after all children finished) and duration.
+  double start_time = 0.0;
+  double duration = 0.0;
+};
+
+struct SynchronousResult {
+  double response_time = 0.0;
+  std::vector<SyncTaskPlacement> tasks;
+
+  std::string ToString() const;
+};
+
+/// The paper's one-dimensional adversary (§6.1): the synchronous execution
+/// time processor-allocation scheme of Hsiao et al. [HCY94] combined with
+/// the two-phase minimax processor distribution of Lo et al. [LCRY93],
+/// extended with shared-nothing data-redistribution costs.
+///
+/// Decisions are made with a *scalar* cost metric (total work):
+///  * the site range allotted to a task is recursively partitioned among
+///    its child subtrees proportionally to their total subtree work, so
+///    subtrees complete at approximately the same time (synchronous
+///    execution time); when a task has more children than sites the
+///    children are serialized in waves (Hsiao et al.'s serialization);
+///  * within a pipeline, sites are distributed across its stages by greedy
+///    minimax on the one-dimensional stage time w(op)/n + alpha*n, each
+///    stage on its own disjoint site block (Lo et al. explicitly prevent
+///    processor sharing among stages);
+///  * unlike TREESCHEDULE, a probe is *not* forced to the sites of its
+///    build: if the allocator separates them, the hash table is shipped,
+///    charging beta * inner bytes of extra redistribution (the
+///    shared-nothing extension).
+///
+/// The resulting placement is *evaluated* under the same multi-dimensional
+/// resource model as every other scheduler in this library (eq. (2)/(3)
+/// per task, recursive completion times across the task tree), so the
+/// comparison with TREESCHEDULE isolates the quality of the decisions, not
+/// the models. There are no global phase barriers: independent subtrees
+/// overlap freely within their disjoint site ranges, which if anything
+/// favors this baseline.
+Result<SynchronousResult> SynchronousSchedule(
+    const OperatorTree& op_tree, const TaskTree& task_tree,
+    const std::vector<OperatorCost>& costs, const CostParams& params,
+    const MachineConfig& machine, const OverlapUsageModel& usage);
+
+}  // namespace mrs
+
+#endif  // MRS_BASELINE_SYNCHRONOUS_H_

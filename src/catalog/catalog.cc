@@ -1,0 +1,61 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+Result<int> Catalog::AddRelation(Relation relation) {
+  if (relation.name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relation.num_tuples < 0) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s has negative cardinality",
+                  relation.name.c_str()));
+  }
+  if (relation.layout.tuple_bytes <= 0 ||
+      relation.layout.tuples_per_page <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("relation %s has non-positive layout",
+                  relation.name.c_str()));
+  }
+  if (by_name_.contains(relation.name)) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate relation name %s", relation.name.c_str()));
+  }
+  const int id = static_cast<int>(relations_.size());
+  by_name_.emplace(relation.name, id);
+  relations_.push_back(std::move(relation));
+  return id;
+}
+
+Result<Relation> Catalog::GetRelation(int id) const {
+  if (id < 0 || id >= num_relations()) {
+    return Status::NotFound(StrFormat("no relation with id %d", id));
+  }
+  return relations_[static_cast<size_t>(id)];
+}
+
+Result<Relation> Catalog::GetRelationByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrFormat("no relation named %s", name.c_str()));
+  }
+  return relations_[static_cast<size_t>(it->second)];
+}
+
+int64_t Catalog::TotalTuples() const {
+  int64_t total = 0;
+  for (const auto& r : relations_) total += r.num_tuples;
+  return total;
+}
+
+std::string Catalog::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(relations_.size());
+  for (const auto& r : relations_) lines.push_back("  " + r.ToString());
+  return StrFormat("Catalog(%d relations):\n", num_relations()) +
+         StrJoin(lines, "\n");
+}
+
+}  // namespace mrs

@@ -1,0 +1,46 @@
+#ifndef MRS_CATALOG_CATALOG_H_
+#define MRS_CATALOG_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mrs {
+
+/// Holds the base relations of a query's database instance. Relations are
+/// identified by a dense integer id (their insertion order) and by name.
+/// The workload generator populates one Catalog per generated query.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds a relation; fails if a relation with the same name exists or the
+  /// relation is malformed (negative cardinality, non-positive layout).
+  Result<int> AddRelation(Relation relation);
+
+  /// Looks up by dense id.
+  Result<Relation> GetRelation(int id) const;
+
+  /// Looks up by name.
+  Result<Relation> GetRelationByName(const std::string& name) const;
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// Sum of tuple counts over all relations.
+  int64_t TotalTuples() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_CATALOG_CATALOG_H_

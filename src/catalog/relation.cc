@@ -1,0 +1,29 @@
+#include "catalog/relation.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+int64_t Relation::NumPages() const {
+  if (num_tuples <= 0) return 0;
+  return (num_tuples + layout.tuples_per_page - 1) / layout.tuples_per_page;
+}
+
+int64_t Relation::NumBytes() const {
+  return num_tuples * layout.tuple_bytes;
+}
+
+std::string Relation::ToString() const {
+  return StrFormat("%s(|R|=%lld tuples, %lld pages, %s)", name.c_str(),
+                   static_cast<long long>(num_tuples),
+                   static_cast<long long>(NumPages()),
+                   FormatBytes(static_cast<double>(NumBytes())).c_str());
+}
+
+int64_t KeyJoinResultTuples(int64_t left_tuples, int64_t right_tuples) {
+  return std::max(left_tuples, right_tuples);
+}
+
+}  // namespace mrs

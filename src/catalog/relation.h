@@ -1,0 +1,44 @@
+#ifndef MRS_CATALOG_RELATION_H_
+#define MRS_CATALOG_RELATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mrs {
+
+/// Storage geometry shared by all relations (paper Table 2 defaults:
+/// 128-byte tuples, 40 tuples per page).
+struct TupleLayout {
+  int tuple_bytes = 128;
+  int tuples_per_page = 40;
+
+  int64_t PageBytes() const {
+    return static_cast<int64_t>(tuple_bytes) * tuples_per_page;
+  }
+};
+
+/// A (base or intermediate) relation: a named bag of fixed-size tuples.
+/// Intermediate join results are also described as Relations so that the
+/// cost model treats base and derived inputs uniformly.
+struct Relation {
+  std::string name;
+  int64_t num_tuples = 0;
+  TupleLayout layout;
+
+  /// Number of pages, rounded up; 0 tuples occupy 0 pages.
+  int64_t NumPages() const;
+
+  /// Total size in bytes (tuples * tuple size).
+  int64_t NumBytes() const;
+
+  std::string ToString() const;
+};
+
+/// Result cardinality of a key join (paper §6.1): "simple key join
+/// operations in which the size of the result relation is always equal to
+/// the size of the largest of the two join operands".
+int64_t KeyJoinResultTuples(int64_t left_tuples, int64_t right_tuples);
+
+}  // namespace mrs
+
+#endif  // MRS_CATALOG_RELATION_H_

@@ -1,0 +1,74 @@
+#ifndef MRS_COMMON_LOGGING_H_
+#define MRS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mrs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Stream-style log sink. Message is emitted (and the process aborted for
+/// kFatal) when the temporary is destroyed at the end of the statement.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Minimum level that is actually emitted; defaults to kWarning so library
+/// consumers see problems but not chatter. Not thread-safe by design: the
+/// scheduler is a single-threaded compile-time component.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace mrs
+
+#define MRS_LOG(level)                                                     \
+  ::mrs::internal_logging::LogMessage(::mrs::LogLevel::k##level, __FILE__, \
+                                      __LINE__)
+
+/// Always-on invariant check; logs expression and aborts on failure.
+#define MRS_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    MRS_LOG(Fatal) << "Check failed: " #cond " "
+
+#define MRS_CHECK_OK(expr)                                           \
+  do {                                                               \
+    ::mrs::Status _mrs_check_status = (expr);                        \
+    if (!_mrs_check_status.ok()) {                                   \
+      MRS_LOG(Fatal) << "Check failed (status): "                    \
+                     << _mrs_check_status.ToString();                \
+    }                                                                \
+  } while (false)
+
+#define MRS_DCHECK(cond) MRS_CHECK(cond)
+
+#endif  // MRS_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+#ifndef MRS_COMMON_RESULT_H_
+#define MRS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// A value-or-error holder: either holds a `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<Schedule> r = scheduler.Run(ops);
+///   if (!r.ok()) return r.status();
+///   const Schedule& s = r.value();
+///
+/// Accessing `value()` on an error Result aborts the process (the library
+/// treats it as a programming error, like dereferencing an empty optional).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a bug and aborts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK for a success Result, the stored error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace mrs
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error Status to the
+/// caller; on success assigns the value to `lhs`.
+#define MRS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  MRS_ASSIGN_OR_RETURN_IMPL_(                                   \
+      MRS_RESULT_CONCAT_(_mrs_result, __LINE__), lhs, rexpr)
+
+#define MRS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)             \
+  auto tmp = (rexpr);                                           \
+  if (!tmp.ok()) return tmp.status();                           \
+  lhs = std::move(tmp).value()
+
+#define MRS_RESULT_CONCAT_(a, b) MRS_RESULT_CONCAT_IMPL_(a, b)
+#define MRS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MRS_COMMON_RESULT_H_

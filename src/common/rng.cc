@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mrs {
+
+namespace {
+
+// SplitMix64, used to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MRS_CHECK(lo <= hi) << "UniformInt requires lo <= hi, got [" << lo << ", "
+                      << hi << "]";
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % span + 1) % span;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x > limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  MRS_CHECK(lo < hi) << "UniformDouble requires lo < hi";
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::LogUniform(double lo, double hi) {
+  MRS_CHECK(lo > 0 && lo <= hi) << "LogUniform requires 0 < lo <= hi";
+  if (lo == hi) return lo;
+  return std::exp(UniformDouble(std::log(lo), std::log(hi)));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Index(size_t n) {
+  MRS_CHECK(n > 0) << "Index requires n > 0";
+  return static_cast<size_t>(
+      UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace mrs

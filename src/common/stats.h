@@ -1,0 +1,48 @@
+#ifndef MRS_COMMON_STATS_H_
+#define MRS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mrs {
+
+/// Streaming accumulator of count/mean/variance/min/max (Welford).
+/// Used by the experiment harness to average schedule response times over
+/// many randomly generated plans (the paper averages over 20 plans per
+/// query size).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample set (linear interpolation between order
+/// statistics). `q` in [0,1]. Returns 0 for an empty sample.
+double Percentile(std::vector<double> samples, double q);
+
+/// Geometric mean; requires all samples > 0 (violations are skipped).
+double GeometricMean(const std::vector<double>& samples);
+
+}  // namespace mrs
+
+#endif  // MRS_COMMON_STATS_H_

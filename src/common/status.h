@@ -1,0 +1,88 @@
+#ifndef MRS_COMMON_STATUS_H_
+#define MRS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mrs {
+
+/// Error category for a failed operation. The set is deliberately small:
+/// scheduling is a compile-time activity and most failures are caller
+/// mistakes (invalid arguments) or model violations detected by validators.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value, modeled after the Status idiom used by
+/// Arrow/RocksDB/Abseil. The library does not throw exceptions across its
+/// public API; fallible operations return `Status` or `Result<T>`.
+///
+/// A default-constructed Status is OK and carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace mrs
+
+/// Propagates a non-OK Status to the caller. `expr` must evaluate to Status.
+#define MRS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::mrs::Status _mrs_status = (expr);          \
+    if (!_mrs_status.ok()) return _mrs_status;   \
+  } while (false)
+
+#endif  // MRS_COMMON_STATUS_H_

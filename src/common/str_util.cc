@@ -1,0 +1,55 @@
+#include "common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mrs {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatMillis(double ms) {
+  if (ms < 1.0) return StrFormat("%.0f us", ms * 1000.0);
+  if (ms < 1000.0) return StrFormat("%.1f ms", ms);
+  if (ms < 60000.0) return StrFormat("%.2f s", ms / 1000.0);
+  return StrFormat("%.1f min", ms / 60000.0);
+}
+
+std::string FormatBytes(double bytes) {
+  if (bytes < 1024.0) return StrFormat("%.0f B", bytes);
+  if (bytes < 1024.0 * 1024.0) return StrFormat("%.1f KB", bytes / 1024.0);
+  if (bytes < 1024.0 * 1024.0 * 1024.0) {
+    return StrFormat("%.1f MB", bytes / (1024.0 * 1024.0));
+  }
+  return StrFormat("%.2f GB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+std::string FormatDouble(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+}  // namespace mrs

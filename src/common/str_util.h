@@ -1,0 +1,28 @@
+#ifndef MRS_COMMON_STR_UTIL_H_
+#define MRS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mrs {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Formats a duration given in milliseconds with an adaptive unit
+/// ("873 us", "12.3 ms", "4.56 s", "2.1 min").
+std::string FormatMillis(double ms);
+
+/// Formats a byte count with an adaptive unit ("512 B", "12.5 KB", ...).
+std::string FormatBytes(double bytes);
+
+/// Fixed-precision double ("%.*f") without trailing-zero trimming.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace mrs
+
+#endif  // MRS_COMMON_STR_UTIL_H_

@@ -1,0 +1,57 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& row,
+                                 int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  if (!title_.empty()) std::fprintf(out, "%s\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      std::fprintf(out, "%*s%s", static_cast<int>(width[c]),
+                   c < row.size() ? row[c].c_str() : "",
+                   c + 1 == header_.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < header_.size(); ++c) total += width[c] + 2;
+  std::string rule(total > 2 ? total - 2 : 0, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(out);
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = StrJoin(header_, ",") + "\n";
+  for (const auto& row : rows_) out += StrJoin(row, ",") + "\n";
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,42 @@
+#ifndef MRS_COMMON_TABLE_PRINTER_H_
+#define MRS_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mrs {
+
+/// Right-aligned plain-text table writer used by the benchmark harness to
+/// print the series that correspond to the paper's figures. Also emits CSV
+/// so plots can be regenerated from redirected output.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds a row; cells beyond the header width are dropped, missing cells
+  /// rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: a row of doubles with fixed precision.
+  void AddNumericRow(const std::vector<double>& row, int precision = 2);
+
+  /// Renders the aligned table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders the table as CSV (header + rows).
+  std::string ToCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,194 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/operator_schedule.h"
+
+namespace mrs {
+
+namespace {
+
+struct Clone {
+  size_t op_index;
+  int op_id;
+  WorkVector work;
+  double t_seq;
+};
+
+class Search {
+ public:
+  Search(std::vector<Clone> clones, int num_sites, int dims, double t_par_max,
+         std::vector<WorkVector> initial_load, uint64_t max_nodes,
+         double initial_best)
+      : clones_(std::move(clones)),
+        num_sites_(num_sites),
+        dims_(dims),
+        t_par_max_(t_par_max),
+        load_(std::move(initial_load)),
+        max_nodes_(max_nodes),
+        best_(initial_best) {
+    // Suffix totals for the packing lower bound.
+    suffix_total_.assign(clones_.size() + 1,
+                         WorkVector(static_cast<size_t>(dims_)));
+    for (size_t i = clones_.size(); i > 0; --i) {
+      suffix_total_[i - 1] = suffix_total_[i] + clones_[i - 1].work;
+    }
+    op_used_.assign(clones_.size(),
+                    std::vector<char>(static_cast<size_t>(num_sites_), 0));
+    // Sites pre-loaded by rooted operators are not interchangeable with
+    // truly empty sites; exclude them from the empty-site symmetry class.
+    for (int j = 0; j < num_sites_; ++j) {
+      if (load_[static_cast<size_t>(j)].Length() > 0.0) {
+        site_count_[static_cast<size_t>(j)] = 1;
+      }
+    }
+  }
+
+  ExhaustiveResult Run() {
+    Dfs(0);
+    ExhaustiveResult result;
+    result.makespan = best_;
+    result.proven_optimal = nodes_ <= max_nodes_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+  /// Marks `site` as unavailable for all clones of the operator at
+  /// `op_index` (used for rooted pre-placements).
+  void ForbidSiteForOp(size_t op_index, int site) {
+    for (size_t i = 0; i < clones_.size(); ++i) {
+      if (clones_[i].op_index == op_index) {
+        op_used_[i][static_cast<size_t>(site)] = 1;
+      }
+    }
+  }
+
+ private:
+  double CurrentMakespanFloor() const {
+    double m = t_par_max_;
+    for (const auto& l : load_) m = std::max(m, l.Length());
+    return m;
+  }
+
+  void Dfs(size_t next) {
+    if (nodes_ > max_nodes_) return;
+    ++nodes_;
+    // Lower bound: already-congested resource, slowest operator, and the
+    // perfect-balance packing of everything still unplaced.
+    WorkVector remaining_total = suffix_total_[next];
+    for (const auto& l : load_) remaining_total += l;
+    const double packing_lb =
+        remaining_total.Length() / static_cast<double>(num_sites_);
+    double lb = std::max(CurrentMakespanFloor(), packing_lb);
+    if (lb >= best_) return;
+    if (next == clones_.size()) {
+      best_ = std::min(best_, CurrentMakespanFloor());
+      return;
+    }
+    const Clone& clone = clones_[next];
+    bool tried_empty = false;
+    for (int j = 0; j < num_sites_; ++j) {
+      if (op_used_[next][static_cast<size_t>(j)]) continue;
+      const bool empty = site_count_[static_cast<size_t>(j)] == 0;
+      // Symmetry breaking: all empty, clone-free sites are equivalent.
+      if (empty) {
+        if (tried_empty) continue;
+        tried_empty = true;
+      }
+      // Apply.
+      load_[static_cast<size_t>(j)] += clone.work;
+      ++site_count_[static_cast<size_t>(j)];
+      MarkOp(next, j, 1);
+      Dfs(next + 1);
+      // Undo.
+      MarkOp(next, j, 0);
+      --site_count_[static_cast<size_t>(j)];
+      load_[static_cast<size_t>(j)] -= clone.work;
+      if (nodes_ > max_nodes_) return;
+    }
+  }
+
+  void MarkOp(size_t clone_index, int site, char value) {
+    const size_t op = clones_[clone_index].op_index;
+    for (size_t i = clone_index; i < clones_.size(); ++i) {
+      if (clones_[i].op_index == op) {
+        op_used_[i][static_cast<size_t>(site)] = value;
+      }
+    }
+  }
+
+  std::vector<Clone> clones_;
+  int num_sites_;
+  int dims_;
+  double t_par_max_;
+  std::vector<WorkVector> load_;
+  std::vector<int> site_count_ = std::vector<int>(
+      static_cast<size_t>(num_sites_), 0);
+  std::vector<std::vector<char>> op_used_;
+  std::vector<WorkVector> suffix_total_;
+  uint64_t max_nodes_;
+  uint64_t nodes_ = 0;
+  double best_;
+};
+
+}  // namespace
+
+Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
+    const std::vector<ParallelizedOp>& ops, int num_sites, int dims,
+    const ExhaustiveOptions& options) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  // Seed the incumbent with the list schedule: the search then only has to
+  // prove or improve it.
+  auto seed = OperatorSchedule(ops, num_sites, dims);
+  if (!seed.ok()) return seed.status();
+  const double incumbent = seed->Makespan() + 1e-9;
+
+  std::vector<WorkVector> load(static_cast<size_t>(num_sites),
+                               WorkVector(static_cast<size_t>(dims)));
+  double t_par_max = 0.0;
+  std::vector<Clone> clones;
+  std::vector<std::pair<size_t, int>> rooted_sites;  // (op index, site)
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ParallelizedOp& op = ops[i];
+    t_par_max = std::max(t_par_max, op.t_par);
+    if (op.rooted) {
+      for (int k = 0; k < op.degree; ++k) {
+        const int site = op.home[static_cast<size_t>(k)];
+        if (site < 0 || site >= num_sites) {
+          return Status::OutOfRange(
+              StrFormat("rooted site %d out of range", site));
+        }
+        load[static_cast<size_t>(site)] +=
+            op.clones[static_cast<size_t>(k)];
+        rooted_sites.emplace_back(i, site);
+      }
+    } else {
+      for (int k = 0; k < op.degree; ++k) {
+        clones.push_back({i, op.op_id, op.clones[static_cast<size_t>(k)],
+                          op.t_seq[static_cast<size_t>(k)]});
+      }
+    }
+  }
+  // Largest-first ordering tightens pruning dramatically.
+  std::stable_sort(clones.begin(), clones.end(),
+                   [](const Clone& a, const Clone& b) {
+                     return a.work.Length() > b.work.Length();
+                   });
+
+  Search search(std::move(clones), num_sites, dims, t_par_max,
+                std::move(load), options.max_nodes, incumbent);
+  for (const auto& [op_index, site] : rooted_sites) {
+    search.ForbidSiteForOp(op_index, site);
+  }
+  ExhaustiveResult result = search.Run();
+  // The incumbent seed is a valid schedule; report it if nothing better.
+  result.makespan = std::min(result.makespan, seed->Makespan());
+  return result;
+}
+
+}  // namespace mrs

@@ -1,0 +1,40 @@
+#ifndef MRS_CORE_EXHAUSTIVE_H_
+#define MRS_CORE_EXHAUSTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/parallelize.h"
+
+namespace mrs {
+
+struct ExhaustiveOptions {
+  /// Abort the search after this many branch-and-bound nodes; the result
+  /// is then the best schedule found so far with proven_optimal = false.
+  uint64_t max_nodes = 20'000'000;
+};
+
+struct ExhaustiveResult {
+  /// Best (possibly optimal) makespan found.
+  double makespan = 0.0;
+  /// True iff the search space was exhausted (the value is the optimum
+  /// for the given parallelization).
+  bool proven_optimal = false;
+  uint64_t nodes_explored = 0;
+};
+
+/// Exact optimal schedule makespan for a set of independent operators with
+/// *fixed* degrees of parallelism — the yardstick of Theorem 5.1(a).
+/// Branch-and-bound over clone->site assignments honoring constraint (A)
+/// (rooted operators are pre-placed, honoring constraint (B)), minimizing
+/// the eq. (3) makespan. Exponential: intended for instances with at most
+/// ~15 floating clones and a handful of sites (the bound-validation
+/// ablation), not production use.
+Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
+    const std::vector<ParallelizedOp>& ops, int num_sites, int dims,
+    const ExhaustiveOptions& options = {});
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_EXHAUSTIVE_H_

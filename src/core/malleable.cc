@@ -1,0 +1,133 @@
+#include "core/malleable.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "resource/machine.h"
+
+namespace mrs {
+
+Result<MalleableSelection> SelectMalleableParallelization(
+    const std::vector<OperatorCost>& floating,
+    const std::vector<ParallelizedOp>& fixed, const CostParams& params,
+    const OverlapUsageModel& usage, int num_sites,
+    MalleableObjective objective) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  const size_t m = floating.size();
+  MalleableSelection out;
+  out.degrees.assign(m, 1);
+  if (m == 0 && fixed.empty()) {
+    out.lower_bound = 0.0;
+    out.candidates = 0;
+    return out;
+  }
+
+  const size_t dims = !floating.empty()
+                          ? floating.front().processing.dim()
+                          : fixed.front().clones.front().dim();
+
+  // Contributions that never change: rooted operators.
+  WorkVector fixed_sum(dims);
+  double fixed_t_par = 0.0;
+  for (const auto& op : fixed) {
+    fixed_sum += op.TotalWork();
+    fixed_t_par = std::max(fixed_t_par, op.t_par);
+  }
+
+  // Running state for the current candidate N^k.
+  std::vector<int> degrees(m, 1);
+  std::vector<double> t_par(m, 0.0);
+  WorkVector sum = fixed_sum;
+  auto total_work = [&](size_t i, int n) {
+    // W_op(n): processing + beta*D on the net dimension + startup alpha*n
+    // split between coordinator CPU and net. Componentwise non-decreasing
+    // in n (only the startup terms depend on it).
+    WorkVector w = floating[i].processing;
+    w[kNetDim] += params.TransferMs(floating[i].data_bytes);
+    const double startup =
+        params.startup_ms_per_site * static_cast<double>(n);
+    w[kCpuDim] += startup / 2.0;
+    w[kNetDim] += startup / 2.0;
+    return w;
+  };
+  for (size_t i = 0; i < m; ++i) {
+    if (floating[i].processing.dim() != dims) {
+      return Status::InvalidArgument("inconsistent cost dimensionalities");
+    }
+    t_par[i] = ParallelTime(floating[i], 1, params, usage);
+    sum += total_work(i, 1);
+  }
+
+  double best_lb = 0.0;
+  double best_score = 0.0;
+  bool have_best = false;
+  out.candidates = 0;
+
+  while (true) {
+    ++out.candidates;
+    // h(N): slowest operator overall; the increment target is the slowest
+    // *floating* operator (rooted operators cannot change degree — with
+    // the pure §7 problem, R = empty, the two coincide).
+    double h_floating = 0.0;
+    size_t slowest = m;
+    for (size_t i = 0; i < m; ++i) {
+      if (t_par[i] > h_floating) {
+        h_floating = t_par[i];
+        slowest = i;
+      }
+    }
+    const double h = std::max(fixed_t_par, h_floating);
+    const double packing = sum.Length() / static_cast<double>(num_sites);
+    const double lb = std::max(packing, h);
+    const double score =
+        objective == MalleableObjective::kLowerBound ? lb : h + packing;
+    // Prefer the most parallel candidate among score ties: when a fixed
+    // operator pins the score, extra parallelism is free and shortens the
+    // floating operators' own times.
+    if (!have_best || score <= best_score + 1e-9) {
+      best_score = have_best ? std::min(best_score, score) : score;
+      best_lb = lb;  // LB of the *chosen* candidate
+      out.degrees = degrees;
+      have_best = true;
+    }
+    // Advance: give one more site to the slowest floating operator.
+    if (slowest == m) break;                   // nothing floating to grow
+    if (degrees[slowest] >= num_sites) break;  // no more sites to allot
+    const int n_old = degrees[slowest];
+    const int n_new = n_old + 1;
+    sum -= total_work(slowest, n_old);
+    degrees[slowest] = n_new;
+    sum += total_work(slowest, n_new);
+    t_par[slowest] = ParallelTime(floating[slowest], n_new, params, usage);
+  }
+
+  out.lower_bound = best_lb;
+  return out;
+}
+
+Result<Schedule> MalleableSchedule(const std::vector<OperatorCost>& floating,
+                                   const std::vector<ParallelizedOp>& fixed,
+                                   const CostParams& params,
+                                   const OverlapUsageModel& usage,
+                                   int num_sites, int dims,
+                                   const OperatorScheduleOptions& options,
+                                   MalleableObjective objective) {
+  auto selection = SelectMalleableParallelization(floating, fixed, params,
+                                                  usage, num_sites, objective);
+  if (!selection.ok()) return selection.status();
+
+  std::vector<ParallelizedOp> ops = fixed;
+  ops.reserve(fixed.size() + floating.size());
+  for (size_t i = 0; i < floating.size(); ++i) {
+    auto op = ParallelizeAtDegree(floating[i], params, usage,
+                                  selection->degrees[i], num_sites);
+    if (!op.ok()) return op.status();
+    ops.push_back(std::move(op).value());
+  }
+  return OperatorSchedule(ops, num_sites, dims, options);
+}
+
+}  // namespace mrs

@@ -1,0 +1,78 @@
+#ifndef MRS_CORE_MALLEABLE_H_
+#define MRS_CORE_MALLEABLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/operator_schedule.h"
+#include "core/schedule.h"
+#include "cost/cost_model.h"
+#include "cost/parallelize.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// Which candidate of the GF family the selection returns.
+enum class MalleableObjective {
+  /// argmin LB(N) = max(l(S)/P, h) — the exact Theorem 7.1 construction.
+  /// Provably within (2d+1) of the optimum over all parallelizations, but
+  /// LB is a *lower* bound: it stops crediting parallelism once the
+  /// packing term dominates, which under-parallelizes multi-dimensional
+  /// workloads in practice (the paper proves §7 but never evaluates it).
+  kLowerBound,
+  /// argmin h(N) + l(S(N))/P — a makespan *surrogate* in the shape of the
+  /// classical list-scheduling upper bound. Keeps pushing parallelism
+  /// while the slowest operator shrinks faster than total work grows;
+  /// empirically tracks the best fixed-f coarse-grain configuration
+  /// (bench: ablation_malleable). The schedule is still within (2d+1) of
+  /// LB(N_chosen). Default.
+  kSurrogateMakespan,
+};
+
+/// Result of the §7 greedy parallelization selection.
+struct MalleableSelection {
+  /// Chosen degree of parallelism per floating operator (parallel to the
+  /// `floating` input vector).
+  std::vector<int> degrees;
+  /// LB(N) = max( l(S(N))/P , h(N) ) of the chosen parallelization — a
+  /// lower bound on the optimal response time for that parallelization.
+  double lower_bound = 0.0;
+  /// Number of candidate parallelizations examined (<= 1 + M(P-1)).
+  int candidates = 0;
+};
+
+/// Greedy generation of candidate parallelizations for the malleable
+/// scheduling problem (paper §7, adapting the GF method of Turek et al.):
+///
+///   N^1 = (1, ..., 1); N^k is N^{k-1} with the degree of the operator
+///   whose T_par equals h(N^{k-1}) increased by one; stop when that
+///   operator is already at P sites.
+///
+/// Returns the candidate minimizing LB(N). Feeding the selection to the
+/// list scheduling rule yields a schedule within 2d+1 of the optimum over
+/// *all* parallelizations (Theorem 7.1). Unlike the coarse-grain path,
+/// no CG_f condition and no A4 assumption are used — only the fact that
+/// work vectors are componentwise non-decreasing in N.
+///
+/// `fixed` carries the operators whose parallelization cannot change
+/// (rooted operators): their total work vectors enter l(S) and their
+/// T_par values floor h(N).
+Result<MalleableSelection> SelectMalleableParallelization(
+    const std::vector<OperatorCost>& floating,
+    const std::vector<ParallelizedOp>& fixed, const CostParams& params,
+    const OverlapUsageModel& usage, int num_sites,
+    MalleableObjective objective = MalleableObjective::kSurrogateMakespan);
+
+/// Convenience driver: selects a malleable parallelization for `floating`,
+/// materializes the clones, merges in the `fixed` (rooted) operators, and
+/// runs OperatorSchedule. The returned schedule covers fixed + floating.
+Result<Schedule> MalleableSchedule(
+    const std::vector<OperatorCost>& floating,
+    const std::vector<ParallelizedOp>& fixed, const CostParams& params,
+    const OverlapUsageModel& usage, int num_sites, int dims,
+    const OperatorScheduleOptions& options = {},
+    MalleableObjective objective = MalleableObjective::kSurrogateMakespan);
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_MALLEABLE_H_

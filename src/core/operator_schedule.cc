@@ -1,0 +1,117 @@
+#include "core/operator_schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+struct CloneRef {
+  size_t op_index;  // into ops
+  int clone_idx;
+  double length;
+};
+
+}  // namespace
+
+Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
+                                  int num_sites, int dims,
+                                  const OperatorScheduleOptions& options) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  Schedule schedule(num_sites, dims);
+
+  // Degrees must fit: constraint (A) caps an operator's parallelism at P.
+  for (const auto& op : ops) {
+    if (op.degree > num_sites) {
+      return Status::InvalidArgument(
+          StrFormat("op%d degree %d exceeds %d sites", op.op_id, op.degree,
+                    num_sites));
+    }
+    if (static_cast<int>(op.clones.size()) != op.degree ||
+        static_cast<int>(op.t_seq.size()) != op.degree) {
+      return Status::InvalidArgument(
+          StrFormat("op%d has inconsistent clone data", op.op_id));
+    }
+  }
+
+  // Step 1: rooted operators are pinned by data placement.
+  for (const auto& op : ops) {
+    if (op.rooted) {
+      MRS_RETURN_IF_ERROR(schedule.PlaceRooted(op));
+    }
+  }
+
+  // Step 2: list the floating clones.
+  std::vector<CloneRef> list;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].rooted) continue;
+    for (int k = 0; k < ops[i].degree; ++k) {
+      list.push_back(
+          {i, k, ops[i].clones[static_cast<size_t>(k)].Length()});
+    }
+  }
+  switch (options.order) {
+    case ListOrder::kDecreasingLength:
+      std::stable_sort(list.begin(), list.end(),
+                       [](const CloneRef& a, const CloneRef& b) {
+                         return a.length > b.length;
+                       });
+      break;
+    case ListOrder::kIncreasingLength:
+      std::stable_sort(list.begin(), list.end(),
+                       [](const CloneRef& a, const CloneRef& b) {
+                         return a.length < b.length;
+                       });
+      break;
+    case ListOrder::kInputOrder:
+      break;
+    case ListOrder::kRandom: {
+      Rng rng(options.shuffle_seed);
+      rng.Shuffle(&list);
+      break;
+    }
+  }
+
+  // Step 3: place each clone on the least-filled allowable site.
+  // Cache l(work(s)) per site (a placement only changes one site's value)
+  // and per-floating-op site occupancy (constraint A lookups in O(1)).
+  std::vector<double> load_length(static_cast<size_t>(num_sites), 0.0);
+  for (int j = 0; j < num_sites; ++j) {
+    load_length[static_cast<size_t>(j)] = schedule.SiteLoadLength(j);
+  }
+  std::vector<std::vector<char>> used(
+      ops.size(), std::vector<char>(static_cast<size_t>(num_sites), 0));
+  for (const CloneRef& clone : list) {
+    const ParallelizedOp& op = ops[clone.op_index];
+    std::vector<char>& op_used = used[clone.op_index];
+    int chosen = -1;
+    double chosen_load = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < num_sites; ++j) {
+      if (op_used[static_cast<size_t>(j)]) continue;
+      if (options.site_choice == SiteChoice::kFirstAllowable) {
+        chosen = j;
+        break;
+      }
+      if (load_length[static_cast<size_t>(j)] < chosen_load) {
+        chosen = j;
+        chosen_load = load_length[static_cast<size_t>(j)];
+      }
+    }
+    MRS_CHECK(chosen >= 0)
+        << "no allowable site for op" << op.op_id
+        << " — degree should have been capped at P";
+    MRS_RETURN_IF_ERROR(schedule.Place(op, clone.clone_idx, chosen));
+    op_used[static_cast<size_t>(chosen)] = 1;
+    load_length[static_cast<size_t>(chosen)] = schedule.SiteLoadLength(chosen);
+  }
+  return schedule;
+}
+
+}  // namespace mrs

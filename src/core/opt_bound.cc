@@ -1,0 +1,69 @@
+#include "core/opt_bound.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+Result<OptBoundResult> OptBound(const OperatorTree& op_tree,
+                                const TaskTree& task_tree,
+                                const std::vector<OperatorCost>& costs,
+                                const CostParams& params,
+                                const OverlapUsageModel& usage, double f,
+                                int num_sites) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  OptBoundResult result;
+
+  // Work bound: total zero-communication work per resource over P sites.
+  WorkVector total(costs.front().processing.dim());
+  for (const auto& c : costs) total += c.processing;
+  result.work_bound = total.Length() / static_cast<double>(num_sites);
+
+  // Critical path: per task, the slowest operator at its best CG_f degree;
+  // summed along the deepest blocking chain.
+  std::vector<double> task_lb(static_cast<size_t>(task_tree.num_tasks()), 0.0);
+  for (const auto& task : task_tree.tasks()) {
+    double lb = 0.0;
+    for (int oid : task.ops) {
+      const OperatorCost& cost = costs[static_cast<size_t>(oid)];
+      const int n_max = std::min(
+          {MaxCoarseGrainDegree(cost.ProcessingArea(), cost.data_bytes,
+                                params, f),
+           OptimalDegree(cost, params, usage, num_sites), num_sites});
+      lb = std::max(lb, ParallelTime(cost, n_max, params, usage));
+    }
+    task_lb[static_cast<size_t>(task.id)] = lb;
+  }
+  // Longest root-to-leaf chain. Process tasks deepest-first so children
+  // are finished before their parents (tasks are stored in creation order,
+  // so we sort ids by decreasing depth).
+  std::vector<int> order(static_cast<size_t>(task_tree.num_tasks()));
+  for (int i = 0; i < task_tree.num_tasks(); ++i)
+    order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return task_tree.task(a).depth > task_tree.task(b).depth;
+  });
+  std::vector<double> chain(static_cast<size_t>(task_tree.num_tasks()), 0.0);
+  for (int tid : order) {
+    const QueryTask& t = task_tree.task(tid);
+    double best_child = 0.0;
+    for (int c : t.children) {
+      best_child = std::max(best_child, chain[static_cast<size_t>(c)]);
+    }
+    chain[static_cast<size_t>(tid)] =
+        best_child + task_lb[static_cast<size_t>(tid)];
+  }
+  result.critical_path_bound =
+      chain[static_cast<size_t>(task_tree.root_task())];
+  return result;
+}
+
+}  // namespace mrs

@@ -1,0 +1,52 @@
+#ifndef MRS_CORE_OPT_BOUND_H_
+#define MRS_CORE_OPT_BOUND_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "cost/parallelize.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// Components of the OPTBOUND lower bound (paper §6.2) so benches can
+/// report which term binds.
+struct OptBoundResult {
+  /// l(S)/P: the busiest resource class's total zero-communication work,
+  /// spread perfectly over all P sites.
+  double work_bound = 0.0;
+  /// T(CP): the critical path through the blocking structure, with every
+  /// operator at its best coarse-grain parallel time.
+  double critical_path_bound = 0.0;
+
+  double Bound() const {
+    return work_bound > critical_path_bound ? work_bound
+                                            : critical_path_bound;
+  }
+};
+
+/// Computes OPTBOUND = max( l(S)/P , T(CP) ), a lower bound on the
+/// response time of the optimal CG_f execution of the plan (valid under
+/// assumption A4):
+///
+///  * S is the set of zero-communication work vectors of all operators —
+///    no schedule can beat perfect load balance with zero overhead;
+///  * T(CP) walks root-to-leaf chains of the *task tree* (operators inside
+///    one task overlap in a pipeline, tasks along a chain are separated by
+///    blocking edges and cannot overlap), charging each task its slowest
+///    operator at the maximum allowable CG_f degree of parallelism.
+///
+/// `costs` indexed by operator id; `f` is the granularity parameter.
+Result<OptBoundResult> OptBound(const OperatorTree& op_tree,
+                                const TaskTree& task_tree,
+                                const std::vector<OperatorCost>& costs,
+                                const CostParams& params,
+                                const OverlapUsageModel& usage, double f,
+                                int num_sites);
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_OPT_BOUND_H_

@@ -1,0 +1,182 @@
+#include "core/preemptability.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+PreemptabilityPenalty PreemptabilityPenalty::ForDim(size_t dims, size_t dim,
+                                                    double value) {
+  PreemptabilityPenalty penalty;
+  penalty.delta.assign(dims, 0.0);
+  MRS_CHECK(dim < dims) << "penalty dimension out of range";
+  penalty.delta[dim] = value;
+  return penalty;
+}
+
+std::string PreemptabilityPenalty::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(delta.size());
+  for (double d : delta) parts.push_back(StrFormat("%.3f", d));
+  return "delta=[" + StrJoin(parts, ", ") + "]";
+}
+
+namespace {
+
+/// Penalized load vector at a site: per-dimension load scaled by
+/// 1 + delta*(sharers-1).
+double PenalizedLoadLength(const Schedule& schedule, int site,
+                           const PreemptabilityPenalty& penalty) {
+  const WorkVector& load = schedule.SiteLoad(site);
+  std::vector<int> sharers(load.dim(), 0);
+  for (int p : schedule.SitePlacements(site)) {
+    const ClonePlacement& c =
+        schedule.placements()[static_cast<size_t>(p)];
+    for (size_t i = 0; i < load.dim(); ++i) {
+      if (c.work[i] > 0.0) ++sharers[i];
+    }
+  }
+  double length = 0.0;
+  for (size_t i = 0; i < load.dim(); ++i) {
+    const double inflation =
+        1.0 + penalty.DeltaFor(i) *
+                  std::max(0, sharers[i] - 1);
+    length = std::max(length, load[i] * inflation);
+  }
+  return length;
+}
+
+}  // namespace
+
+double PenalizedSiteTime(const Schedule& schedule, int site,
+                         const PreemptabilityPenalty& penalty) {
+  double slowest = 0.0;
+  for (int p : schedule.SitePlacements(site)) {
+    slowest = std::max(
+        slowest, schedule.placements()[static_cast<size_t>(p)].t_seq);
+  }
+  return std::max(slowest, PenalizedLoadLength(schedule, site, penalty));
+}
+
+double PenalizedMakespan(const Schedule& schedule,
+                         const PreemptabilityPenalty& penalty) {
+  double m = 0.0;
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    m = std::max(m, PenalizedSiteTime(schedule, j, penalty));
+  }
+  return m;
+}
+
+double PenalizedResponseTime(const TreeScheduleResult& result,
+                             const PreemptabilityPenalty& penalty) {
+  double total = 0.0;
+  for (const auto& phase : result.phases) {
+    total += PenalizedMakespan(phase.schedule, penalty);
+  }
+  return total;
+}
+
+Result<Schedule> PenaltyAwareOperatorSchedule(
+    const std::vector<ParallelizedOp>& ops, int num_sites, int dims,
+    const PreemptabilityPenalty& penalty,
+    const OperatorScheduleOptions& options) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  Schedule schedule(num_sites, dims);
+  for (const auto& op : ops) {
+    if (op.degree > num_sites) {
+      return Status::InvalidArgument(
+          StrFormat("op%d degree %d exceeds %d sites", op.op_id, op.degree,
+                    num_sites));
+    }
+    if (op.rooted) {
+      MRS_RETURN_IF_ERROR(schedule.PlaceRooted(op));
+    }
+  }
+
+  struct CloneRef {
+    size_t op_index;
+    int clone_idx;
+    double length;
+  };
+  std::vector<CloneRef> list;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].rooted) continue;
+    for (int k = 0; k < ops[i].degree; ++k) {
+      list.push_back({i, k, ops[i].clones[static_cast<size_t>(k)].Length()});
+    }
+  }
+  switch (options.order) {
+    case ListOrder::kDecreasingLength:
+      std::stable_sort(list.begin(), list.end(),
+                       [](const CloneRef& a, const CloneRef& b) {
+                         return a.length > b.length;
+                       });
+      break;
+    case ListOrder::kIncreasingLength:
+      std::stable_sort(list.begin(), list.end(),
+                       [](const CloneRef& a, const CloneRef& b) {
+                         return a.length < b.length;
+                       });
+      break;
+    case ListOrder::kInputOrder:
+      break;
+    case ListOrder::kRandom: {
+      Rng rng(options.shuffle_seed);
+      rng.Shuffle(&list);
+      break;
+    }
+  }
+
+  std::vector<std::vector<char>> used(
+      ops.size(), std::vector<char>(static_cast<size_t>(num_sites), 0));
+  for (const CloneRef& clone : list) {
+    const ParallelizedOp& op = ops[clone.op_index];
+    std::vector<char>& op_used = used[clone.op_index];
+    int chosen = -1;
+    double chosen_time = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < num_sites; ++j) {
+      if (op_used[static_cast<size_t>(j)]) continue;
+      if (options.site_choice == SiteChoice::kFirstAllowable) {
+        chosen = j;
+        break;
+      }
+      // Penalized load after hypothetically adding this clone: approximate
+      // by current penalized length plus the clone's contribution with its
+      // own inflation; exact enough to steer the greedy choice, cheap
+      // enough to stay within the Prop. 5.1 complexity.
+      const double current = PenalizedLoadLength(schedule, j, penalty);
+      double with_clone = current;
+      const WorkVector& load = schedule.SiteLoad(j);
+      for (size_t i = 0; i < load.dim(); ++i) {
+        const double w = op.clones[static_cast<size_t>(clone.clone_idx)][i];
+        if (w <= 0.0) continue;
+        // Count existing sharers on dimension i.
+        int sharers = 1;  // the new clone
+        for (int p : schedule.SitePlacements(j)) {
+          if (schedule.placements()[static_cast<size_t>(p)].work[i] > 0.0) {
+            ++sharers;
+          }
+        }
+        const double inflation =
+            1.0 + penalty.DeltaFor(i) * std::max(0, sharers - 1);
+        with_clone = std::max(with_clone, (load[i] + w) * inflation);
+      }
+      if (with_clone < chosen_time) {
+        chosen = j;
+        chosen_time = with_clone;
+      }
+    }
+    MRS_CHECK(chosen >= 0) << "no allowable site for op" << op.op_id;
+    MRS_RETURN_IF_ERROR(schedule.Place(op, clone.clone_idx, chosen));
+    op_used[static_cast<size_t>(chosen)] = 1;
+  }
+  return schedule;
+}
+
+}  // namespace mrs

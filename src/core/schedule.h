@@ -1,0 +1,94 @@
+#ifndef MRS_CORE_SCHEDULE_H_
+#define MRS_CORE_SCHEDULE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cost/parallelize.h"
+#include "resource/work_vector.h"
+
+namespace mrs {
+
+/// One operator clone placed at a site.
+struct ClonePlacement {
+  int op_id = -1;
+  int clone_idx = 0;
+  int site = -1;
+  WorkVector work;
+  double t_seq = 0.0;
+};
+
+/// A schedule for one collection of concurrently executing operators
+/// (paper Def. 5.1): a mapping of operator clones to sites such that no
+/// two clones of the same operator share a site (constraint A — enforced
+/// at placement time).
+///
+/// Site times follow eq. (2):
+///   T_site(s) = max( max_{clones at s} T_seq, l(work(s)) )
+/// and the schedule's makespan follows eq. (3): the max site time, i.e.
+/// the larger of the slowest operator and the most congested resource.
+class Schedule {
+ public:
+  Schedule(int num_sites, int dims);
+
+  /// Places clone `clone_idx` of `op` at `site`. Fails if the site is out
+  /// of range, the clone index is invalid, the clone was already placed,
+  /// or the site already hosts another clone of the same operator.
+  Status Place(const ParallelizedOp& op, int clone_idx, int site);
+
+  /// Places all clones of a rooted operator at its home sites.
+  Status PlaceRooted(const ParallelizedOp& op);
+
+  int num_sites() const { return num_sites_; }
+  int dims() const { return dims_; }
+  int num_placements() const { return static_cast<int>(placements_.size()); }
+  const std::vector<ClonePlacement>& placements() const { return placements_; }
+
+  /// Clones placed at `site` (indices into placements()).
+  const std::vector<int>& SitePlacements(int site) const;
+
+  /// Aggregate work vector at `site` (the vector sum of its clones).
+  const WorkVector& SiteLoad(int site) const;
+
+  /// l(work(s)): the busiest-resource load at `site`.
+  double SiteLoadLength(int site) const;
+
+  /// T_site(s) per eq. (2).
+  double SiteTime(int site) const;
+
+  /// Response time of the schedule per eq. (3).
+  double Makespan() const;
+
+  /// True iff `site` already hosts a clone of `op_id`.
+  bool HasOpAtSite(int op_id, int site) const;
+
+  /// The home of an operator: the sites of its clones, indexed by clone
+  /// number (so home[0] is the coordinator's site). Entries are -1 for
+  /// unplaced clones; an unknown operator yields an empty vector.
+  std::vector<int> HomeOf(int op_id) const;
+
+  /// Verifies that every clone of every operator in `ops` is placed
+  /// exactly once, rooted operators sit at their homes, and constraint A
+  /// holds. (Placement-time checks make violations impossible through this
+  /// API; Validate exists to check schedules assembled from parts.)
+  Status Validate(const std::vector<ParallelizedOp>& ops) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_sites_;
+  int dims_;
+  std::vector<ClonePlacement> placements_;
+  std::vector<std::vector<int>> site_placements_;
+  std::vector<WorkVector> site_load_;
+  std::vector<double> site_max_t_seq_;
+  // op_id -> site per clone index (-1 = unplaced).
+  std::unordered_map<int, std::vector<int>> op_sites_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_SCHEDULE_H_

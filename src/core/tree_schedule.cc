@@ -1,0 +1,147 @@
+#include "core/tree_schedule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/malleable.h"
+
+namespace mrs {
+
+std::vector<int> TreeScheduleResult::HomeOf(int op_id) const {
+  for (const auto& phase : phases) {
+    std::vector<int> home = phase.schedule.HomeOf(op_id);
+    if (!home.empty()) return home;
+  }
+  return {};
+}
+
+std::string TreeScheduleResult::ToString() const {
+  std::string out = StrFormat("TreeSchedule(response=%.2fms, %zu phases)\n",
+                              response_time, phases.size());
+  for (const auto& p : phases) {
+    out += StrFormat("  phase %d: %zu ops, makespan=%.2fms\n", p.phase,
+                     p.ops.size(), p.makespan);
+  }
+  return out;
+}
+
+Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
+                                        const TaskTree& task_tree,
+                                        const std::vector<OperatorCost>& costs,
+                                        const CostParams& params,
+                                        const MachineConfig& machine,
+                                        const OverlapUsageModel& usage,
+                                        const TreeScheduleOptions& options) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  MRS_RETURN_IF_ERROR(params.Validate());
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+
+  TreeScheduleResult result;
+  result.phases.reserve(static_cast<size_t>(task_tree.num_phases()));
+
+  // The blocking dependent of each state-materializing operator (probe of
+  // a build, merge of a sort run, emit of an aggregate), for join-aware
+  // parallelization.
+  std::unordered_map<int, int> dependent_of;
+  for (const auto& op : op_tree.ops()) {
+    if (op.blocking_input >= 0) {
+      dependent_of[op.blocking_input] = op.id;
+    }
+  }
+  // The cost an operator's degree of parallelism is derived from: under
+  // kJoinAware a first-half operator (build / sort run / agg accumulate)
+  // uses the combined cost of itself and its blocking dependent, since
+  // the dependent will execute at its home (constraint B).
+  auto sizing_cost = [&](int oid) {
+    const OperatorCost& own = costs[static_cast<size_t>(oid)];
+    if (options.build_degree == BuildDegreePolicy::kJoinAware) {
+      auto it = dependent_of.find(oid);
+      if (it != dependent_of.end()) {
+        OperatorCost joint = own;
+        const OperatorCost& dep = costs[static_cast<size_t>(it->second)];
+        joint.processing += dep.processing;
+        joint.data_bytes += dep.data_bytes;
+        return joint;
+      }
+    }
+    return own;
+  };
+
+  for (int k = 0; k < task_tree.num_phases(); ++k) {
+    std::vector<int> op_ids = task_tree.PhaseOps(k);
+    std::vector<ParallelizedOp> ops;
+    std::vector<int> floating_ids;
+    ops.reserve(op_ids.size());
+    for (int oid : op_ids) {
+      const PhysicalOp& op = op_tree.op(oid);
+      const OperatorCost& cost = costs[static_cast<size_t>(oid)];
+      if (op.blocking_input >= 0) {
+        // Constraint B: the op executes where its blocking producer
+        // materialized its state (hash table / sorted runs / group
+        // table); that producer always ran in an earlier phase.
+        std::vector<int> home = result.HomeOf(op.blocking_input);
+        if (home.empty()) {
+          return Status::Internal(
+              StrFormat("blocking producer op%d of op%d not scheduled in "
+                        "an earlier phase",
+                        op.blocking_input, oid));
+        }
+        auto rooted =
+            ParallelizeRooted(cost, params, usage, home, config.num_sites);
+        if (!rooted.ok()) return rooted.status();
+        ops.push_back(std::move(rooted).value());
+      } else {
+        floating_ids.push_back(oid);
+      }
+    }
+
+    // Fix the parallelization of the floating operators. The *degree* is
+    // derived from the sizing cost (join-aware for builds); the clones are
+    // split from the operator's own cost.
+    if (options.policy == ParallelizationPolicy::kMalleable) {
+      std::vector<OperatorCost> sizing;
+      sizing.reserve(floating_ids.size());
+      for (int oid : floating_ids) sizing.push_back(sizing_cost(oid));
+      auto selection = SelectMalleableParallelization(sizing, ops, params,
+                                                      usage, config.num_sites);
+      if (!selection.ok()) return selection.status();
+      for (size_t i = 0; i < floating_ids.size(); ++i) {
+        auto op = ParallelizeAtDegree(
+            costs[static_cast<size_t>(floating_ids[i])], params, usage,
+            selection->degrees[i], config.num_sites);
+        if (!op.ok()) return op.status();
+        ops.push_back(std::move(op).value());
+      }
+    } else {
+      for (int oid : floating_ids) {
+        auto sized = ParallelizeFloating(sizing_cost(oid), params, usage,
+                                         options.granularity,
+                                         config.num_sites);
+        if (!sized.ok()) return sized.status();
+        auto op = ParallelizeAtDegree(costs[static_cast<size_t>(oid)],
+                                      params, usage, sized->degree,
+                                      config.num_sites);
+        if (!op.ok()) return op.status();
+        ops.push_back(std::move(op).value());
+      }
+    }
+
+    auto schedule = OperatorSchedule(ops, config.num_sites, config.dims,
+                                     options.list_options);
+    if (!schedule.ok()) return schedule.status();
+    PhaseSchedule phase{k, std::move(ops), std::move(schedule).value(), 0.0};
+    phase.makespan = phase.schedule.Makespan();
+    result.response_time += phase.makespan;
+    result.phases.push_back(std::move(phase));
+  }
+  return result;
+}
+
+}  // namespace mrs

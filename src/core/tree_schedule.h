@@ -1,0 +1,98 @@
+#ifndef MRS_CORE_TREE_SCHEDULE_H_
+#define MRS_CORE_TREE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operator_schedule.h"
+#include "core/schedule.h"
+#include "cost/cost_model.h"
+#include "cost/parallelize.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/machine.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// How floating operators get their degree of partitioned parallelism.
+enum class ParallelizationPolicy {
+  /// Coarse-grain: N = min(N_max(op, f), optimal degree, P) — the paper's
+  /// main algorithm (Prop. 4.1 plus the A4 guard of §6.1).
+  kCoarseGrain,
+  /// Malleable: the §7 greedy LB-minimizing selection, per phase.
+  kMalleable,
+};
+
+/// How the degree of parallelism of a *build* operator is determined.
+/// Because the probe inherits the build's home (constraint B), the build's
+/// degree caps the probe's parallelism one phase later.
+enum class BuildDegreePolicy {
+  /// Size the build for the build alone (Prop. 4.1 on the build's own
+  /// work vector). A tiny inner relation then strangles a huge probe —
+  /// kept for the ablation bench.
+  kBuildOnly,
+  /// Size the build for the whole hash join: apply the CG_f condition and
+  /// the A4 cap to the combined build+probe cost (default). This is the
+  /// natural reading of [HCY94]-style models where the join is the unit
+  /// of processor allocation.
+  kJoinAware,
+};
+
+struct TreeScheduleOptions {
+  /// Granularity parameter f of the CG_f condition (ignored by kMalleable).
+  double granularity = 0.7;
+  ParallelizationPolicy policy = ParallelizationPolicy::kCoarseGrain;
+  BuildDegreePolicy build_degree = BuildDegreePolicy::kJoinAware;
+  /// List scheduling knobs forwarded to OperatorSchedule.
+  OperatorScheduleOptions list_options;
+};
+
+/// One synchronized phase of a TREESCHEDULE execution.
+struct PhaseSchedule {
+  /// Task-tree phase index (0 executes first).
+  int phase = -1;
+  /// The parallelized operators scheduled in this phase.
+  std::vector<ParallelizedOp> ops;
+  Schedule schedule;
+  /// Response time of the phase (eq. (3) over this phase's schedule).
+  double makespan = 0.0;
+};
+
+/// A full schedule for a bushy plan: synchronized phases executed back to
+/// back (phase k+1 starts when phase k completes).
+struct TreeScheduleResult {
+  std::vector<PhaseSchedule> phases;
+  /// Sum of the phase makespans: the plan's response time.
+  double response_time = 0.0;
+
+  /// Placement (home) of an operator, searched across phases; empty if the
+  /// operator is unknown.
+  std::vector<int> HomeOf(int op_id) const;
+
+  std::string ToString() const;
+};
+
+/// The paper's TREESCHEDULE algorithm (§5.4, Figure 4): split the query
+/// task tree into synchronized phases (MinShelf) and schedule each phase's
+/// operators with OPERATORSCHEDULE. Data placement constraints propagate
+/// across phases: a probe is rooted at the home of its build, which always
+/// executes in an earlier phase (the hash table must be probed where it
+/// was built). All other operators are floating.
+///
+/// `costs` must be indexed by operator id (as produced by
+/// CostModel::CostAll) and `params` must be the CostParams the costs were
+/// derived with (alpha/beta are needed again for parallelization). Runs in
+/// O(J P (J + log P)) overall (Prop. 5.2).
+Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
+                                        const TaskTree& task_tree,
+                                        const std::vector<OperatorCost>& costs,
+                                        const CostParams& params,
+                                        const MachineConfig& machine,
+                                        const OverlapUsageModel& usage,
+                                        const TreeScheduleOptions& options = {});
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_TREE_SCHEDULE_H_

@@ -1,0 +1,140 @@
+#include "cost/cost_model.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "resource/machine.h"
+
+namespace mrs {
+
+std::string OperatorCost::ToString() const {
+  return StrFormat("cost(op%d %s: W_p=%s total=%.2fms D=%s)", op_id,
+                   std::string(OperatorKindToString(kind)).c_str(),
+                   processing.ToString().c_str(), ProcessingArea(),
+                   FormatBytes(data_bytes).c_str());
+}
+
+CostModel::CostModel(CostParams params, int dims, int num_disks)
+    : params_(params), dims_(dims), num_disks_(num_disks) {
+  MRS_CHECK(num_disks_ >= 1) << "CostModel requires at least one disk";
+  MRS_CHECK(dims_ >= 2 + num_disks_)
+      << "CostModel requires d >= 2 + num_disks (cpu/net + disks)";
+  MRS_CHECK_OK(params_.Validate());
+}
+
+void CostModel::AddDiskWork(WorkVector* processing, double disk_ms) const {
+  const double share = disk_ms / static_cast<double>(num_disks_);
+  (*processing)[kDiskDim] += share;
+  for (int i = 1; i < num_disks_; ++i) {
+    (*processing)[kDefaultDims + static_cast<size_t>(i) - 1] += share;
+  }
+}
+
+Result<OperatorCost> CostModel::Cost(const PhysicalOp& op) const {
+  if (op.input_tuples < 0 || op.output_tuples < 0) {
+    return Status::InvalidArgument(
+        StrFormat("op%d has negative cardinalities", op.id));
+  }
+  OperatorCost cost;
+  cost.op_id = op.id;
+  cost.kind = op.kind;
+  cost.processing = WorkVector(static_cast<size_t>(dims_));
+
+  const double in_tuples = static_cast<double>(op.input_tuples);
+  const double pages =
+      static_cast<double>((op.input_tuples + op.layout.tuples_per_page - 1) /
+                          op.layout.tuples_per_page);
+
+  switch (op.kind) {
+    case OperatorKind::kScan:
+      cost.processing[kCpuDim] =
+          params_.InstrToMs(params_.instr_read_page * pages +
+                            params_.instr_extract_tuple * in_tuples);
+      AddDiskWork(&cost.processing, params_.disk_ms_per_page * pages);
+      // Input pages are read from the local disk fragment; only the output
+      // stream crosses the interconnect (when there is a consumer).
+      if (op.consumer >= 0) {
+        cost.data_bytes += static_cast<double>(op.output_bytes());
+      }
+      break;
+    case OperatorKind::kBuild:
+      // Extracts each tuple of the (repartitioned) inner stream and
+      // inserts it into the hash table.
+      cost.processing[kCpuDim] =
+          params_.InstrToMs((params_.instr_extract_tuple +
+                             params_.instr_hash_tuple) *
+                            in_tuples);
+      // Ships nothing: the hash table is consumed in place by the probe.
+      cost.data_bytes += static_cast<double>(op.input_bytes());
+      break;
+    case OperatorKind::kProbe:
+      // Extracts each tuple of the outer stream and probes the table;
+      // result tuples are charged to their consumer (which extracts them
+      // from its own input stream).
+      cost.processing[kCpuDim] =
+          params_.InstrToMs((params_.instr_extract_tuple +
+                             params_.instr_probe_hash) *
+                            in_tuples);
+      cost.data_bytes += static_cast<double>(op.input_bytes());
+      if (op.consumer >= 0) {
+        cost.data_bytes += static_cast<double>(op.output_bytes());
+      }
+      break;
+    case OperatorKind::kSortRun: {
+      // External sort phase 1: extract + sort each input tuple, write the
+      // sorted runs to local disk.
+      const double run_pages = pages;
+      cost.processing[kCpuDim] =
+          params_.InstrToMs((params_.instr_extract_tuple +
+                             params_.instr_sort_tuple) *
+                                in_tuples +
+                            params_.instr_write_page * run_pages);
+      AddDiskWork(&cost.processing, params_.disk_ms_per_page * run_pages);
+      cost.data_bytes += static_cast<double>(op.input_bytes());
+      break;
+    }
+    case OperatorKind::kSortMerge: {
+      // External sort phase 2: read the local runs back and merge.
+      const double run_pages = pages;
+      cost.processing[kCpuDim] =
+          params_.InstrToMs(params_.instr_merge_tuple * in_tuples +
+                            params_.instr_read_page * run_pages);
+      AddDiskWork(&cost.processing, params_.disk_ms_per_page * run_pages);
+      if (op.consumer >= 0) {
+        cost.data_bytes += static_cast<double>(op.output_bytes());
+      }
+      break;
+    }
+    case OperatorKind::kAggBuild:
+      // Hash aggregation: extract + hash each input tuple into the group
+      // table (memory-resident, A1).
+      cost.processing[kCpuDim] =
+          params_.InstrToMs((params_.instr_extract_tuple +
+                             params_.instr_hash_tuple) *
+                            in_tuples);
+      cost.data_bytes += static_cast<double>(op.input_bytes());
+      break;
+    case OperatorKind::kAggOutput:
+      // Emit one result tuple per group from the local table.
+      cost.processing[kCpuDim] =
+          params_.InstrToMs(params_.instr_extract_tuple * in_tuples);
+      if (op.consumer >= 0) {
+        cost.data_bytes += static_cast<double>(op.output_bytes());
+      }
+      break;
+  }
+  return cost;
+}
+
+Result<std::vector<OperatorCost>> CostModel::CostAll(
+    const OperatorTree& tree) const {
+  std::vector<OperatorCost> costs;
+  costs.reserve(static_cast<size_t>(tree.num_ops()));
+  for (const auto& op : tree.ops()) {
+    auto c = Cost(op);
+    if (!c.ok()) return c.status();
+    costs.push_back(std::move(c).value());
+  }
+  return costs;
+}
+
+}  // namespace mrs

@@ -1,0 +1,81 @@
+#ifndef MRS_COST_COST_MODEL_H_
+#define MRS_COST_COST_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cost/cost_params.h"
+#include "plan/operator_tree.h"
+#include "resource/work_vector.h"
+
+namespace mrs {
+
+/// The multi-dimensional cost of one physical operator before
+/// parallelization:
+///  * `processing` is the zero-communication work vector (CPU and disk
+///    components filled, network component 0) — its total is the paper's
+///    processing area W_p(op);
+///  * `data_bytes` is D, the bytes this operator ships over the
+///    interconnect (its repartitioned input streams plus its output stream,
+///    assumption A5), from which the communication area
+///    W_c(op, N) = alpha*N + beta*D derives.
+struct OperatorCost {
+  int op_id = -1;
+  OperatorKind kind = OperatorKind::kScan;
+  WorkVector processing;
+  double data_bytes = 0.0;
+
+  /// Processing area W_p(op) = sum of the processing vector's components.
+  double ProcessingArea() const { return processing.Total(); }
+
+  std::string ToString() const;
+};
+
+/// Estimates operator work vectors in the style of Hsiao et al. [HCY94],
+/// using the instruction counts of Table 2 (see CostParams):
+///
+///  scan:  CPU  = read_page * pages + extract * tuples
+///         disk = disk_ms_per_page * pages
+///  build: CPU  = (extract + hash) * inner_tuples
+///  probe: CPU  = (extract + probe) * outer_tuples
+///
+/// Every operator that consumes a repartitioned input stream pays the
+/// extract cost per input tuple (unpacking tuples from network pages);
+/// join result tuples are therefore charged to their consumer.
+///
+/// Data volume D per assumption A5 (pipelined outputs are always
+/// repartitioned): every pipelined data edge is charged to both endpoints
+/// (the producer ships its output, the consumer receives its input). Scans
+/// read their fragment from local disk, so their inputs contribute nothing;
+/// builds keep the hash table site-local, so they ship nothing downstream.
+class CostModel {
+ public:
+  /// `dims` must be >= 2 + num_disks: the model fills the CPU/disk/net
+  /// layout of resource/machine.h; with num_disks > 1 the disk time of
+  /// every operator is striped evenly over dimensions {1, 3, 4, ...}
+  /// (data declustered across the site's disks — the paper's §4.1
+  /// multi-disk example). Remaining dimensions stay zero.
+  CostModel(CostParams params, int dims, int num_disks = 1);
+
+  /// Costs a single operator.
+  Result<OperatorCost> Cost(const PhysicalOp& op) const;
+
+  /// Costs every operator of `tree`; index = operator id.
+  Result<std::vector<OperatorCost>> CostAll(const OperatorTree& tree) const;
+
+  const CostParams& params() const { return params_; }
+  int dims() const { return dims_; }
+  int num_disks() const { return num_disks_; }
+
+ private:
+  /// Spreads `disk_ms` of disk time evenly over the disk dimensions.
+  void AddDiskWork(WorkVector* processing, double disk_ms) const;
+
+  CostParams params_;
+  int dims_;
+  int num_disks_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_COST_COST_MODEL_H_

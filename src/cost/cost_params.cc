@@ -1,0 +1,47 @@
+#include "cost/cost_params.h"
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+Status CostParams::Validate() const {
+  if (cpu_mips <= 0) return Status::InvalidArgument("cpu_mips must be > 0");
+  if (disk_ms_per_page < 0) {
+    return Status::InvalidArgument("disk_ms_per_page must be >= 0");
+  }
+  if (startup_ms_per_site <= 0) {
+    return Status::InvalidArgument("startup_ms_per_site must be > 0");
+  }
+  if (net_ms_per_byte < 0) {
+    return Status::InvalidArgument("net_ms_per_byte must be >= 0");
+  }
+  if (tuple_bytes <= 0 || tuples_per_page <= 0) {
+    return Status::InvalidArgument("tuple layout must be positive");
+  }
+  if (instr_read_page < 0 || instr_write_page < 0 ||
+      instr_extract_tuple < 0 || instr_hash_tuple < 0 ||
+      instr_probe_hash < 0 || instr_sort_tuple < 0 ||
+      instr_merge_tuple < 0) {
+    return Status::InvalidArgument("instruction counts must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string CostParams::ToString() const {
+  return StrFormat(
+      "CostParams (paper Table 2):\n"
+      "  CPU speed                  %.2f MIPS\n"
+      "  Disk service time          %.1f ms/page\n"
+      "  Startup cost alpha         %.1f ms/site\n"
+      "  Network transfer beta      %.2f us/byte\n"
+      "  Tuple size                 %d bytes\n"
+      "  Page size                  %d tuples\n"
+      "  Read/Write page            %.0f/%.0f instr\n"
+      "  Extract/Hash/Probe tuple   %.0f/%.0f/%.0f instr",
+      cpu_mips, disk_ms_per_page, startup_ms_per_site,
+      net_ms_per_byte * 1000.0, tuple_bytes, tuples_per_page,
+      instr_read_page, instr_write_page, instr_extract_tuple,
+      instr_hash_tuple, instr_probe_hash);
+}
+
+}  // namespace mrs

@@ -1,0 +1,68 @@
+#ifndef MRS_COST_COST_PARAMS_H_
+#define MRS_COST_COST_PARAMS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// System and catalog cost parameters. Defaults reproduce the paper's
+/// Table 2 exactly:
+///
+///   CPU speed                     1 MIPS
+///   Effective disk service time   20 ms/page
+///   Startup cost per site (alpha) 15 ms
+///   Network transfer (beta)       0.6 us/byte
+///   Tuple size                    128 bytes
+///   Page size                     40 tuples
+///   Read/Write page               5000 instr
+///   Extract tuple                 300 instr
+///   Hash tuple                    100 instr
+///   Probe hash table              200 instr
+///
+/// All derived costs are expressed in milliseconds of resource busy time.
+struct CostParams {
+  // Hardware.
+  double cpu_mips = 1.0;              ///< million instructions per second
+  double disk_ms_per_page = 20.0;     ///< effective disk service time
+  double startup_ms_per_site = 15.0;  ///< alpha: parallel-execution startup
+  double net_ms_per_byte = 0.0006;    ///< beta: 0.6 us per byte
+
+  // Catalog geometry.
+  int tuple_bytes = 128;
+  int tuples_per_page = 40;
+
+  // CPU cost constants (instructions). The first five are Table 2; the
+  // sort/merge constants extend the model to the blocking unary operators
+  // (external sort run generation and merge) in the same style.
+  double instr_read_page = 5000.0;
+  double instr_write_page = 5000.0;
+  double instr_extract_tuple = 300.0;
+  double instr_hash_tuple = 100.0;
+  double instr_probe_hash = 200.0;
+  double instr_sort_tuple = 200.0;   ///< per-tuple run-generation cost
+  double instr_merge_tuple = 100.0;  ///< per-tuple multiway-merge cost
+
+  /// Converts an instruction count to CPU milliseconds.
+  double InstrToMs(double instructions) const {
+    return instructions / (cpu_mips * 1000.0);
+  }
+
+  /// beta * bytes, in milliseconds of network-interface busy time.
+  double TransferMs(double bytes) const { return net_ms_per_byte * bytes; }
+
+  /// Communication area W_c(op, N) = alpha*N + beta*D (paper §4.2).
+  double CommunicationArea(int degree, double data_bytes) const {
+    return startup_ms_per_site * degree + TransferMs(data_bytes);
+  }
+
+  Status Validate() const;
+
+  /// Table-2-style textual rendering used by the bench harness headers.
+  std::string ToString() const;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_COST_COST_PARAMS_H_

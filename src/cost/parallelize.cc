@@ -1,0 +1,162 @@
+#include "cost/parallelize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "resource/machine.h"
+
+namespace mrs {
+
+WorkVector ParallelizedOp::TotalWork() const { return SumVectors(clones); }
+
+std::string ParallelizedOp::ToString() const {
+  return StrFormat("par(op%d %s N=%d t_par=%.2fms%s)", op_id,
+                   std::string(OperatorKindToString(kind)).c_str(), degree,
+                   t_par, rooted ? " rooted" : "");
+}
+
+int MaxCoarseGrainDegree(double processing_area_ms, double data_bytes,
+                         const CostParams& params, double f) {
+  const double numer = f * processing_area_ms - params.TransferMs(data_bytes);
+  const double n = std::floor(numer / params.startup_ms_per_site);
+  return std::max(static_cast<int>(n), 1);
+}
+
+std::vector<WorkVector> SplitIntoClones(const OperatorCost& cost, int n,
+                                        const CostParams& params) {
+  MRS_CHECK(n >= 1) << "degree must be >= 1";
+  const double share = 1.0 / static_cast<double>(n);
+  WorkVector base = cost.processing * share;
+  MRS_CHECK(base.dim() > kNetDim) << "cost vectors must have a net dimension";
+  base[kNetDim] += params.TransferMs(cost.data_bytes) * share;
+
+  std::vector<WorkVector> clones(static_cast<size_t>(n), base);
+  // EA1: the serial startup alpha*N is incurred at the coordinator (clone
+  // 0), half on its CPU and half on its network interface.
+  const double startup = params.startup_ms_per_site * static_cast<double>(n);
+  clones[0][kCpuDim] += startup / 2.0;
+  clones[0][kNetDim] += startup / 2.0;
+  return clones;
+}
+
+double ParallelTime(const OperatorCost& cost, int n, const CostParams& params,
+                    const OverlapUsageModel& usage) {
+  MRS_CHECK(n >= 1) << "degree must be >= 1";
+  // The coordinator clone dominates every other clone componentwise, and
+  // T_seq is monotone in each component, so only clone 0 matters. Build it
+  // without materializing the other n-1 clones.
+  const double share = 1.0 / static_cast<double>(n);
+  WorkVector coord = cost.processing * share;
+  coord[kNetDim] += params.TransferMs(cost.data_bytes) * share;
+  const double startup = params.startup_ms_per_site * static_cast<double>(n);
+  coord[kCpuDim] += startup / 2.0;
+  coord[kNetDim] += startup / 2.0;
+  return usage.SequentialTime(coord);
+}
+
+int OptimalDegree(const OperatorCost& cost, const CostParams& params,
+                  const OverlapUsageModel& usage, int p_max) {
+  MRS_CHECK(p_max >= 1) << "p_max must be >= 1";
+  // T_par(N) is a maximum/sum of convex functions of N, hence unimodal;
+  // stop at the first increase.
+  int best = 1;
+  double best_t = ParallelTime(cost, 1, params, usage);
+  for (int n = 2; n <= p_max; ++n) {
+    const double t = ParallelTime(cost, n, params, usage);
+    if (t >= best_t) break;
+    best = n;
+    best_t = t;
+  }
+  return best;
+}
+
+namespace {
+
+ParallelizedOp MakeParallelized(const OperatorCost& cost, int degree,
+                                const CostParams& params,
+                                const OverlapUsageModel& usage) {
+  ParallelizedOp op;
+  op.op_id = cost.op_id;
+  op.kind = cost.kind;
+  op.degree = degree;
+  op.clones = SplitIntoClones(cost, degree, params);
+  op.t_seq.reserve(op.clones.size());
+  op.t_par = 0.0;
+  for (const auto& w : op.clones) {
+    const double t = usage.SequentialTime(w);
+    op.t_seq.push_back(t);
+    op.t_par = std::max(op.t_par, t);
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<ParallelizedOp> ParallelizeFloating(const OperatorCost& cost,
+                                           const CostParams& params,
+                                           const OverlapUsageModel& usage,
+                                           double f, int num_sites) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (f < 0) {
+    return Status::InvalidArgument("granularity parameter f must be >= 0");
+  }
+  if (!cost.processing.IsNonNegative() || cost.data_bytes < 0) {
+    return Status::InvalidArgument(
+        StrFormat("op%d has negative cost components", cost.op_id));
+  }
+  const int n_max =
+      MaxCoarseGrainDegree(cost.ProcessingArea(), cost.data_bytes, params, f);
+  const int n_opt = OptimalDegree(cost, params, usage, num_sites);
+  const int degree = std::min({n_max, n_opt, num_sites});
+  return MakeParallelized(cost, degree, params, usage);
+}
+
+Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,
+                                           const CostParams& params,
+                                           const OverlapUsageModel& usage,
+                                           int degree, int num_sites) {
+  if (degree < 1 || degree > num_sites) {
+    return Status::InvalidArgument(
+        StrFormat("degree %d outside [1, %d]", degree, num_sites));
+  }
+  if (!cost.processing.IsNonNegative() || cost.data_bytes < 0) {
+    return Status::InvalidArgument(
+        StrFormat("op%d has negative cost components", cost.op_id));
+  }
+  return MakeParallelized(cost, degree, params, usage);
+}
+
+Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,
+                                         const CostParams& params,
+                                         const OverlapUsageModel& usage,
+                                         std::vector<int> home,
+                                         int num_sites) {
+  if (home.empty()) {
+    return Status::InvalidArgument("rooted operator requires a non-empty home");
+  }
+  std::unordered_set<int> distinct;
+  for (int s : home) {
+    if (s < 0 || s >= num_sites) {
+      return Status::OutOfRange(
+          StrFormat("home site %d outside [0, %d)", s, num_sites));
+    }
+    if (!distinct.insert(s).second) {
+      return Status::InvalidArgument(
+          StrFormat("home lists site %d twice", s));
+    }
+  }
+  auto op = ParallelizeAtDegree(cost, params, usage,
+                                static_cast<int>(home.size()), num_sites);
+  if (!op.ok()) return op.status();
+  ParallelizedOp rooted = std::move(op).value();
+  rooted.rooted = true;
+  rooted.home = std::move(home);
+  return rooted;
+}
+
+}  // namespace mrs

@@ -1,0 +1,94 @@
+#ifndef MRS_COST_PARALLELIZE_H_
+#define MRS_COST_PARALLELIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "cost/cost_params.h"
+#include "resource/usage_model.h"
+#include "resource/work_vector.h"
+
+namespace mrs {
+
+/// An operator after its degree of partitioned parallelism has been fixed:
+/// `clones[k]` is the work vector of the k-th operator clone *including*
+/// communication costs, `t_seq[k]` its stand-alone execution time under the
+/// usage model, and `t_par = max_k t_seq[k]` the operator's parallel
+/// execution time when it runs without contention (paper eq. (1)).
+///
+/// Clone 0 is the coordinator: per assumption EA1 the (inherently serial)
+/// startup cost alpha*N is charged to it, split evenly between its CPU and
+/// network-interface components.
+struct ParallelizedOp {
+  int op_id = -1;
+  OperatorKind kind = OperatorKind::kScan;
+  int degree = 1;
+  std::vector<WorkVector> clones;
+  std::vector<double> t_seq;
+  double t_par = 0.0;
+
+  /// True when data placement pins the clones to `home` (|home| == degree,
+  /// clone k at site home[k]); false for floating operators.
+  bool rooted = false;
+  std::vector<int> home;
+
+  /// Componentwise sum of the clone vectors: the operator's total work
+  /// vector W_op (processing + communication).
+  WorkVector TotalWork() const;
+
+  std::string ToString() const;
+};
+
+/// Maximum degree of partitioned parallelism admitting a CG_f execution
+/// (paper Prop. 4.1): max(floor((f*W_p - beta*D) / alpha), 1).
+int MaxCoarseGrainDegree(double processing_area_ms, double data_bytes,
+                         const CostParams& params, double f);
+
+/// Work vectors of the N clones of `cost` under EA1 (no execution skew):
+/// processing work and the beta*D transfer work are split evenly; the
+/// coordinator (clone 0) additionally carries alpha*N/2 on CPU and
+/// alpha*N/2 on the network interface. Requires n >= 1.
+std::vector<WorkVector> SplitIntoClones(const OperatorCost& cost, int n,
+                                        const CostParams& params);
+
+/// T_par(op, N): stand-alone parallel execution time at degree n — the
+/// coordinator clone's sequential time (it dominates all other clones
+/// componentwise). Requires n >= 1.
+double ParallelTime(const OperatorCost& cost, int n, const CostParams& params,
+                    const OverlapUsageModel& usage);
+
+/// The response-time-optimal degree of parallelism in [1, p_max]: the
+/// smallest minimizer of ParallelTime. Because per-clone work shrinks as
+/// 1/N while coordinator startup grows as alpha*N, T_par is unimodal and
+/// this is where assumption A4 (non-increasing execution times) stops
+/// holding; the scheduler never exceeds it (paper §6.1).
+int OptimalDegree(const OperatorCost& cost, const CostParams& params,
+                  const OverlapUsageModel& usage, int p_max);
+
+/// Parallelizes a floating operator for a CG_f execution:
+/// N = min(N_max(op, f), OptimalDegree, P).
+Result<ParallelizedOp> ParallelizeFloating(const OperatorCost& cost,
+                                           const CostParams& params,
+                                           const OverlapUsageModel& usage,
+                                           double f, int num_sites);
+
+/// Parallelizes a floating operator at an explicitly chosen degree (used by
+/// the malleable scheduler of §7). Requires 1 <= degree <= num_sites.
+Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,
+                                           const CostParams& params,
+                                           const OverlapUsageModel& usage,
+                                           int degree, int num_sites);
+
+/// Parallelizes a rooted operator whose home (and hence degree) is fixed by
+/// data placement. `home` must name distinct sites in [0, num_sites).
+Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,
+                                         const CostParams& params,
+                                         const OverlapUsageModel& usage,
+                                         std::vector<int> home,
+                                         int num_sites);
+
+}  // namespace mrs
+
+#endif  // MRS_COST_PARALLELIZE_H_

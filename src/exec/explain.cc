@@ -1,0 +1,103 @@
+#include "exec/explain.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result) {
+  ScheduleExplanation out;
+  out.response_time = result.response_time;
+  for (const auto& phase : result.phases) {
+    PhaseExplanation exp;
+    exp.phase = phase.phase;
+    exp.makespan = phase.makespan;
+    const Schedule& s = phase.schedule;
+
+    // Critical site: the eq. (3) argmax.
+    for (int j = 0; j < s.num_sites(); ++j) {
+      if (exp.critical_site < 0 ||
+          s.SiteTime(j) > s.SiteTime(exp.critical_site)) {
+        exp.critical_site = j;
+      }
+    }
+    if (exp.critical_site >= 0) {
+      const WorkVector& load = s.SiteLoad(exp.critical_site);
+      double max_t_seq = 0.0;
+      for (int p : s.SitePlacements(exp.critical_site)) {
+        max_t_seq = std::max(
+            max_t_seq, s.placements()[static_cast<size_t>(p)].t_seq);
+      }
+      exp.load_bound = load.Length() >= max_t_seq;
+      for (size_t i = 0; i < load.dim(); ++i) {
+        if (exp.critical_resource < 0 ||
+            load[i] > load[static_cast<size_t>(exp.critical_resource)]) {
+          exp.critical_resource = static_cast<int>(i);
+        }
+      }
+      // Heaviest operator at the critical site by total assigned work.
+      std::unordered_map<int, double> per_op;
+      for (int p : s.SitePlacements(exp.critical_site)) {
+        const ClonePlacement& c = s.placements()[static_cast<size_t>(p)];
+        per_op[c.op_id] += c.work.Total();
+      }
+      double best = -1.0;
+      for (const auto& [op, work] : per_op) {
+        if (work > best) {
+          best = work;
+          exp.heaviest_op = op;
+        }
+      }
+    }
+
+    // Machine-wide utilization per resource.
+    if (s.num_sites() > 0 && phase.makespan > 0) {
+      WorkVector total(static_cast<size_t>(s.dims()));
+      for (int j = 0; j < s.num_sites(); ++j) total += s.SiteLoad(j);
+      exp.utilization.resize(static_cast<size_t>(s.dims()));
+      for (int i = 0; i < s.dims(); ++i) {
+        exp.utilization[static_cast<size_t>(i)] =
+            total[static_cast<size_t>(i)] /
+            (static_cast<double>(s.num_sites()) * phase.makespan);
+      }
+    }
+    out.phases.push_back(std::move(exp));
+  }
+  return out;
+}
+
+std::string ScheduleExplanation::ToString(const MachineConfig& machine) const {
+  std::string out = StrFormat("schedule explanation — response %s\n",
+                              FormatMillis(response_time).c_str());
+  for (const auto& p : phases) {
+    std::string binding = "slowest operator (T_par term)";
+    if (p.load_bound && p.critical_resource >= 0) {
+      const size_t r = static_cast<size_t>(p.critical_resource);
+      binding = StrFormat(
+          "resource congestion on %s",
+          r < machine.resource_names.size()
+              ? machine.resource_names[r].c_str()
+              : StrFormat("r%d", p.critical_resource).c_str());
+    }
+    std::string util;
+    for (size_t i = 0; i < p.utilization.size(); ++i) {
+      if (i > 0) util += " ";
+      util += StrFormat(
+          "%s=%.0f%%",
+          i < machine.resource_names.size()
+              ? machine.resource_names[i].c_str()
+              : StrFormat("r%zu", i).c_str(),
+          p.utilization[i] * 100.0);
+    }
+    out += StrFormat(
+        "  phase %d: %s; critical site s%d bound by %s; heaviest op%d; "
+        "utilization %s\n",
+        p.phase, FormatMillis(p.makespan).c_str(), p.critical_site,
+        binding.c_str(), p.heaviest_op, util.c_str());
+  }
+  return out;
+}
+
+}  // namespace mrs

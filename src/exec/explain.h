@@ -1,0 +1,47 @@
+#ifndef MRS_EXEC_EXPLAIN_H_
+#define MRS_EXEC_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tree_schedule.h"
+#include "resource/machine.h"
+
+namespace mrs {
+
+/// Per-phase diagnosis of a schedule: where the time goes and which term
+/// of eq. (3) binds.
+struct PhaseExplanation {
+  int phase = -1;
+  double makespan = 0.0;
+  /// Site whose eq. (2) time equals the makespan.
+  int critical_site = -1;
+  /// True when the critical site is bound by its busiest resource
+  /// (l(work(s))), false when its slowest clone's T_seq binds.
+  bool load_bound = false;
+  /// Resource dimension binding the critical site (valid if load_bound).
+  int critical_resource = -1;
+  /// Machine-wide utilization per resource in [0, 1] over this phase:
+  /// total assigned work / (P * makespan).
+  std::vector<double> utilization;
+  /// Operator contributing the most work to the critical site.
+  int heaviest_op = -1;
+};
+
+struct ScheduleExplanation {
+  double response_time = 0.0;
+  std::vector<PhaseExplanation> phases;
+
+  /// Human-readable multi-line report ("phase 2: 5.1 s, site 7 bound by
+  /// disk at 93% ...").
+  std::string ToString(const MachineConfig& machine) const;
+};
+
+/// Analyzes a phased schedule: per phase, the critical site, the binding
+/// eq. (3) term, per-resource utilization, and the heaviest operator on
+/// the critical site. Pure analysis — no scheduling state is modified.
+ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result);
+
+}  // namespace mrs
+
+#endif  // MRS_EXEC_EXPLAIN_H_

@@ -1,0 +1,181 @@
+#include "exec/fluid_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+constexpr double kTimeTol = 1e-9;
+
+struct ActiveClone {
+  int placement_index;
+  WorkVector remaining;     // remaining work per resource
+  double remaining_own;     // remaining stand-alone time
+  double total_own;         // original T_seq
+};
+
+/// Simulates one site under the optimal-stretch discipline: at every
+/// event, the earliest feasible common completion instant is
+///   T_fin = now + max( max_c remaining_own_c , l({remaining_c}) )
+/// and every clone runs at rate remaining_c / (T_fin - now). No resource
+/// exceeds unit capacity (the second max term guarantees it) and no clone
+/// runs faster than stand-alone (the first term guarantees it). All clones
+/// finish together, which is exactly the eq. (2) site time when they start
+/// together.
+void SimulateSiteOptimal(std::vector<ActiveClone>* clones,
+                         SiteUtilization* util,
+                         std::vector<double>* finish_times) {
+  double now = 0.0;
+  while (!clones->empty()) {
+    double longest_own = 0.0;
+    WorkVector load(util->busy.dim());
+    for (const auto& c : *clones) {
+      longest_own = std::max(longest_own, c.remaining_own);
+      load += c.remaining;
+    }
+    const double t_fin = now + std::max(longest_own, load.Length());
+    for (auto& c : *clones) {
+      util->busy += c.remaining;
+      (*finish_times)[static_cast<size_t>(c.placement_index)] = t_fin;
+    }
+    now = t_fin;
+    clones->clear();
+  }
+  util->finish = now;
+}
+
+/// Simulates one site under naive uniform time slicing: every active clone
+/// progresses at the same speed factor sigma = min(1, 1/rho) where rho is
+/// the peak resource oversubscription of the active set's stand-alone
+/// rates. Clones finish one by one; each completion releases capacity and
+/// sigma is recomputed.
+void SimulateSiteUniform(std::vector<ActiveClone>* clones,
+                         SiteUtilization* util,
+                         std::vector<double>* finish_times) {
+  double now = 0.0;
+  while (!clones->empty()) {
+    // Rates r_c[i] = W_c[i] / T_seq_c are constant over a clone's life
+    // (uniform usage, A3); remaining work = r * remaining_own.
+    WorkVector rate_sum(util->busy.dim());
+    for (const auto& c : *clones) {
+      if (c.remaining_own <= kTimeTol) continue;
+      for (size_t i = 0; i < rate_sum.dim(); ++i) {
+        rate_sum[i] += c.remaining[i] / c.remaining_own;
+      }
+    }
+    const double rho = rate_sum.Length();
+    const double sigma = rho > 1.0 ? 1.0 / rho : 1.0;
+
+    // Next completion.
+    double min_own = std::numeric_limits<double>::infinity();
+    for (const auto& c : *clones) {
+      min_own = std::min(min_own, c.remaining_own);
+    }
+    const double dt = min_own / sigma;
+
+    // Advance all clones by dt wall time (sigma*dt own time).
+    for (auto& c : *clones) {
+      const double own_progress = sigma * dt;
+      const double fraction =
+          c.remaining_own > 0 ? own_progress / c.remaining_own : 1.0;
+      WorkVector consumed = c.remaining * std::min(fraction, 1.0);
+      util->busy += consumed;
+      c.remaining -= consumed;
+      c.remaining_own -= own_progress;
+    }
+    now += dt;
+    for (auto it = clones->begin(); it != clones->end();) {
+      if (it->remaining_own <= kTimeTol) {
+        (*finish_times)[static_cast<size_t>(it->placement_index)] = now;
+        it = clones->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  util->finish = now;
+}
+
+}  // namespace
+
+Result<PhaseSimulation> FluidSimulator::SimulatePhase(
+    const Schedule& schedule) const {
+  PhaseSimulation sim;
+  sim.sites.assign(static_cast<size_t>(schedule.num_sites()),
+                   SiteUtilization{
+                       WorkVector(static_cast<size_t>(schedule.dims())), 0.0});
+  sim.clone_finish.assign(schedule.placements().size(), 0.0);
+
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    std::vector<ActiveClone> clones;
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& placement =
+          schedule.placements()[static_cast<size_t>(p)];
+      ActiveClone c;
+      c.placement_index = p;
+      c.remaining = placement.work;
+      c.remaining_own = placement.t_seq;
+      c.total_own = placement.t_seq;
+      if (!SequentialTimeWithinBounds(placement.work, placement.t_seq,
+                                      1e-6)) {
+        return Status::InvalidArgument(
+            StrFormat("clone of op%d violates max <= T_seq <= sum",
+                      placement.op_id));
+      }
+      clones.push_back(std::move(c));
+    }
+    SiteUtilization* util = &sim.sites[static_cast<size_t>(j)];
+    if (policy_ == SharingPolicy::kOptimalStretch) {
+      SimulateSiteOptimal(&clones, util, &sim.clone_finish);
+    } else {
+      SimulateSiteUniform(&clones, util, &sim.clone_finish);
+    }
+    sim.makespan = std::max(sim.makespan, util->finish);
+  }
+  return sim;
+}
+
+Result<SimulationResult> FluidSimulator::Simulate(
+    const TreeScheduleResult& plan) const {
+  SimulationResult result;
+  int dims = 1;
+  int num_sites = 1;
+  for (const auto& phase : plan.phases) {
+    auto sim = SimulatePhase(phase.schedule);
+    if (!sim.ok()) return sim.status();
+    dims = phase.schedule.dims();
+    num_sites = phase.schedule.num_sites();
+    result.response_time += sim->makespan;
+    result.phases.push_back(std::move(sim).value());
+  }
+  // Machine-wide utilization.
+  WorkVector busy(static_cast<size_t>(dims));
+  for (const auto& phase : result.phases) {
+    for (const auto& site : phase.sites) busy += site.busy;
+  }
+  result.average_utilization = WorkVector(static_cast<size_t>(dims));
+  if (result.response_time > 0.0) {
+    result.average_utilization =
+        busy * (1.0 / (static_cast<double>(num_sites) * result.response_time));
+  }
+  return result;
+}
+
+std::string SimulationResult::ToString() const {
+  std::string out =
+      StrFormat("Simulation(response=%.2fms, %zu phases, util=%s)\n",
+                response_time, phases.size(),
+                average_utilization.ToString().c_str());
+  for (size_t k = 0; k < phases.size(); ++k) {
+    out += StrFormat("  phase %zu: makespan=%.2fms\n", k, phases[k].makespan);
+  }
+  return out;
+}
+
+}  // namespace mrs

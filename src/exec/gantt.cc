@@ -1,0 +1,140 @@
+#include "exec/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+std::string RenderPhaseGantt(const Schedule& schedule, int width) {
+  width = std::max(width, 10);
+  const double makespan = schedule.Makespan();
+  std::string out =
+      StrFormat("  time scale: |%s| = %s\n", std::string(
+                    static_cast<size_t>(width), '-').c_str(),
+                FormatMillis(makespan).c_str());
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    const double t = schedule.SiteTime(j);
+    const int cells =
+        makespan > 0
+            ? static_cast<int>(std::round(t / makespan * width))
+            : 0;
+    std::string bar(static_cast<size_t>(std::clamp(cells, 0, width)), '#');
+    bar.resize(static_cast<size_t>(width), ' ');
+    std::vector<std::string> labels;
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& c = schedule.placements()[static_cast<size_t>(p)];
+      labels.push_back(StrFormat("op%d.%d", c.op_id, c.clone_idx));
+    }
+    out += StrFormat("  s%-3d |%s| %7s  %s\n", j, bar.c_str(),
+                     FormatMillis(t).c_str(),
+                     StrJoin(labels, " ").c_str());
+  }
+  return out;
+}
+
+std::string RenderTreeGantt(const TreeScheduleResult& result, int width) {
+  std::string out = StrFormat("response time %s over %zu phase(s)\n",
+                              FormatMillis(result.response_time).c_str(),
+                              result.phases.size());
+  for (const auto& phase : result.phases) {
+    const int phase_width =
+        result.response_time > 0
+            ? std::max(10, static_cast<int>(std::round(
+                               phase.makespan / result.response_time *
+                               width)))
+            : width;
+    out += StrFormat("phase %d (makespan %s):\n", phase.phase,
+                     FormatMillis(phase.makespan).c_str());
+    out += RenderPhaseGantt(phase.schedule, phase_width);
+  }
+  return out;
+}
+
+std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
+                               int width_px) {
+  width_px = std::max(width_px, 200);
+  const int lane_height = 14;
+  const int lane_gap = 2;
+  const int phase_gap = 10;
+  const int margin_left = 56;
+  const int margin_top = 24;
+
+  int num_sites = 0;
+  for (const auto& phase : result.phases) {
+    num_sites = std::max(num_sites, phase.schedule.num_sites());
+  }
+  const double total = result.response_time > 0 ? result.response_time : 1.0;
+  const double px_per_ms =
+      static_cast<double>(width_px - margin_left - 10) / total;
+  const int height = margin_top +
+                     static_cast<int>(result.phases.size()) * phase_gap +
+                     num_sites * (lane_height + lane_gap) + 30;
+
+  // A small qualitative palette cycled by operator id.
+  static const char* kColors[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                  "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                  "#9c755f", "#bab0ac"};
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"sans-serif\" font-size=\"10\">\n",
+      width_px, height);
+  svg += StrFormat(
+      "  <text x=\"%d\" y=\"14\">phased schedule — response %s</text>\n",
+      margin_left, FormatMillis(result.response_time).c_str());
+
+  double phase_start_ms = 0.0;
+  int phase_index = 0;
+  for (const auto& phase : result.phases) {
+    const double x0 =
+        margin_left + phase_start_ms * px_per_ms;
+    // Phase boundary line.
+    svg += StrFormat(
+        "  <line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" "
+        "stroke=\"#999\" stroke-dasharray=\"3,3\"/>\n",
+        x0, margin_top, x0,
+        margin_top + num_sites * (lane_height + lane_gap));
+    for (int j = 0; j < phase.schedule.num_sites(); ++j) {
+      const int y = margin_top + j * (lane_height + lane_gap);
+      if (phase_index == 0) {
+        svg += StrFormat(
+            "  <text x=\"4\" y=\"%d\">s%d</text>\n", y + lane_height - 3, j);
+      }
+      // Stack the site's clones vertically within the lane, each drawn
+      // for the site's full duration (fluid sharing has no sub-intervals).
+      const auto& placements = phase.schedule.SitePlacements(j);
+      const double site_ms = phase.schedule.SiteTime(j);
+      if (placements.empty() || site_ms <= 0) continue;
+      const double slot =
+          static_cast<double>(lane_height) /
+          static_cast<double>(placements.size());
+      for (size_t p = 0; p < placements.size(); ++p) {
+        const ClonePlacement& clone =
+            phase.schedule.placements()[static_cast<size_t>(placements[p])];
+        svg += StrFormat(
+            "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+            "fill=\"%s\" fill-opacity=\"0.85\"><title>op%d.%d t_seq=%s"
+            "</title></rect>\n",
+            x0, y + static_cast<double>(p) * slot, site_ms * px_per_ms,
+            std::max(slot - 0.5, 0.5),
+            kColors[static_cast<size_t>(clone.op_id) % 10], clone.op_id,
+            clone.clone_idx, FormatMillis(clone.t_seq).c_str());
+      }
+    }
+    phase_start_ms += phase.makespan;
+    ++phase_index;
+  }
+  // Time axis.
+  const int axis_y = margin_top + num_sites * (lane_height + lane_gap) + 12;
+  svg += StrFormat(
+      "  <text x=\"%d\" y=\"%d\">0</text>\n", margin_left, axis_y);
+  svg += StrFormat(
+      "  <text x=\"%.1f\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+      margin_left + total * px_per_ms, axis_y,
+      FormatMillis(total).c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace mrs

@@ -1,0 +1,31 @@
+#ifndef MRS_EXEC_GANTT_H_
+#define MRS_EXEC_GANTT_H_
+
+#include <string>
+
+#include "core/schedule.h"
+#include "core/tree_schedule.h"
+
+namespace mrs {
+
+/// ASCII utilization chart of one phase schedule: one row per site, bar
+/// length proportional to the site's eq. (2) time, annotated with the
+/// clones placed there. `width` is the number of character cells the
+/// phase's makespan maps to.
+std::string RenderPhaseGantt(const Schedule& schedule, int width = 60);
+
+/// Phase-by-phase chart of a full TREESCHEDULE result: each phase rendered
+/// with a shared time scale so relative phase lengths are visible.
+std::string RenderTreeGantt(const TreeScheduleResult& result, int width = 60);
+
+/// Standalone SVG document visualizing a full phased schedule: one row of
+/// site lanes per phase on a shared time axis, one rectangle per clone
+/// (height = the clone's share of its site's lane), colored by operator
+/// id, with phase boundaries marked. Suitable for inclusion in docs or
+/// viewing in a browser.
+std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
+                               int width_px = 900);
+
+}  // namespace mrs
+
+#endif  // MRS_EXEC_GANTT_H_

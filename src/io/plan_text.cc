@@ -1,0 +1,282 @@
+#include "io/plan_text.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+struct Token {
+  enum Kind { kLParen, kRParen, kAtom } kind;
+  std::string text;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& s, int line_no) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(') {
+      tokens.push_back({Token::kLParen, "("});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({Token::kRParen, ")"});
+      ++i;
+    } else if (c == '#') {
+      break;
+    } else {
+      size_t j = i;
+      while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j])) &&
+             s[j] != '(' && s[j] != ')' && s[j] != '#') {
+        ++j;
+      }
+      tokens.push_back({Token::kAtom, s.substr(i, j - i)});
+      i = j;
+    }
+  }
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("line %d: empty expression", line_no));
+  }
+  return tokens;
+}
+
+/// Recursive-descent parse of (join OUTER INNER) | relation-name.
+class SexprParser {
+ public:
+  SexprParser(const std::vector<Token>& tokens, int line_no, Catalog* catalog,
+              PlanTree* plan)
+      : tokens_(tokens), line_no_(line_no), catalog_(catalog), plan_(plan) {}
+
+  Result<int> Parse() {
+    auto node = ParseNode();
+    if (!node.ok()) return node;
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: trailing tokens after plan expression",
+                    line_no_));
+    }
+    return node;
+  }
+
+ private:
+  Result<int> ParseNode() {
+    if (pos_ >= tokens_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unexpected end of plan expression", line_no_));
+    }
+    const Token& token = tokens_[pos_];
+    if (token.kind == Token::kAtom) {
+      ++pos_;
+      auto rel = catalog_->GetRelationByName(token.text);
+      if (!rel.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: unknown relation '%s'", line_no_,
+                      token.text.c_str()));
+      }
+      // Dense catalog ids are insertion-ordered; find the id by name scan.
+      for (int id = 0; id < catalog_->num_relations(); ++id) {
+        if (catalog_->GetRelation(id)->name == token.text) {
+          if (used_relations_.count(id) > 0) {
+            return Status::InvalidArgument(
+                StrFormat("line %d: relation '%s' scanned more than once",
+                          line_no_, token.text.c_str()));
+          }
+          used_relations_.insert(id);
+          return plan_->AddLeaf(id);
+        }
+      }
+      return Status::Internal("relation lookup inconsistency");
+    }
+    if (token.kind != Token::kLParen) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected '(' or relation name, got '%s'",
+                    line_no_, token.text.c_str()));
+    }
+    ++pos_;  // consume '('
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kAtom) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: expected 'join', 'sort', or 'agg' after '('", line_no_));
+    }
+    const std::string op = tokens_[pos_].text;
+    ++pos_;
+    Result<int> node = Status::Internal("unset");
+    if (op == "join") {
+      auto outer = ParseNode();
+      if (!outer.ok()) return outer;
+      auto inner = ParseNode();
+      if (!inner.ok()) return inner;
+      node = plan_->AddJoin(outer.value(), inner.value());
+    } else if (op == "sort") {
+      auto child = ParseNode();
+      if (!child.ok()) return child;
+      node = plan_->AddSort(child.value());
+    } else if (op == "agg") {
+      // (agg FRACTION CHILD)
+      if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kAtom) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: expected a group fraction after 'agg'", line_no_));
+      }
+      char* end = nullptr;
+      const double fraction =
+          std::strtod(tokens_[pos_].text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad group fraction '%s'", line_no_,
+                      tokens_[pos_].text.c_str()));
+      }
+      ++pos_;
+      auto child = ParseNode();
+      if (!child.ok()) return child;
+      node = plan_->AddAggregate(child.value(), fraction);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: unknown operator '%s' (expected join/sort/agg)",
+          line_no_, op.c_str()));
+    }
+    if (!node.ok()) return node;
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kRParen) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected ')' to close '%s'", line_no_,
+                    op.c_str()));
+    }
+    ++pos_;  // consume ')'
+    return node;
+  }
+
+  const std::vector<Token>& tokens_;
+  int line_no_;
+  Catalog* catalog_;
+  PlanTree* plan_;
+  size_t pos_ = 0;
+  std::set<int> used_relations_;
+};
+
+}  // namespace
+
+Result<ParsedPlan> ParsePlanText(const std::string& text) {
+  ParsedPlan parsed;
+  parsed.catalog = std::make_unique<Catalog>();
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_plan = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines early.
+    std::string stripped = line;
+    const size_t hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.resize(hash);
+    size_t first = stripped.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+
+    std::istringstream ls(stripped);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "relation") {
+      if (saw_plan) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: relation declared after the plan line", line_no));
+      }
+      Relation r;
+      long long tuples = -1;
+      if (!(ls >> r.name >> tuples) || tuples < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: expected 'relation <name> <tuples>'", line_no));
+      }
+      std::string extra;
+      if (ls >> extra) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: trailing text '%s'", line_no, extra.c_str()));
+      }
+      r.num_tuples = tuples;
+      auto id = parsed.catalog->AddRelation(std::move(r));
+      if (!id.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: %s", line_no, id.status().message().c_str()));
+      }
+    } else if (keyword == "plan") {
+      if (saw_plan) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: duplicate plan line", line_no));
+      }
+      saw_plan = true;
+      std::string rest;
+      std::getline(ls, rest);
+      auto tokens = Tokenize(rest, line_no);
+      if (!tokens.ok()) return tokens.status();
+      parsed.plan = std::make_unique<PlanTree>(parsed.catalog.get());
+      SexprParser parser(tokens.value(), line_no, parsed.catalog.get(),
+                         parsed.plan.get());
+      auto root = parser.Parse();
+      if (!root.ok()) return root.status();
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: unknown keyword '%s' (expected 'relation' or 'plan')",
+          line_no, keyword.c_str()));
+    }
+  }
+  if (!saw_plan) {
+    return Status::InvalidArgument("missing plan line");
+  }
+  MRS_RETURN_IF_ERROR(parsed.plan->Finalize());
+  return parsed;
+}
+
+namespace {
+
+void WriteNode(const PlanTree& plan, int node_id, std::string* out) {
+  const PlanNode& node = plan.node(node_id);
+  switch (node.kind) {
+    case PlanNodeKind::kLeaf:
+      *out += plan.catalog().GetRelation(node.relation_id)->name;
+      return;
+    case PlanNodeKind::kJoin:
+      *out += "(join ";
+      WriteNode(plan, node.outer_child, out);
+      *out += " ";
+      WriteNode(plan, node.inner_child, out);
+      *out += ")";
+      return;
+    case PlanNodeKind::kSort:
+      *out += "(sort ";
+      WriteNode(plan, node.unary_child, out);
+      *out += ")";
+      return;
+    case PlanNodeKind::kAggregate:
+      *out += StrFormat("(agg %.6g ", node.group_fraction);
+      WriteNode(plan, node.unary_child, out);
+      *out += ")";
+      return;
+  }
+}
+
+}  // namespace
+
+Result<std::string> WritePlanText(const Catalog& catalog,
+                                  const PlanTree& plan) {
+  if (!plan.finalized()) {
+    return Status::FailedPrecondition("plan must be finalized");
+  }
+  std::string out;
+  for (const auto& r : catalog.relations()) {
+    out += StrFormat("relation %s %lld\n", r.name.c_str(),
+                     static_cast<long long>(r.num_tuples));
+  }
+  out += "plan ";
+  WriteNode(plan, plan.root(), &out);
+  out += "\n";
+  return out;
+}
+
+}  // namespace mrs

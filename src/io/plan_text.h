@@ -1,0 +1,43 @@
+#ifndef MRS_IO_PLAN_TEXT_H_
+#define MRS_IO_PLAN_TEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/plan_tree.h"
+
+namespace mrs {
+
+/// A parsed query description: catalog plus execution plan (heap-held so
+/// the PlanTree's catalog pointer survives moves).
+struct ParsedPlan {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<PlanTree> plan;
+};
+
+/// Parses the plan text format:
+///
+///   # relations first: name and tuple count
+///   relation customer 30000
+///   relation orders   90000
+///   relation nation   25
+///
+///   # then exactly one plan line; (join OUTER INNER) — INNER feeds the
+///   # hash build; leaves are relation names
+///   plan (join (join orders customer) nation)
+///
+/// Blank lines and '#' comments are ignored. Every relation must be
+/// declared before the plan line; each relation may be scanned at most
+/// once. Errors carry the offending line number.
+Result<ParsedPlan> ParsePlanText(const std::string& text);
+
+/// Renders a catalog and finalized plan back into the text format
+/// (ParsePlanText(WritePlanText(x)) reproduces x).
+Result<std::string> WritePlanText(const Catalog& catalog,
+                                  const PlanTree& plan);
+
+}  // namespace mrs
+
+#endif  // MRS_IO_PLAN_TEXT_H_

@@ -1,0 +1,28 @@
+#ifndef MRS_IO_SCHEDULE_EXPORT_H_
+#define MRS_IO_SCHEDULE_EXPORT_H_
+
+#include <string>
+
+#include "core/schedule.h"
+#include "core/tree_schedule.h"
+
+namespace mrs {
+
+/// Serializes one phase schedule as JSON:
+/// {"num_sites":P,"dims":d,"makespan":...,"sites":[{"site":j,"time":...,
+///  "load":[...],"clones":[{"op":...,"clone":...,"work":[...],
+///  "t_seq":...}]}]}
+std::string ScheduleToJson(const Schedule& schedule);
+
+/// Serializes a full phased result as JSON:
+/// {"response_time":...,"phases":[{"phase":k,"makespan":...,
+///  "schedule":{...}}]}
+std::string TreeScheduleToJson(const TreeScheduleResult& result);
+
+/// Per-site CSV (one row per site per phase):
+/// phase,site,site_time,load_cpu,load_...,num_clones
+std::string TreeScheduleToCsv(const TreeScheduleResult& result);
+
+}  // namespace mrs
+
+#endif  // MRS_IO_SCHEDULE_EXPORT_H_

@@ -1,0 +1,192 @@
+#include "plan/operator_tree.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+std::string_view OperatorKindToString(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kScan:
+      return "scan";
+    case OperatorKind::kBuild:
+      return "build";
+    case OperatorKind::kProbe:
+      return "probe";
+    case OperatorKind::kSortRun:
+      return "sort-run";
+    case OperatorKind::kSortMerge:
+      return "sort-merge";
+    case OperatorKind::kAggBuild:
+      return "agg-build";
+    case OperatorKind::kAggOutput:
+      return "agg-output";
+  }
+  return "?";
+}
+
+std::string PhysicalOp::ToString() const {
+  return StrFormat("op%d[%s plan=%d task=%d in=%lld out=%lld]", id,
+                   std::string(OperatorKindToString(kind)).c_str(), plan_node,
+                   task, static_cast<long long>(input_tuples),
+                   static_cast<long long>(output_tuples));
+}
+
+Result<OperatorTree> OperatorTree::FromPlan(const PlanTree& plan) {
+  if (!plan.finalized()) {
+    return Status::FailedPrecondition(
+        "operator tree requires a finalized plan tree");
+  }
+  OperatorTree tree;
+  tree.root_op_ = tree.Expand(plan, plan.root());
+  return tree;
+}
+
+int OperatorTree::Expand(const PlanTree& plan, int node_id) {
+  const PlanNode& node = plan.node(node_id);
+  switch (node.kind) {
+    case PlanNodeKind::kLeaf: {
+      PhysicalOp scan;
+      scan.id = static_cast<int>(ops_.size());
+      scan.kind = OperatorKind::kScan;
+      scan.plan_node = node_id;
+      scan.input_tuples = node.output.num_tuples;
+      scan.output_tuples = node.output.num_tuples;
+      scan.layout = node.output.layout;
+      ops_.push_back(scan);
+      return scan.id;
+    }
+    case PlanNodeKind::kJoin: {
+      // Children first so operator ids follow a bottom-up (post-order)
+      // numbering; the id order is not semantically meaningful.
+      const int inner_producer = Expand(plan, node.inner_child);
+      const int outer_producer = Expand(plan, node.outer_child);
+      const Relation& inner_out = plan.node(node.inner_child).output;
+      const Relation& outer_out = plan.node(node.outer_child).output;
+
+      PhysicalOp build;
+      build.id = static_cast<int>(ops_.size());
+      build.kind = OperatorKind::kBuild;
+      build.plan_node = node_id;
+      build.input_tuples = inner_out.num_tuples;
+      build.output_tuples = 0;  // hash table consumed locally by the probe
+      build.table_tuples = inner_out.num_tuples;
+      build.layout = inner_out.layout;
+      build.data_inputs.push_back(inner_producer);
+      ops_.push_back(build);
+      ops_[static_cast<size_t>(inner_producer)].consumer = build.id;
+
+      PhysicalOp probe;
+      probe.id = static_cast<int>(ops_.size());
+      probe.kind = OperatorKind::kProbe;
+      probe.plan_node = node_id;
+      probe.input_tuples = outer_out.num_tuples;
+      probe.output_tuples = node.output.num_tuples;
+      probe.layout = node.output.layout;
+      probe.data_inputs.push_back(outer_producer);
+      probe.blocking_input = build.id;
+      ops_.push_back(probe);
+      ops_[static_cast<size_t>(outer_producer)].consumer = probe.id;
+
+      return probe.id;
+    }
+    case PlanNodeKind::kSort: {
+      const int producer = Expand(plan, node.unary_child);
+      const Relation& in = plan.node(node.unary_child).output;
+
+      PhysicalOp run;
+      run.id = static_cast<int>(ops_.size());
+      run.kind = OperatorKind::kSortRun;
+      run.plan_node = node_id;
+      run.input_tuples = in.num_tuples;
+      run.output_tuples = 0;  // sorted runs stay on local disk
+      run.table_tuples = 0;   // disk-resident, not memory
+      run.layout = in.layout;
+      run.data_inputs.push_back(producer);
+      ops_.push_back(run);
+      ops_[static_cast<size_t>(producer)].consumer = run.id;
+
+      PhysicalOp merge;
+      merge.id = static_cast<int>(ops_.size());
+      merge.kind = OperatorKind::kSortMerge;
+      merge.plan_node = node_id;
+      merge.input_tuples = in.num_tuples;
+      merge.output_tuples = node.output.num_tuples;
+      merge.layout = node.output.layout;
+      merge.blocking_input = run.id;
+      ops_.push_back(merge);
+
+      return merge.id;
+    }
+    case PlanNodeKind::kAggregate: {
+      const int producer = Expand(plan, node.unary_child);
+      const Relation& in = plan.node(node.unary_child).output;
+
+      PhysicalOp accumulate;
+      accumulate.id = static_cast<int>(ops_.size());
+      accumulate.kind = OperatorKind::kAggBuild;
+      accumulate.plan_node = node_id;
+      accumulate.input_tuples = in.num_tuples;
+      accumulate.output_tuples = 0;  // group table consumed in place
+      accumulate.table_tuples = node.output.num_tuples;  // one per group
+      accumulate.layout = in.layout;
+      accumulate.data_inputs.push_back(producer);
+      ops_.push_back(accumulate);
+      ops_[static_cast<size_t>(producer)].consumer = accumulate.id;
+
+      PhysicalOp emit;
+      emit.id = static_cast<int>(ops_.size());
+      emit.kind = OperatorKind::kAggOutput;
+      emit.plan_node = node_id;
+      emit.input_tuples = node.output.num_tuples;  // reads the group table
+      emit.output_tuples = node.output.num_tuples;
+      emit.layout = node.output.layout;
+      emit.blocking_input = accumulate.id;
+      ops_.push_back(emit);
+
+      return emit.id;
+    }
+  }
+  MRS_CHECK(false) << "unreachable plan node kind";
+  return -1;
+}
+
+const PhysicalOp& OperatorTree::op(int id) const {
+  MRS_CHECK(id >= 0 && id < num_ops()) << "op " << id << " out of range";
+  return ops_[static_cast<size_t>(id)];
+}
+
+PhysicalOp& OperatorTree::mutable_op(int id) {
+  MRS_CHECK(id >= 0 && id < num_ops()) << "op " << id << " out of range";
+  return ops_[static_cast<size_t>(id)];
+}
+
+std::vector<int> OperatorTree::OpsOfKind(OperatorKind kind) const {
+  std::vector<int> out;
+  for (const auto& o : ops_) {
+    if (o.kind == kind) out.push_back(o.id);
+  }
+  return out;
+}
+
+Result<int> OperatorTree::BuildForProbe(int probe_id) const {
+  if (probe_id < 0 || probe_id >= num_ops()) {
+    return Status::OutOfRange(StrFormat("op %d out of range", probe_id));
+  }
+  const PhysicalOp& probe = ops_[static_cast<size_t>(probe_id)];
+  if (probe.kind != OperatorKind::kProbe) {
+    return Status::InvalidArgument(
+        StrFormat("op %d is not a probe", probe_id));
+  }
+  return probe.blocking_input;
+}
+
+std::string OperatorTree::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(ops_.size());
+  for (const auto& o : ops_) lines.push_back("  " + o.ToString());
+  return StrFormat("OperatorTree(%d ops, root=op%d):\n", num_ops(), root_op_) +
+         StrJoin(lines, "\n");
+}
+
+}  // namespace mrs

@@ -1,0 +1,121 @@
+#ifndef MRS_PLAN_OPERATOR_TREE_H_
+#define MRS_PLAN_OPERATOR_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "plan/plan_tree.h"
+
+namespace mrs {
+
+/// Physical operator kinds produced by macro-expanding a plan (paper
+/// Figure 1(b)): table scans, the build/probe halves of each hash join,
+/// and the two halves of each blocking unary operator — an external
+/// sort's run-generation/merge phases and a hash aggregate's
+/// accumulate/emit phases. Each blocking pair mirrors build/probe: the
+/// first half materializes site-local state (hash table, sorted runs,
+/// group table) that the second half consumes in place.
+enum class OperatorKind {
+  kScan,
+  kBuild,
+  kProbe,
+  kSortRun,    ///< consume input, write sorted runs (local)
+  kSortMerge,  ///< merge runs, emit sorted stream (rooted at kSortRun)
+  kAggBuild,   ///< consume input into the group hash table (local)
+  kAggOutput,  ///< emit one tuple per group (rooted at kAggBuild)
+};
+
+std::string_view OperatorKindToString(OperatorKind kind);
+
+/// A node of the physical operator tree. Edges are split into *pipelined*
+/// data edges (producer streams tuples to consumer; thin edges in the
+/// paper's Figure 1) and the *blocking* edge from a join's build to its
+/// probe (thick edges: probing may only start once the hash table is
+/// complete).
+struct PhysicalOp {
+  int id = -1;
+  OperatorKind kind = OperatorKind::kScan;
+
+  /// Originating plan node.
+  int plan_node = -1;
+
+  /// Query task (pipeline) this operator belongs to; filled by TaskTree.
+  int task = -1;
+
+  /// Tuples streaming in over the data input(s): the scanned relation for
+  /// scans, the inner input for builds, the outer input for probes.
+  int64_t input_tuples = 0;
+
+  /// Tuples this operator emits downstream (0 for builds: the hash table
+  /// stays site-local and is consumed through the blocking edge).
+  int64_t output_tuples = 0;
+
+  TupleLayout layout;
+
+  /// Producer ops feeding this op through pipelined data edges.
+  std::vector<int> data_inputs;
+
+  /// The op this one blocks on (probe -> build, sort merge -> sort run,
+  /// aggregate output -> aggregate build). -1 when this op only has
+  /// pipelined inputs. An op with a blocking input executes at the home
+  /// of that producer (its materialized state is site-local).
+  int blocking_input = -1;
+
+  /// Tuples of site-local *memory-resident* state this operator
+  /// materializes (hash/group tables; 0 for operators that spill to disk
+  /// or keep no state). Consumed by the memory-aware scheduler.
+  int64_t table_tuples = 0;
+
+  /// The op consuming our output through a pipelined edge; -1 for the plan
+  /// root and for builds.
+  int consumer = -1;
+
+  int64_t input_bytes() const { return input_tuples * layout.tuple_bytes; }
+  int64_t output_bytes() const { return output_tuples * layout.tuple_bytes; }
+
+  std::string ToString() const;
+};
+
+/// The operator tree: the macro-expansion of a finalized PlanTree. A
+/// J-join plan over J+1 base relations expands to exactly 3J+1 operators
+/// (J builds, J probes, J+1 scans); each unary sort/aggregate adds two
+/// more (its blocking halves).
+class OperatorTree {
+ public:
+  /// An empty tree; assign from FromPlan before use.
+  OperatorTree() = default;
+
+  /// Expands `plan`; fails if the plan is not finalized.
+  static Result<OperatorTree> FromPlan(const PlanTree& plan);
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const PhysicalOp& op(int id) const;
+  PhysicalOp& mutable_op(int id);
+  const std::vector<PhysicalOp>& ops() const { return ops_; }
+
+  /// The operator producing the final query result (the root join's probe,
+  /// or the single scan of a join-free plan).
+  int root_op() const { return root_op_; }
+
+  /// Ids of all ops of a given kind.
+  std::vector<int> OpsOfKind(OperatorKind kind) const;
+
+  /// For a probe op, the id of its matching build; error otherwise.
+  Result<int> BuildForProbe(int probe_id) const;
+
+  std::string ToString() const;
+
+ private:
+  // Returns the id of the op producing the output of plan node `node`.
+  int Expand(const PlanTree& plan, int node);
+
+  std::vector<PhysicalOp> ops_;
+  int root_op_ = -1;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_PLAN_OPERATOR_TREE_H_

@@ -1,0 +1,105 @@
+#include "plan/plan_printer.h"
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+void RenderPlanNode(const PlanTree& plan, int id, int depth,
+                    std::string* out) {
+  const PlanNode& n = plan.node(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (n.kind) {
+    case PlanNodeKind::kLeaf:
+      *out += StrFormat("scan R%d  (|out|=%lld)\n", n.relation_id,
+                        static_cast<long long>(n.output.num_tuples));
+      return;
+    case PlanNodeKind::kJoin:
+      *out += StrFormat("join #%d  (|out|=%lld)\n", n.id,
+                        static_cast<long long>(n.output.num_tuples));
+      RenderPlanNode(plan, n.outer_child, depth + 1, out);
+      RenderPlanNode(plan, n.inner_child, depth + 1, out);
+      return;
+    case PlanNodeKind::kSort:
+    case PlanNodeKind::kAggregate:
+      *out += StrFormat("%s #%d  (|out|=%lld)\n",
+                        std::string(PlanNodeKindToString(n.kind)).c_str(),
+                        n.id, static_cast<long long>(n.output.num_tuples));
+      RenderPlanNode(plan, n.unary_child, depth + 1, out);
+      return;
+  }
+}
+
+void RenderOpNode(const OperatorTree& ops, int id, int depth,
+                  const char* edge, std::string* out) {
+  const PhysicalOp& o = ops.op(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += StrFormat("%sop%d %s (in=%lld out=%lld task=%d)\n", edge, o.id,
+                    std::string(OperatorKindToString(o.kind)).c_str(),
+                    static_cast<long long>(o.input_tuples),
+                    static_cast<long long>(o.output_tuples), o.task);
+  if (o.blocking_input >= 0) {
+    RenderOpNode(ops, o.blocking_input, depth + 1, "=> ", out);
+  }
+  for (int in : o.data_inputs) {
+    RenderOpNode(ops, in, depth + 1, "~> ", out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlanTree(const PlanTree& plan) {
+  std::string out;
+  if (!plan.finalized()) return "PlanTree(unfinalized)\n";
+  RenderPlanNode(plan, plan.root(), 0, &out);
+  return out;
+}
+
+std::string RenderOperatorTree(const OperatorTree& ops) {
+  std::string out;
+  RenderOpNode(ops, ops.root_op(), 0, "", &out);
+  return out;
+}
+
+std::string OperatorTreeToDot(const OperatorTree& ops) {
+  std::string out = "digraph operator_tree {\n  rankdir=BT;\n";
+  for (const auto& o : ops.ops()) {
+    out += StrFormat(
+        "  op%d [label=\"op%d\\n%s\\nout=%lld\"];\n", o.id, o.id,
+        std::string(OperatorKindToString(o.kind)).c_str(),
+        static_cast<long long>(o.output_tuples));
+  }
+  for (const auto& o : ops.ops()) {
+    for (int in : o.data_inputs) {
+      out += StrFormat("  op%d -> op%d;\n", in, o.id);
+    }
+    if (o.blocking_input >= 0) {
+      out += StrFormat("  op%d -> op%d [style=bold, color=red];\n",
+                       o.blocking_input, o.id);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderPhases(const TaskTree& tasks, const OperatorTree& ops) {
+  std::string out;
+  for (int k = 0; k < tasks.num_phases(); ++k) {
+    out += StrFormat("phase %d:\n", k);
+    for (int tid : tasks.phase(k)) {
+      const QueryTask& t = tasks.task(tid);
+      std::vector<std::string> parts;
+      parts.reserve(t.ops.size());
+      for (int oid : t.ops) {
+        parts.push_back(StrFormat(
+            "op%d(%s)", oid,
+            std::string(OperatorKindToString(ops.op(oid).kind)).c_str()));
+      }
+      out += StrFormat("  T%d: %s\n", tid, StrJoin(parts, " ").c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,27 @@
+#ifndef MRS_PLAN_PLAN_PRINTER_H_
+#define MRS_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/operator_tree.h"
+#include "plan/plan_tree.h"
+#include "plan/task_tree.h"
+
+namespace mrs {
+
+/// Multi-line ASCII rendering of a plan tree (indentation = depth).
+std::string RenderPlanTree(const PlanTree& plan);
+
+/// Multi-line ASCII rendering of an operator tree with edge kinds
+/// annotated ("~>" pipelined, "=>" blocking).
+std::string RenderOperatorTree(const OperatorTree& ops);
+
+/// Graphviz dot output for the operator tree; blocking edges drawn bold.
+std::string OperatorTreeToDot(const OperatorTree& ops);
+
+/// Phase-by-phase listing of a task tree.
+std::string RenderPhases(const TaskTree& tasks, const OperatorTree& ops);
+
+}  // namespace mrs
+
+#endif  // MRS_PLAN_PLAN_PRINTER_H_

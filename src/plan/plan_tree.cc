@@ -1,0 +1,217 @@
+#include "plan/plan_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+std::string_view PlanNodeKindToString(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kLeaf:
+      return "leaf";
+    case PlanNodeKind::kJoin:
+      return "join";
+    case PlanNodeKind::kSort:
+      return "sort";
+    case PlanNodeKind::kAggregate:
+      return "aggregate";
+  }
+  return "?";
+}
+
+PlanTree::PlanTree(const Catalog* catalog) : catalog_(catalog) {
+  MRS_CHECK(catalog != nullptr) << "PlanTree requires a catalog";
+}
+
+Result<int> PlanTree::AddLeaf(int relation_id) {
+  if (finalized_) {
+    return Status::FailedPrecondition("plan tree already finalized");
+  }
+  auto rel = catalog_->GetRelation(relation_id);
+  if (!rel.ok()) return rel.status();
+  PlanNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = PlanNodeKind::kLeaf;
+  node.is_leaf = true;
+  node.relation_id = relation_id;
+  node.output = rel.value();
+  nodes_.push_back(node);
+  consumed_.push_back(false);
+  return node.id;
+}
+
+Status PlanTree::ConsumeChild(int child) {
+  if (child < 0 || child >= num_nodes()) {
+    return Status::OutOfRange(StrFormat("child node %d out of range", child));
+  }
+  if (consumed_[static_cast<size_t>(child)]) {
+    return Status::InvalidArgument(
+        StrFormat("node %d already consumed by another operator", child));
+  }
+  consumed_[static_cast<size_t>(child)] = true;
+  return Status::OK();
+}
+
+Result<int> PlanTree::AddJoin(int outer, int inner) {
+  if (finalized_) {
+    return Status::FailedPrecondition("plan tree already finalized");
+  }
+  if (outer == inner) {
+    return Status::InvalidArgument("join children must be distinct nodes");
+  }
+  // Validate both before consuming either, so failures leave no state.
+  for (int child : {outer, inner}) {
+    if (child < 0 || child >= num_nodes()) {
+      return Status::OutOfRange(StrFormat("child node %d out of range", child));
+    }
+    if (consumed_[static_cast<size_t>(child)]) {
+      return Status::InvalidArgument(
+          StrFormat("node %d already consumed by another operator", child));
+    }
+  }
+  MRS_RETURN_IF_ERROR(ConsumeChild(outer));
+  MRS_RETURN_IF_ERROR(ConsumeChild(inner));
+  PlanNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = PlanNodeKind::kJoin;
+  node.outer_child = outer;
+  node.inner_child = inner;
+  const Relation& l = nodes_[static_cast<size_t>(outer)].output;
+  const Relation& r = nodes_[static_cast<size_t>(inner)].output;
+  node.output.name = StrFormat("J%d", num_joins_);
+  node.output.num_tuples = KeyJoinResultTuples(l.num_tuples, r.num_tuples);
+  node.output.layout = l.layout;
+  nodes_.push_back(node);
+  consumed_.push_back(false);
+  ++num_joins_;
+  return node.id;
+}
+
+Result<int> PlanTree::AddSort(int child) {
+  if (finalized_) {
+    return Status::FailedPrecondition("plan tree already finalized");
+  }
+  MRS_RETURN_IF_ERROR(ConsumeChild(child));
+  PlanNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = PlanNodeKind::kSort;
+  node.unary_child = child;
+  node.output = nodes_[static_cast<size_t>(child)].output;
+  node.output.name = StrFormat("S%d", node.id);
+  nodes_.push_back(node);
+  consumed_.push_back(false);
+  ++num_unary_;
+  return node.id;
+}
+
+Result<int> PlanTree::AddAggregate(int child, double group_fraction) {
+  if (finalized_) {
+    return Status::FailedPrecondition("plan tree already finalized");
+  }
+  if (!(group_fraction > 0.0) || group_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("group_fraction %.3f outside (0, 1]", group_fraction));
+  }
+  MRS_RETURN_IF_ERROR(ConsumeChild(child));
+  PlanNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = PlanNodeKind::kAggregate;
+  node.unary_child = child;
+  node.group_fraction = group_fraction;
+  const Relation& in = nodes_[static_cast<size_t>(child)].output;
+  node.output = in;
+  node.output.name = StrFormat("G%d", node.id);
+  node.output.num_tuples = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(static_cast<double>(in.num_tuples) * group_fraction)));
+  nodes_.push_back(node);
+  consumed_.push_back(false);
+  ++num_unary_;
+  return node.id;
+}
+
+Status PlanTree::Finalize() {
+  if (finalized_) return Status::OK();
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("plan tree has no nodes");
+  }
+  int root = -1;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!consumed_[static_cast<size_t>(i)]) {
+      if (root != -1) {
+        return Status::FailedPrecondition(
+            StrFormat("plan tree has multiple roots (%d and %d)", root, i));
+      }
+      root = i;
+    }
+  }
+  MRS_CHECK(root != -1) << "cyclic plan tree should be impossible";
+  root_ = root;
+  finalized_ = true;
+  return Status::OK();
+}
+
+const PlanNode& PlanTree::node(int id) const {
+  MRS_CHECK(id >= 0 && id < num_nodes()) << "plan node " << id << " out of range";
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int PlanTree::HeightBelow(int id) const {
+  const PlanNode& n = node(id);
+  switch (n.kind) {
+    case PlanNodeKind::kLeaf:
+      return 0;
+    case PlanNodeKind::kJoin:
+      return 1 + std::max(HeightBelow(n.outer_child),
+                          HeightBelow(n.inner_child));
+    case PlanNodeKind::kSort:
+    case PlanNodeKind::kAggregate:
+      return 1 + HeightBelow(n.unary_child);
+  }
+  return 0;
+}
+
+int PlanTree::Height() const {
+  MRS_CHECK(finalized_) << "Height() requires a finalized tree";
+  return HeightBelow(root_);
+}
+
+namespace {
+void Render(const PlanTree& tree, int id, std::string* out) {
+  const PlanNode& n = tree.node(id);
+  switch (n.kind) {
+    case PlanNodeKind::kLeaf:
+      *out += StrFormat("R%d", n.relation_id);
+      return;
+    case PlanNodeKind::kJoin:
+      *out += "(";
+      Render(tree, n.outer_child, out);
+      *out += " JOIN ";
+      Render(tree, n.inner_child, out);
+      *out += ")";
+      return;
+    case PlanNodeKind::kSort:
+      *out += "SORT(";
+      Render(tree, n.unary_child, out);
+      *out += ")";
+      return;
+    case PlanNodeKind::kAggregate:
+      *out += "AGG(";
+      Render(tree, n.unary_child, out);
+      *out += ")";
+      return;
+  }
+}
+}  // namespace
+
+std::string PlanTree::ToString() const {
+  if (!finalized_) return "PlanTree(unfinalized)";
+  std::string out;
+  Render(*this, root_, &out);
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,110 @@
+#ifndef MRS_PLAN_PLAN_TREE_H_
+#define MRS_PLAN_PLAN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/relation.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mrs {
+
+/// Logical kinds of plan-tree nodes. Joins are hash joins; kSort is an
+/// order-by / merge-feeding external sort; kAggregate is a hash-based
+/// group-by. Sorts and aggregates are *blocking* unary operators: their
+/// output stream starts only after the input is fully consumed.
+enum class PlanNodeKind { kLeaf, kJoin, kSort, kAggregate };
+
+std::string_view PlanNodeKindToString(PlanNodeKind kind);
+
+/// A node of a bushy execution plan tree: a base-relation leaf, a binary
+/// hash join, or a blocking unary operator (sort / aggregate). By
+/// convention a join's *inner* child feeds the hash build and its *outer*
+/// child feeds the probe.
+struct PlanNode {
+  int id = -1;
+  PlanNodeKind kind = PlanNodeKind::kLeaf;
+
+  bool is_leaf = false;  ///< kind == kLeaf (kept for ergonomic checks)
+
+  /// Leaf only: Catalog id of the scanned base relation.
+  int relation_id = -1;
+
+  /// Join only: child plan-node ids.
+  int outer_child = -1;  ///< probe input
+  int inner_child = -1;  ///< build input
+
+  /// Unary operators only: the input plan node.
+  int unary_child = -1;
+
+  /// Aggregates only: |groups| / |input|.
+  double group_fraction = 1.0;
+
+  /// Cardinality and layout of this node's output stream.
+  Relation output;
+};
+
+/// A bushy execution plan tree (paper Figure 1(a)). Built bottom-up with
+/// AddLeaf/AddJoin; every node except the root must be consumed by exactly
+/// one join. Join output cardinalities follow the key-join rule of §6.1.
+class PlanTree {
+ public:
+  explicit PlanTree(const Catalog* catalog);
+
+  /// Adds a leaf scanning `relation_id`; returns the new node id.
+  Result<int> AddLeaf(int relation_id);
+
+  /// Adds a hash join of two existing, not-yet-consumed nodes; returns the
+  /// new node id. `outer` feeds the probe, `inner` feeds the build.
+  Result<int> AddJoin(int outer, int inner);
+
+  /// Adds a blocking sort on top of `child` (same output cardinality).
+  Result<int> AddSort(int child);
+
+  /// Adds a hash group-by on top of `child`; the output has
+  /// ceil(|child| * group_fraction) tuples. Requires 0 < group_fraction
+  /// <= 1.
+  Result<int> AddAggregate(int child, double group_fraction = 0.1);
+
+  /// Verifies the tree is complete: exactly one unconsumed node (the root)
+  /// and at least one node. Must be called (and succeed) before the tree
+  /// is handed to the operator-tree expansion.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_joins() const { return num_joins_; }
+  int num_leaves() const { return num_nodes() - num_joins_; }
+  const PlanNode& node(int id) const;
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Depth of the deepest node (a single leaf has height 0).
+  int Height() const;
+
+  /// Number of unary (sort/aggregate) nodes.
+  int num_unary() const { return num_unary_; }
+
+  /// Nested-parenthesis rendering, e.g. "((R0 ⋈ R1) ⋈ R2)".
+  std::string ToString() const;
+
+ private:
+  int HeightBelow(int id) const;
+  /// Checks a prospective child is a valid, unconsumed node; marks it
+  /// consumed on success.
+  Status ConsumeChild(int child);
+
+  const Catalog* catalog_;
+  std::vector<PlanNode> nodes_;
+  std::vector<bool> consumed_;
+  int num_joins_ = 0;
+  int num_unary_ = 0;
+  int root_ = -1;
+  bool finalized_ = false;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_PLAN_PLAN_TREE_H_

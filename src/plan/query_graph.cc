@@ -1,0 +1,103 @@
+#include "plan/query_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+QueryGraph::QueryGraph(int num_relations)
+    : num_relations_(std::max(num_relations, 0)),
+      incident_(static_cast<size_t>(num_relations_)) {}
+
+Status QueryGraph::AddJoin(int left_relation, int right_relation) {
+  if (left_relation < 0 || left_relation >= num_relations_ ||
+      right_relation < 0 || right_relation >= num_relations_) {
+    return Status::OutOfRange(
+        StrFormat("join edge (%d, %d) out of range [0, %d)", left_relation,
+                  right_relation, num_relations_));
+  }
+  if (left_relation == right_relation) {
+    return Status::InvalidArgument(
+        StrFormat("self join on relation %d", left_relation));
+  }
+  for (const auto& e : edges_) {
+    if ((e.left_relation == left_relation &&
+         e.right_relation == right_relation) ||
+        (e.left_relation == right_relation &&
+         e.right_relation == left_relation)) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate join edge (%d, %d)", left_relation,
+                    right_relation));
+    }
+  }
+  const int edge_id = static_cast<int>(edges_.size());
+  edges_.push_back({left_relation, right_relation});
+  incident_[static_cast<size_t>(left_relation)].push_back(edge_id);
+  incident_[static_cast<size_t>(right_relation)].push_back(edge_id);
+  return Status::OK();
+}
+
+const std::vector<int>& QueryGraph::IncidentEdges(int relation) const {
+  MRS_CHECK(relation >= 0 && relation < num_relations_)
+      << "relation " << relation << " out of range";
+  return incident_[static_cast<size_t>(relation)];
+}
+
+bool QueryGraph::IsConnected() const {
+  if (num_relations_ == 0) return true;
+  std::vector<bool> seen(static_cast<size_t>(num_relations_), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int e : incident_[static_cast<size_t>(v)]) {
+      const auto& edge = edges_[static_cast<size_t>(e)];
+      const int u =
+          edge.left_relation == v ? edge.right_relation : edge.left_relation;
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = true;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == num_relations_;
+}
+
+bool QueryGraph::IsAcyclic() const {
+  // Union-find: a cycle exists iff some edge joins two vertices already in
+  // the same component.
+  std::vector<int> parent(static_cast<size_t>(num_relations_));
+  for (int i = 0; i < num_relations_; ++i) parent[static_cast<size_t>(i)] = i;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& e : edges_) {
+    const int a = find(e.left_relation);
+    const int b = find(e.right_relation);
+    if (a == b) return false;
+    parent[static_cast<size_t>(a)] = b;
+  }
+  return true;
+}
+
+std::string QueryGraph::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    parts.push_back(StrFormat("R%d-R%d", e.left_relation, e.right_relation));
+  }
+  return StrFormat("QueryGraph(%d relations, %d joins: %s)", num_relations_,
+                   num_joins(), StrJoin(parts, " ").c_str());
+}
+
+}  // namespace mrs

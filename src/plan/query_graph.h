@@ -1,0 +1,61 @@
+#ifndef MRS_PLAN_QUERY_GRAPH_H_
+#define MRS_PLAN_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mrs {
+
+/// An undirected join edge between two relations (referenced by their
+/// Catalog ids). The experiments use key joins, so no selectivity is
+/// attached: result sizing follows KeyJoinResultTuples.
+struct JoinEdge {
+  int left_relation = -1;
+  int right_relation = -1;
+};
+
+/// The join graph of a query: vertices are relations, edges are join
+/// predicates. The paper's experiments use *tree* queries (acyclic,
+/// connected: J joins over J+1 relations); the class supports general
+/// graphs but provides acyclicity/connectivity validation for the tree
+/// workloads.
+class QueryGraph {
+ public:
+  /// `num_relations` vertices, no edges.
+  explicit QueryGraph(int num_relations);
+
+  /// Adds an undirected join edge; fails on out-of-range vertices, self
+  /// joins, and duplicate edges.
+  Status AddJoin(int left_relation, int right_relation);
+
+  int num_relations() const { return num_relations_; }
+  int num_joins() const { return static_cast<int>(edges_.size()); }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Edge ids incident to `relation`.
+  const std::vector<int>& IncidentEdges(int relation) const;
+
+  /// True iff every relation is reachable from relation 0 (or the graph is
+  /// empty).
+  bool IsConnected() const;
+
+  /// True iff the graph contains no cycle.
+  bool IsAcyclic() const;
+
+  /// Tree query = connected and acyclic (J edges over J+1 vertices).
+  bool IsTree() const { return IsConnected() && IsAcyclic(); }
+
+  std::string ToString() const;
+
+ private:
+  int num_relations_;
+  std::vector<JoinEdge> edges_;
+  std::vector<std::vector<int>> incident_;  // relation -> edge ids
+};
+
+}  // namespace mrs
+
+#endif  // MRS_PLAN_QUERY_GRAPH_H_

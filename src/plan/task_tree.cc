@@ -1,0 +1,141 @@
+#include "plan/task_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+Result<TaskTree> TaskTree::FromOperatorTree(OperatorTree* op_tree) {
+  if (op_tree == nullptr || op_tree->num_ops() == 0) {
+    return Status::InvalidArgument("task tree requires a non-empty operator tree");
+  }
+  const int n = op_tree->num_ops();
+
+  // Union-find over pipelined (data) edges.
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<size_t>(a)] = b;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int in : op_tree->op(i).data_inputs) unite(i, in);
+  }
+
+  // Dense task ids per component.
+  TaskTree tree;
+  std::vector<int> comp_to_task(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const int c = find(i);
+    if (comp_to_task[static_cast<size_t>(c)] == -1) {
+      comp_to_task[static_cast<size_t>(c)] =
+          static_cast<int>(tree.tasks_.size());
+      QueryTask t;
+      t.id = comp_to_task[static_cast<size_t>(c)];
+      tree.tasks_.push_back(t);
+    }
+    const int tid = comp_to_task[static_cast<size_t>(c)];
+    tree.tasks_[static_cast<size_t>(tid)].ops.push_back(i);
+    op_tree->mutable_op(i).task = tid;
+  }
+
+  // Blocking edges (build -> probe, sort run -> merge, agg accumulate ->
+  // emit) define the task tree: the consumer's task is the parent of the
+  // producer's task.
+  for (int i = 0; i < n; ++i) {
+    const PhysicalOp& o = op_tree->op(i);
+    if (o.blocking_input < 0) continue;
+    const int build = o.blocking_input;
+    const int child_task = op_tree->op(build).task;
+    const int parent_task = o.task;
+    MRS_CHECK(child_task != parent_task)
+        << "blocking edge inside a single task: operator tree is malformed";
+    QueryTask& child = tree.tasks_[static_cast<size_t>(child_task)];
+    if (child.parent != -1 && child.parent != parent_task) {
+      return Status::Internal(
+          StrFormat("task %d has two parents (%d and %d)", child_task,
+                    child.parent, parent_task));
+    }
+    if (child.parent == -1) {
+      child.parent = parent_task;
+      tree.tasks_[static_cast<size_t>(parent_task)].children.push_back(
+          child_task);
+    }
+  }
+
+  // Root and depths.
+  tree.root_task_ = op_tree->op(op_tree->root_op()).task;
+  MRS_CHECK(tree.tasks_[static_cast<size_t>(tree.root_task_)].parent == -1)
+      << "root task must not have a parent";
+  // BFS from root; also verifies every task is reachable (tree-ness).
+  std::vector<int> order = {tree.root_task_};
+  tree.tasks_[static_cast<size_t>(tree.root_task_)].depth = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const QueryTask& t = tree.tasks_[static_cast<size_t>(order[k])];
+    for (int c : t.children) {
+      tree.tasks_[static_cast<size_t>(c)].depth = t.depth + 1;
+      order.push_back(c);
+    }
+  }
+  if (order.size() != tree.tasks_.size()) {
+    return Status::Internal("task graph is not a tree (unreachable tasks)");
+  }
+
+  tree.height_ = 0;
+  for (const auto& t : tree.tasks_) tree.height_ = std::max(tree.height_, t.depth);
+
+  // Phase k executes tasks at depth (height - k): deepest tasks first, the
+  // root task last. This is the ALAP placement: each task runs in the phase
+  // closest to the root that still precedes its parent.
+  tree.phases_.assign(static_cast<size_t>(tree.height_ + 1), {});
+  for (const auto& t : tree.tasks_) {
+    tree.phases_[static_cast<size_t>(tree.height_ - t.depth)].push_back(t.id);
+  }
+  return tree;
+}
+
+const QueryTask& TaskTree::task(int id) const {
+  MRS_CHECK(id >= 0 && id < num_tasks()) << "task " << id << " out of range";
+  return tasks_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& TaskTree::phase(int k) const {
+  MRS_CHECK(k >= 0 && k < num_phases()) << "phase " << k << " out of range";
+  return phases_[static_cast<size_t>(k)];
+}
+
+std::vector<int> TaskTree::PhaseOps(int k) const {
+  std::vector<int> out;
+  for (int tid : phase(k)) {
+    const QueryTask& t = task(tid);
+    out.insert(out.end(), t.ops.begin(), t.ops.end());
+  }
+  return out;
+}
+
+std::string TaskTree::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& t : tasks_) {
+    std::vector<std::string> ops;
+    ops.reserve(t.ops.size());
+    for (int o : t.ops) ops.push_back(StrFormat("op%d", o));
+    lines.push_back(StrFormat("  T%d(depth=%d, parent=%d): %s", t.id, t.depth,
+                              t.parent, StrJoin(ops, " ").c_str()));
+  }
+  return StrFormat("TaskTree(%d tasks, height=%d, root=T%d):\n", num_tasks(),
+                   height_, root_task_) +
+         StrJoin(lines, "\n");
+}
+
+}  // namespace mrs

@@ -1,0 +1,71 @@
+#ifndef MRS_PLAN_TASK_TREE_H_
+#define MRS_PLAN_TASK_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "plan/operator_tree.h"
+
+namespace mrs {
+
+/// A query task (paper §3.1): a maximal subgraph of the operator tree
+/// connected by pipelining edges only — i.e. one operator pipeline whose
+/// operators execute concurrently.
+struct QueryTask {
+  int id = -1;
+  /// Operator ids in this pipeline.
+  std::vector<int> ops;
+  /// Parent task (the task containing the consumer across our terminating
+  /// blocking edge); -1 for the root task.
+  int parent = -1;
+  std::vector<int> children;
+  /// Distance from the root task (root = 0). Tasks are executed in phases
+  /// of decreasing depth (ALAP / MinShelf, paper §5.4).
+  int depth = 0;
+};
+
+/// The query task tree (paper Figure 1(c)): tasks as nodes, blocking
+/// edges between them. Provides the synchronized-phase (shelf)
+/// decomposition used by TREESCHEDULE: phase k contains all tasks at depth
+/// height - k, so each task runs in the phase closest to the root that
+/// respects the blocking constraints (the MinShelf policy of Tan and Lu).
+class TaskTree {
+ public:
+  /// An empty tree; assign from FromOperatorTree before use.
+  TaskTree() = default;
+
+  /// Groups `ops` into tasks via pipelined-edge connectivity and links
+  /// tasks through blocking edges. Also back-fills PhysicalOp::task in
+  /// `ops` (hence the mutable pointer).
+  static Result<TaskTree> FromOperatorTree(OperatorTree* ops);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const QueryTask& task(int id) const;
+  const std::vector<QueryTask>& tasks() const { return tasks_; }
+  int root_task() const { return root_task_; }
+
+  /// Height of the task tree = number of phases - 1. A single-task tree
+  /// has height 0 (one phase).
+  int height() const { return height_; }
+  int num_phases() const { return height_ + 1; }
+
+  /// Phase k (k = 0 first) -> task ids executed in that phase.
+  const std::vector<int>& phase(int k) const;
+
+  /// All operator ids executed in phase k, across its tasks.
+  std::vector<int> PhaseOps(int k) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryTask> tasks_;
+  std::vector<std::vector<int>> phases_;
+  int root_task_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_PLAN_TASK_TREE_H_

@@ -1,0 +1,40 @@
+#include "resource/machine.h"
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+MachineConfig MachineConfig::WithDisks(int num_sites, int num_disks) {
+  MachineConfig config;
+  config.num_sites = num_sites;
+  config.dims = 2 + num_disks;
+  config.resource_names = {"cpu", "disk0", "net"};
+  for (int i = 1; i < num_disks; ++i) {
+    config.resource_names.push_back(StrFormat("disk%d", i));
+  }
+  return config;
+}
+
+Status MachineConfig::Validate() {
+  if (num_sites < 1) {
+    return Status::InvalidArgument(
+        StrFormat("MachineConfig.num_sites must be >= 1, got %d", num_sites));
+  }
+  if (dims < 1) {
+    return Status::InvalidArgument(
+        StrFormat("MachineConfig.dims must be >= 1, got %d", dims));
+  }
+  while (resource_names.size() < static_cast<size_t>(dims)) {
+    resource_names.push_back(StrFormat("r%zu", resource_names.size()));
+  }
+  resource_names.resize(static_cast<size_t>(dims));
+  return Status::OK();
+}
+
+std::string MachineConfig::ToString() const {
+  std::vector<std::string> names(resource_names.begin(), resource_names.end());
+  return StrFormat("P=%d sites x d=%d (%s)", num_sites, dims,
+                   StrJoin(names, ",").c_str());
+}
+
+}  // namespace mrs

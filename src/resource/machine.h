@@ -1,0 +1,51 @@
+#ifndef MRS_RESOURCE_MACHINE_H_
+#define MRS_RESOURCE_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// Indices of the three resource dimensions used by the experimental
+/// configuration (one CPU, one disk unit, one network interface per site,
+/// paper §6.1). The library itself is generic in the dimensionality d; these
+/// constants only name the default layout produced by the cost model.
+inline constexpr size_t kCpuDim = 0;
+inline constexpr size_t kDiskDim = 1;
+inline constexpr size_t kNetDim = 2;
+inline constexpr size_t kDefaultDims = 3;
+
+/// Static description of the shared-nothing machine: P identical
+/// multiprogrammed sites, each a collection of `dims` time-shareable
+/// (preemptable) resources. Memory is intentionally absent (assumption A1:
+/// it is not preemptable and the paper leaves it open).
+///
+/// Multi-disk sites (the paper's §4.1 example: "dimensions 1, 2, 3, and 4
+/// may correspond to CPU, disk-1, disk-2, and network interface") keep the
+/// canonical cpu/disk/net layout for dimensions 0-2 and append the extra
+/// disks as dimensions 3, 4, ...; use WithDisks.
+struct MachineConfig {
+  /// Number of sites P.
+  int num_sites = 16;
+  /// Resources per site d.
+  int dims = static_cast<int>(kDefaultDims);
+  /// Optional resource names, used in reports; resized to `dims`.
+  std::vector<std::string> resource_names = {"cpu", "disk", "net"};
+
+  /// A machine whose sites have one CPU, `num_disks` disks, and one
+  /// network interface (dims = 2 + num_disks). Requires num_disks >= 1.
+  static MachineConfig WithDisks(int num_sites, int num_disks);
+
+  /// Checks num_sites >= 1 and dims >= 1, and pads/truncates
+  /// `resource_names` to exactly `dims` entries.
+  Status Validate();
+
+  /// A one-line summary, e.g. "P=80 sites x d=3 (cpu,disk,net)".
+  std::string ToString() const;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_RESOURCE_MACHINE_H_

@@ -1,0 +1,27 @@
+#include "resource/usage_model.h"
+
+#include <algorithm>
+
+namespace mrs {
+
+OverlapUsageModel::OverlapUsageModel(double epsilon)
+    : epsilon_(std::clamp(epsilon, 0.0, 1.0)) {}
+
+double OverlapUsageModel::SequentialTime(const WorkVector& w) const {
+  return epsilon_ * w.Length() + (1.0 - epsilon_) * w.Total();
+}
+
+double OverlapUsageModel::SiteTime(const std::vector<WorkVector>& work) const {
+  double slowest = 0.0;
+  for (const auto& w : work) {
+    slowest = std::max(slowest, SequentialTime(w));
+  }
+  return std::max(slowest, SetLength(work));
+}
+
+bool SequentialTimeWithinBounds(const WorkVector& w, double t_seq,
+                                double tol) {
+  return t_seq + tol >= w.Length() && t_seq <= w.Total() + tol;
+}
+
+}  // namespace mrs

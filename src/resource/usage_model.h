@@ -1,0 +1,49 @@
+#ifndef MRS_RESOURCE_USAGE_MODEL_H_
+#define MRS_RESOURCE_USAGE_MODEL_H_
+
+#include "resource/work_vector.h"
+
+namespace mrs {
+
+/// Maps a work vector to the stand-alone (sequential) execution time
+/// T_seq(W) of an operator clone on one site (paper §4.1).
+///
+/// The paper's model only constrains T_seq to
+///   max_i W[i]  <=  T_seq(W)  <=  sum_i W[i]
+/// (perfect overlap of resource activity vs none). The experimental
+/// instantiation EA2 parameterizes this interval by a single system-wide
+/// *resource overlap* parameter epsilon in [0, 1]:
+///
+///   T(W) = eps * max_i W[i] + (1 - eps) * sum_i W[i]
+///
+/// eps = 1 means processing at different resources overlaps perfectly
+/// (e.g. fully asynchronous I/O), eps = 0 means the resources are used
+/// strictly one at a time.
+class OverlapUsageModel {
+ public:
+  /// `epsilon` is clamped to [0, 1].
+  explicit OverlapUsageModel(double epsilon);
+
+  /// T_seq(W) under EA2.
+  double SequentialTime(const WorkVector& w) const;
+
+  /// The site execution time for a set of co-scheduled clones (paper
+  /// eq. (2)): the larger of the slowest clone's stand-alone time and the
+  /// busiest resource's total load l(work(s)).
+  double SiteTime(const std::vector<WorkVector>& work) const;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+/// Verifies the model-inherent bounds max <= T_seq <= sum for a vector
+/// (used by tests and validators; always true for OverlapUsageModel by
+/// construction, modulo floating-point slack `tol`).
+bool SequentialTimeWithinBounds(const WorkVector& w, double t_seq,
+                                double tol = 1e-9);
+
+}  // namespace mrs
+
+#endif  // MRS_RESOURCE_USAGE_MODEL_H_

@@ -1,0 +1,75 @@
+#include "resource/work_vector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+double WorkVector::Length() const {
+  double m = 0.0;
+  for (double v : w_) m = std::max(m, v);
+  return m;
+}
+
+double WorkVector::Total() const {
+  double t = 0.0;
+  for (double v : w_) t += v;
+  return t;
+}
+
+bool WorkVector::IsNonNegative() const {
+  for (double v : w_) {
+    if (v < 0.0) return false;
+  }
+  return true;
+}
+
+bool WorkVector::DominatedBy(const WorkVector& other) const {
+  MRS_CHECK(dim() == other.dim()) << "dimension mismatch in DominatedBy";
+  for (size_t i = 0; i < w_.size(); ++i) {
+    if (w_[i] > other.w_[i]) return false;
+  }
+  return true;
+}
+
+WorkVector& WorkVector::operator+=(const WorkVector& other) {
+  MRS_CHECK(dim() == other.dim()) << "dimension mismatch in operator+=";
+  for (size_t i = 0; i < w_.size(); ++i) w_[i] += other.w_[i];
+  return *this;
+}
+
+WorkVector& WorkVector::operator-=(const WorkVector& other) {
+  MRS_CHECK(dim() == other.dim()) << "dimension mismatch in operator-=";
+  for (size_t i = 0; i < w_.size(); ++i) w_[i] -= other.w_[i];
+  return *this;
+}
+
+WorkVector& WorkVector::operator*=(double s) {
+  for (double& v : w_) v *= s;
+  return *this;
+}
+
+std::string WorkVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < w_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.3f", w_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+double SetLength(const std::vector<WorkVector>& vectors) {
+  return SumVectors(vectors).Length();
+}
+
+WorkVector SumVectors(const std::vector<WorkVector>& vectors) {
+  if (vectors.empty()) return WorkVector();
+  WorkVector sum(vectors.front().dim());
+  for (const auto& v : vectors) sum += v;
+  return sum;
+}
+
+}  // namespace mrs

@@ -1,0 +1,91 @@
+#ifndef MRS_RESOURCE_WORK_VECTOR_H_
+#define MRS_RESOURCE_WORK_VECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mrs {
+
+/// A d-dimensional work vector (paper §4.1): component i is the effective
+/// busy time that an operator (or operator clone) imposes on resource i of
+/// a site. Units are milliseconds of resource busy time throughout the
+/// library.
+///
+/// The length of a vector, l(W) = max_i W[i], and the length of a set of
+/// vectors, l(S) = max_i sum_{W in S} W[i], follow the paper's Table 1.
+class WorkVector {
+ public:
+  WorkVector() = default;
+
+  /// A zero vector of dimensionality `dim`.
+  explicit WorkVector(size_t dim) : w_(dim, 0.0) {}
+
+  /// From explicit components.
+  WorkVector(std::initializer_list<double> values) : w_(values) {}
+  explicit WorkVector(std::vector<double> values) : w_(std::move(values)) {}
+
+  size_t dim() const { return w_.size(); }
+  bool empty() const { return w_.empty(); }
+
+  double operator[](size_t i) const { return w_[i]; }
+  double& operator[](size_t i) { return w_[i]; }
+
+  /// l(W): maximum component. 0 for an empty vector.
+  double Length() const;
+
+  /// Sum of all components (the vector's total work / processing area
+  /// contribution).
+  double Total() const;
+
+  /// True iff every component is >= 0.
+  bool IsNonNegative() const;
+
+  /// True iff every component of *this is <= the matching component of
+  /// `other` (the paper's componentwise partial order <=_d). Dimensions
+  /// must match.
+  bool DominatedBy(const WorkVector& other) const;
+
+  WorkVector& operator+=(const WorkVector& other);
+  WorkVector& operator-=(const WorkVector& other);
+  WorkVector& operator*=(double s);
+
+  friend WorkVector operator+(WorkVector a, const WorkVector& b) {
+    a += b;
+    return a;
+  }
+  friend WorkVector operator-(WorkVector a, const WorkVector& b) {
+    a -= b;
+    return a;
+  }
+  friend WorkVector operator*(WorkVector a, double s) {
+    a *= s;
+    return a;
+  }
+  friend WorkVector operator*(double s, WorkVector a) {
+    a *= s;
+    return a;
+  }
+
+  bool operator==(const WorkVector& other) const { return w_ == other.w_; }
+
+  /// "[10.0, 15.0, 0.0]"
+  std::string ToString() const;
+
+  const std::vector<double>& components() const { return w_; }
+
+ private:
+  std::vector<double> w_;
+};
+
+/// l(S) for a set of work vectors: max component of the vector sum.
+/// All vectors must share the same dimensionality; an empty set has length 0.
+double SetLength(const std::vector<WorkVector>& vectors);
+
+/// Componentwise sum of a set of vectors (the empty set sums to an empty
+/// vector).
+WorkVector SumVectors(const std::vector<WorkVector>& vectors);
+
+}  // namespace mrs
+
+#endif  // MRS_RESOURCE_WORK_VECTOR_H_

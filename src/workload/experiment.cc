@@ -1,0 +1,131 @@
+#include "workload/experiment.h"
+
+#include "baseline/hong.h"
+#include "baseline/synchronous.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/opt_bound.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+namespace {
+
+/// Mixes (seed, J, index) into one 64-bit query seed (SplitMix-style).
+uint64_t QuerySeed(uint64_t seed, int num_joins, int index) {
+  uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(num_joins) * 0x1000193ULL;
+  x ^= (x >> 30);
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= static_cast<uint64_t>(index) * 0x94d049bb133111ebULL;
+  x ^= (x >> 27);
+  return x;
+}
+
+}  // namespace
+
+std::string_view SchedulerKindToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kTreeSchedule:
+      return "TREESCHEDULE";
+    case SchedulerKind::kTreeScheduleMalleable:
+      return "TREESCHEDULE-M";
+    case SchedulerKind::kSynchronous:
+      return "SYNCHRONOUS";
+    case SchedulerKind::kHongPairing:
+      return "HONG-PAIRING";
+    case SchedulerKind::kOptBound:
+      return "OPTBOUND";
+  }
+  return "?";
+}
+
+Result<QueryArtifacts> PrepareQuery(const ExperimentConfig& config,
+                                    int index) {
+  Rng rng(QuerySeed(config.seed, config.workload.num_joins, index));
+  auto query = GenerateQuery(config.workload, &rng);
+  if (!query.ok()) return query.status();
+
+  auto op_tree = OperatorTree::FromPlan(*query->plan);
+  if (!op_tree.ok()) return op_tree.status();
+  OperatorTree ops = std::move(op_tree).value();
+
+  auto task_tree = TaskTree::FromOperatorTree(&ops);
+  if (!task_tree.ok()) return task_tree.status();
+
+  CostModel model(config.cost, config.machine.dims, config.num_disks);
+  auto costs = model.CostAll(ops);
+  if (!costs.ok()) return costs.status();
+
+  return QueryArtifacts{std::move(query).value(), std::move(ops),
+                        std::move(task_tree).value(),
+                        std::move(costs).value()};
+}
+
+Result<double> RunScheduler(SchedulerKind kind, QueryArtifacts* artifacts,
+                            const ExperimentConfig& config) {
+  MRS_CHECK(artifacts != nullptr) << "RunScheduler requires artifacts";
+  const OverlapUsageModel usage(config.overlap);
+  switch (kind) {
+    case SchedulerKind::kTreeSchedule:
+    case SchedulerKind::kTreeScheduleMalleable: {
+      TreeScheduleOptions options;
+      options.granularity = config.granularity;
+      options.policy = kind == SchedulerKind::kTreeScheduleMalleable
+                           ? ParallelizationPolicy::kMalleable
+                           : ParallelizationPolicy::kCoarseGrain;
+      auto result = TreeSchedule(artifacts->op_tree, artifacts->task_tree,
+                                 artifacts->costs, config.cost,
+                                 config.machine, usage, options);
+      if (!result.ok()) return result.status();
+      return result->response_time;
+    }
+    case SchedulerKind::kSynchronous: {
+      auto result = SynchronousSchedule(artifacts->op_tree,
+                                        artifacts->task_tree,
+                                        artifacts->costs, config.cost,
+                                        config.machine, usage);
+      if (!result.ok()) return result.status();
+      return result->response_time;
+    }
+    case SchedulerKind::kHongPairing: {
+      auto result = HongSchedule(artifacts->op_tree, artifacts->task_tree,
+                                 artifacts->costs, config.cost,
+                                 config.machine, usage);
+      if (!result.ok()) return result.status();
+      return result->response_time;
+    }
+    case SchedulerKind::kOptBound: {
+      auto result = OptBound(artifacts->op_tree, artifacts->task_tree,
+                             artifacts->costs, config.cost, usage,
+                             config.granularity, config.machine.num_sites);
+      if (!result.ok()) return result.status();
+      return result->Bound();
+    }
+  }
+  return Status::InvalidArgument("unknown scheduler kind");
+}
+
+Result<RunningStat> MeasureAverageResponse(SchedulerKind kind,
+                                           const ExperimentConfig& config) {
+  auto stats = MeasureSchedulers({kind}, config);
+  if (!stats.ok()) return stats.status();
+  return stats->front();
+}
+
+Result<std::vector<RunningStat>> MeasureSchedulers(
+    const std::vector<SchedulerKind>& kinds, const ExperimentConfig& config) {
+  std::vector<RunningStat> stats(kinds.size());
+  for (int q = 0; q < config.queries_per_point; ++q) {
+    auto artifacts = PrepareQuery(config, q);
+    if (!artifacts.ok()) return artifacts.status();
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      auto response = RunScheduler(kinds[k], &artifacts.value(), config);
+      if (!response.ok()) return response.status();
+      stats[k].Add(response.value());
+    }
+  }
+  return stats;
+}
+
+}  // namespace mrs

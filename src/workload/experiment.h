@@ -1,0 +1,81 @@
+#ifndef MRS_WORKLOAD_EXPERIMENT_H_
+#define MRS_WORKLOAD_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/tree_schedule.h"
+#include "cost/cost_model.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/machine.h"
+#include "workload/generator.h"
+
+namespace mrs {
+
+/// The algorithms compared in the paper's §6 plus the malleable variant.
+enum class SchedulerKind {
+  kTreeSchedule,           ///< multi-dimensional phased list scheduling
+  kTreeScheduleMalleable,  ///< TREESCHEDULE with §7 parallelization
+  kSynchronous,            ///< one-dimensional baseline [HCY94]+[LCRY93]
+  kHongPairing,            ///< XPRS-style IO/CPU pipeline pairing [Hon92]
+  kOptBound,               ///< lower bound on the optimal CG_f execution
+};
+
+std::string_view SchedulerKindToString(SchedulerKind kind);
+
+/// Everything derived from one generated query that all schedulers share:
+/// the plan, its operator and task trees, and the per-operator costs.
+/// Reusing one QueryArtifacts across schedulers guarantees they compete on
+/// identical inputs.
+struct QueryArtifacts {
+  GeneratedQuery query;
+  OperatorTree op_tree;
+  TaskTree task_tree;
+  std::vector<OperatorCost> costs;
+};
+
+/// Configuration of one experiment point (one (algorithm, parameter)
+/// combination averaged over `queries_per_point` random queries).
+struct ExperimentConfig {
+  /// Master seed; query i of a J-join workload derives its own stream from
+  /// (seed, J, i), so the same queries recur across algorithms and sweep
+  /// values — the paper compares algorithms on the same twenty plans.
+  uint64_t seed = 9607;
+  int queries_per_point = 20;
+  WorkloadParams workload;
+  MachineConfig machine;
+  CostParams cost;
+  /// Disks per site (machine.dims must be >= 2 + num_disks).
+  int num_disks = 1;
+  /// Granularity parameter f (TREESCHEDULE and OPTBOUND).
+  double granularity = 0.7;
+  /// Resource overlap parameter epsilon (EA2).
+  double overlap = 0.5;
+};
+
+/// Generates query `index` of the config's workload and derives all
+/// scheduler inputs.
+Result<QueryArtifacts> PrepareQuery(const ExperimentConfig& config, int index);
+
+/// Runs one scheduler on prepared artifacts; returns the response time in
+/// milliseconds (for kOptBound: the lower-bound value).
+Result<double> RunScheduler(SchedulerKind kind, QueryArtifacts* artifacts,
+                            const ExperimentConfig& config);
+
+/// Full experiment point: average response time of `kind` over the
+/// config's query set.
+Result<RunningStat> MeasureAverageResponse(SchedulerKind kind,
+                                           const ExperimentConfig& config);
+
+/// Convenience for benches: measures several schedulers on the *same*
+/// query set (each query generated once, all schedulers run on it).
+Result<std::vector<RunningStat>> MeasureSchedulers(
+    const std::vector<SchedulerKind>& kinds, const ExperimentConfig& config);
+
+}  // namespace mrs
+
+#endif  // MRS_WORKLOAD_EXPERIMENT_H_

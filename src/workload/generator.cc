@@ -1,0 +1,136 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mrs {
+
+Status WorkloadParams::Validate() const {
+  if (num_joins < 0) {
+    return Status::InvalidArgument("num_joins must be >= 0");
+  }
+  if (min_tuples < 1 || max_tuples < min_tuples) {
+    return Status::InvalidArgument(
+        StrFormat("tuple range [%lld, %lld] invalid",
+                  static_cast<long long>(min_tuples),
+                  static_cast<long long>(max_tuples)));
+  }
+  if (layout.tuple_bytes <= 0 || layout.tuples_per_page <= 0) {
+    return Status::InvalidArgument("layout must be positive");
+  }
+  if (sort_probability < 0 || sort_probability > 1 ||
+      aggregate_probability < 0 || aggregate_probability > 1) {
+    return Status::InvalidArgument(
+        "operator probabilities must be within [0, 1]");
+  }
+  if (!(agg_group_fraction > 0.0) || agg_group_fraction > 1.0) {
+    return Status::InvalidArgument("agg_group_fraction outside (0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string GeneratedQuery::ToString() const {
+  return StrFormat("GeneratedQuery(%s; plan %s)",
+                   graph ? graph->ToString().c_str() : "?",
+                   plan ? plan->ToString().c_str() : "?");
+}
+
+Result<GeneratedQuery> GenerateQuery(const WorkloadParams& params, Rng* rng) {
+  MRS_RETURN_IF_ERROR(params.Validate());
+  MRS_CHECK(rng != nullptr) << "GenerateQuery requires an Rng";
+
+  GeneratedQuery q;
+  const int num_relations = params.num_joins + 1;
+
+  // Catalog with random cardinalities.
+  q.catalog = std::make_unique<Catalog>();
+  for (int i = 0; i < num_relations; ++i) {
+    Relation r;
+    r.name = StrFormat("R%d", i);
+    r.layout = params.layout;
+    if (params.sizing == RelationSizing::kLogUniform) {
+      r.num_tuples = static_cast<int64_t>(std::llround(
+          rng->LogUniform(static_cast<double>(params.min_tuples),
+                          static_cast<double>(params.max_tuples))));
+    } else {
+      r.num_tuples = rng->UniformInt(params.min_tuples, params.max_tuples);
+    }
+    r.num_tuples = std::clamp(r.num_tuples, params.min_tuples,
+                              params.max_tuples);
+    auto id = q.catalog->AddRelation(std::move(r));
+    if (!id.ok()) return id.status();
+  }
+
+  // Random recursive tree join graph.
+  q.graph = std::make_unique<QueryGraph>(num_relations);
+  for (int i = 1; i < num_relations; ++i) {
+    const int j = static_cast<int>(rng->UniformInt(0, i - 1));
+    MRS_RETURN_IF_ERROR(q.graph->AddJoin(i, j));
+  }
+
+  // Random bushy plan: apply the join edges in random order, maintaining
+  // per-relation the plan component it currently belongs to.
+  q.plan = std::make_unique<PlanTree>(q.catalog.get());
+  std::vector<int> component(static_cast<size_t>(num_relations));
+  for (int i = 0; i < num_relations; ++i) {
+    auto leaf = q.plan->AddLeaf(i);
+    if (!leaf.ok()) return leaf.status();
+    component[static_cast<size_t>(i)] = leaf.value();
+  }
+  // Union-find over relations to locate component roots.
+  std::vector<int> parent(static_cast<size_t>(num_relations));
+  for (int i = 0; i < num_relations; ++i) parent[static_cast<size_t>(i)] = i;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+
+  std::vector<JoinEdge> edges = q.graph->edges();
+  rng->Shuffle(&edges);
+  for (const JoinEdge& e : edges) {
+    const int ca = find(e.left_relation);
+    const int cb = find(e.right_relation);
+    MRS_CHECK(ca != cb) << "tree edge joining a single component";
+    const int plan_a = component[static_cast<size_t>(ca)];
+    const int plan_b = component[static_cast<size_t>(cb)];
+    const int64_t size_a = q.plan->node(plan_a).output.num_tuples;
+    const int64_t size_b = q.plan->node(plan_b).output.num_tuples;
+
+    int outer = plan_a;
+    int inner = plan_b;
+    switch (params.build_side) {
+      case BuildSideRule::kSmaller:
+        if (size_a < size_b) std::swap(outer, inner);
+        break;
+      case BuildSideRule::kRandom:
+        if (rng->Bernoulli(0.5)) std::swap(outer, inner);
+        break;
+    }
+    auto join = q.plan->AddJoin(outer, inner);
+    if (!join.ok()) return join.status();
+    int top = join.value();
+    // Optionally cap the join with a blocking unary operator.
+    if (rng->Bernoulli(params.sort_probability)) {
+      auto sorted = q.plan->AddSort(top);
+      if (!sorted.ok()) return sorted.status();
+      top = sorted.value();
+    } else if (rng->Bernoulli(params.aggregate_probability)) {
+      auto agg = q.plan->AddAggregate(top, params.agg_group_fraction);
+      if (!agg.ok()) return agg.status();
+      top = agg.value();
+    }
+    parent[static_cast<size_t>(ca)] = cb;
+    component[static_cast<size_t>(find(cb))] = top;
+  }
+  MRS_RETURN_IF_ERROR(q.plan->Finalize());
+  return q;
+}
+
+}  // namespace mrs

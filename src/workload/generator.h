@@ -1,0 +1,80 @@
+#ifndef MRS_WORKLOAD_GENERATOR_H_
+#define MRS_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "plan/plan_tree.h"
+#include "plan/query_graph.h"
+
+namespace mrs {
+
+/// How the workload generator sizes base relations.
+enum class RelationSizing {
+  /// Uniform over [min_tuples, max_tuples].
+  kUniform,
+  /// Log-uniform over [min_tuples, max_tuples] (default: the paper gives
+  /// the range 10^3..10^5 tuples; a log-uniform draw spreads work over the
+  /// decades instead of being dominated by near-10^5 relations).
+  kLogUniform,
+};
+
+/// How the build (inner) side of each hash join is chosen when assembling
+/// a random bushy plan.
+enum class BuildSideRule {
+  /// Build on the smaller input (the standard optimizer choice; default).
+  kSmaller,
+  /// Random side (stresses schedulers with poor plans).
+  kRandom,
+};
+
+struct WorkloadParams {
+  /// Number of joins J; the query has J+1 base relations.
+  int num_joins = 10;
+  int64_t min_tuples = 1'000;
+  int64_t max_tuples = 100'000;
+  RelationSizing sizing = RelationSizing::kLogUniform;
+  BuildSideRule build_side = BuildSideRule::kSmaller;
+  TupleLayout layout;
+
+  /// Probability that a join's output is wrapped in a blocking sort /
+  /// hash aggregate (both 0 reproduces the paper's pure hash-join
+  /// workload). At most one wrapper is applied per join; sort is tried
+  /// first.
+  double sort_probability = 0.0;
+  double aggregate_probability = 0.0;
+  /// |groups| / |input| for generated aggregates.
+  double agg_group_fraction = 0.1;
+
+  Status Validate() const;
+};
+
+/// A randomly generated query: its base-relation catalog, its (tree) join
+/// graph, and one randomly selected bushy execution plan. The catalog is
+/// heap-allocated so the PlanTree's pointer into it survives moves.
+struct GeneratedQuery {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryGraph> graph;
+  std::unique_ptr<PlanTree> plan;
+
+  std::string ToString() const;
+};
+
+/// Generates a random tree query and a random bushy plan for it
+/// (paper §6.1: tree query graphs, random bushy plan per graph, relation
+/// cardinalities in 10^3..10^5 tuples, key joins sized by the max rule):
+///
+///  * the join graph is a uniformly random recursive tree over J+1
+///    relations (relation i joins a uniformly random earlier relation);
+///  * the plan applies the J join edges in a uniformly random order; each
+///    edge joins the plans of the two components it connects, so every
+///    intermediate join is connected (no cross products);
+///  * the build side follows `build_side`.
+Result<GeneratedQuery> GenerateQuery(const WorkloadParams& params, Rng* rng);
+
+}  // namespace mrs
+
+#endif  // MRS_WORKLOAD_GENERATOR_H_

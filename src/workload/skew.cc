@@ -1,0 +1,71 @@
+#include "workload/skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mrs {
+
+ParallelizedOp ApplySkew(const ParallelizedOp& op, const SkewParams& params,
+                         const OverlapUsageModel& usage, Rng* rng) {
+  MRS_CHECK(rng != nullptr) << "ApplySkew requires an Rng";
+  if (params.theta <= 0.0 || op.degree <= 1) return op;
+
+  const size_t n = static_cast<size_t>(op.degree);
+  // Zipf weights normalized to sum to N: total work is preserved.
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -params.theta);
+    sum += weights[r];
+  }
+  for (double& w : weights) w *= static_cast<double>(n) / sum;
+  // Random rank assignment: any clone may be the hot one.
+  rng->Shuffle(&weights);
+
+  ParallelizedOp skewed = op;
+  skewed.t_par = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    skewed.clones[k] = op.clones[k] * weights[k];
+    skewed.t_seq[k] = usage.SequentialTime(skewed.clones[k]);
+    skewed.t_par = std::max(skewed.t_par, skewed.t_seq[k]);
+  }
+  return skewed;
+}
+
+Result<double> SkewedResponseTime(const TreeScheduleResult& result,
+                                  const SkewParams& params,
+                                  const OverlapUsageModel& usage) {
+  Rng rng(params.seed);
+  double response = 0.0;
+  for (const auto& phase : result.phases) {
+    // Skew each operator once, then replay the phase's placements with
+    // the skewed clone vectors.
+    Schedule replay(phase.schedule.num_sites(), phase.schedule.dims());
+    std::vector<ParallelizedOp> skewed;
+    skewed.reserve(phase.ops.size());
+    for (const auto& op : phase.ops) {
+      skewed.push_back(ApplySkew(op, params, usage, &rng));
+    }
+    for (const auto& placement : phase.schedule.placements()) {
+      const ParallelizedOp* op = nullptr;
+      for (const auto& candidate : skewed) {
+        if (candidate.op_id == placement.op_id) {
+          op = &candidate;
+          break;
+        }
+      }
+      if (op == nullptr) {
+        return Status::Internal("placement references an unknown operator");
+      }
+      MRS_RETURN_IF_ERROR(
+          replay.Place(*op, placement.clone_idx, placement.site));
+    }
+    response += replay.Makespan();
+  }
+  return response;
+}
+
+}  // namespace mrs

@@ -1,0 +1,50 @@
+#ifndef MRS_WORKLOAD_SKEW_H_
+#define MRS_WORKLOAD_SKEW_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/schedule.h"
+#include "core/tree_schedule.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// Execution-skew model — relaxing experimental assumption EA1 ("the work
+/// vector of an operator is distributed perfectly among all sites
+/// participating in its execution").
+///
+/// Real partitionings are skewed: hash buckets are uneven, value
+/// distributions pile onto some clones. We model this with Zipf-shaped
+/// clone shares: for an operator with N clones, clone ranks r = 1..N get
+/// weight r^-theta, normalized to sum to N (total work preserved), and
+/// ranks are assigned to clones uniformly at random per operator.
+/// theta = 0 reproduces EA1; theta around 0.5 is mild skew; theta >= 1 is
+/// severe.
+struct SkewParams {
+  double theta = 0.0;
+  /// Seed for the rank assignment (results are deterministic per seed).
+  uint64_t seed = 1;
+};
+
+/// Applies skew to one parallelized operator: clone work vectors are
+/// rescaled by Zipf weights (componentwise totals preserved up to
+/// rounding), t_seq/t_par recomputed under `usage`. The coordinator's
+/// startup surcharge is part of its vector and skews with it —
+/// pessimistic but simple. No-op for theta == 0 or degree 1.
+ParallelizedOp ApplySkew(const ParallelizedOp& op, const SkewParams& params,
+                         const OverlapUsageModel& usage, Rng* rng);
+
+/// Re-evaluates a phased schedule as if the parallelizer's even splits had
+/// come out skewed: same placements, Zipf-perturbed clone vectors. Returns
+/// the realized response time (>= the analytic response for theta > 0 in
+/// expectation; equality at theta = 0). The scheduler is *not* told about
+/// the skew — this measures how brittle its EA1-based promises are.
+Result<double> SkewedResponseTime(const TreeScheduleResult& result,
+                                  const SkewParams& params,
+                                  const OverlapUsageModel& usage);
+
+}  // namespace mrs
+
+#endif  // MRS_WORKLOAD_SKEW_H_

@@ -1,0 +1,86 @@
+#include "workload/tpch_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+/// TPC-H base cardinalities at scale factor 1.
+struct BaseRelation {
+  const char* name;
+  double sf1_tuples;
+};
+
+constexpr BaseRelation kRelations[] = {
+    {"lineitem", 6'000'000}, {"orders", 1'500'000}, {"partsupp", 800'000},
+    {"part", 200'000},       {"customer", 150'000}, {"supplier", 10'000},
+    {"nation", 25},          {"region", 5},
+};
+
+std::string CatalogText(double sf) {
+  std::string out;
+  for (const auto& r : kRelations) {
+    const long long tuples = std::max<long long>(
+        1, static_cast<long long>(std::llround(r.sf1_tuples * sf)));
+    out += StrFormat("relation %s %lld\n", r.name, tuples);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> TpchLikeShapes() {
+  return {"q3-like", "q9-like", "q18-like"};
+}
+
+Result<TpchLikeQuery> MakeTpchLikeQuery(const std::string& shape,
+                                        double scale_factor) {
+  if (scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be > 0");
+  }
+  std::string plan_line;
+  std::string description;
+  if (shape == "q3-like") {
+    // Shipping-priority shape: (customer ⋈ orders) ⋈ lineitem, sorted by
+    // revenue. Builds on the smaller inputs.
+    plan_line =
+        "plan (sort (join (join lineitem orders) customer))";
+    description =
+        "two-join pricing pipeline with an order-by on top (TPC-H Q3 "
+        "shape)";
+  } else if (shape == "q9-like") {
+    // Product-type profit: bushy join of five relations with a group-by.
+    plan_line =
+        "plan (agg 0.05 (join (join lineitem (join partsupp (join part "
+        "supplier))) (join orders nation)))";
+    description =
+        "bushy five-join profit query aggregated by nation/year (TPC-H "
+        "Q9 shape)";
+  } else if (shape == "q18-like") {
+    // Large-volume customers: group lineitem before joining up.
+    plan_line =
+        "plan (join (join (agg 0.2 lineitem) orders) customer)";
+    description =
+        "pre-aggregated lineitem joined to orders and customer (TPC-H "
+        "Q18 shape)";
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown TPC-H-like shape '%s' (supported: q3-like, "
+                  "q9-like, q18-like)",
+                  shape.c_str()));
+  }
+
+  auto parsed = ParsePlanText(CatalogText(scale_factor) + plan_line + "\n");
+  if (!parsed.ok()) return parsed.status();
+  TpchLikeQuery query;
+  query.name = shape;
+  query.description = std::move(description);
+  query.parsed = std::move(parsed).value();
+  return query;
+}
+
+}  // namespace mrs

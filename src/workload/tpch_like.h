@@ -1,0 +1,42 @@
+#ifndef MRS_WORKLOAD_TPCH_LIKE_H_
+#define MRS_WORKLOAD_TPCH_LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/plan_text.h"
+
+namespace mrs {
+
+/// A TPC-H-shaped demo workload: the eight classic relations at a given
+/// scale factor and three canonical plan shapes. Cardinalities follow the
+/// TPC-H ratios (per scale factor 1: lineitem 6M, orders 1.5M, partsupp
+/// 800k, part/customer 200k/150k, supplier 10k, nation 25, region 5),
+/// scaled linearly and clamped to at least one tuple. Join sizing still
+/// follows the paper's key-join max rule, so the cardinalities up the
+/// plans are approximations, not TPC-H semantics — this is a demo
+/// workload for the scheduler, not a TPC-H implementation.
+struct TpchLikeQuery {
+  std::string name;
+  std::string description;
+  ParsedPlan parsed;
+};
+
+/// The supported canonical shapes.
+///  * "q3-like":  customer JOIN orders JOIN lineitem, sorted (pricing
+///    summary pipeline: two joins + order-by);
+///  * "q9-like":  a bushy five-join product-profit shape over part,
+///    supplier, partsupp, lineitem, orders, nation with an aggregate on
+///    top;
+///  * "q18-like": large customer/orders/lineitem join with a group-by
+///    below the top join (pre-aggregation shape).
+Result<TpchLikeQuery> MakeTpchLikeQuery(const std::string& shape,
+                                        double scale_factor = 0.01);
+
+/// All supported shape names.
+std::vector<std::string> TpchLikeShapes();
+
+}  // namespace mrs
+
+#endif  // MRS_WORKLOAD_TPCH_LIKE_H_

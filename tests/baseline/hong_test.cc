@@ -1,0 +1,122 @@
+#include "baseline/hong.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "test_util.h"
+#include "workload/experiment.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::MakeFixture;
+using testing_util::PipelinedChainFixture;
+using testing_util::PlanFixture;
+
+MachineConfig Machine(int sites) {
+  MachineConfig m;
+  m.num_sites = sites;
+  return m;
+}
+
+TEST(HongTest, SingleScanPlan) {
+  PlanFixture fx = MakeFixture(
+      {20000}, [](PlanTree* plan) { plan->AddLeaf(0).value(); });
+  OverlapUsageModel usage(0.5);
+  auto result = HongSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             Machine(8), usage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds.size(), 1u);
+  EXPECT_GT(result->response_time, 0.0);
+}
+
+TEST(HongTest, AtMostTwoTasksPerRound) {
+  PlanFixture fx = PipelinedChainFixture(6);
+  OverlapUsageModel usage(0.5);
+  auto result = HongSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             Machine(16), usage);
+  ASSERT_TRUE(result.ok());
+  for (const auto& round : result->rounds) {
+    EXPECT_GE(round.tasks.size(), 1u);
+    EXPECT_LE(round.tasks.size(), 2u);
+  }
+}
+
+TEST(HongTest, EveryTaskRunsExactlyOnce) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  auto result = HongSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             Machine(8), usage);
+  ASSERT_TRUE(result.ok());
+  std::set<int> seen;
+  for (const auto& round : result->rounds) {
+    for (int t : round.tasks) {
+      EXPECT_TRUE(seen.insert(t).second) << "task " << t << " ran twice";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), fx.task_tree.num_tasks());
+}
+
+TEST(HongTest, RoundsRespectPhaseOrder) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  auto result = HongSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             Machine(8), usage);
+  ASSERT_TRUE(result.ok());
+  int prev_phase = 0;
+  for (const auto& round : result->rounds) {
+    EXPECT_GE(round.phase, prev_phase);
+    prev_phase = round.phase;
+  }
+  // Response is the sum of the rounds.
+  double sum = 0.0;
+  for (const auto& round : result->rounds) sum += round.makespan;
+  EXPECT_NEAR(result->response_time, sum, 1e-9);
+}
+
+TEST(HongTest, TypicallyBetweenSynchronousAndTreeSchedule) {
+  // Pairing shares resources (beats no-sharing SYNCHRONOUS) but caps
+  // concurrency at two pipelines (loses to TREESCHEDULE) — on average.
+  ExperimentConfig config;
+  config.queries_per_point = 8;
+  config.workload.num_joins = 20;
+  config.machine.num_sites = 20;
+  config.overlap = 0.3;
+  auto stats = MeasureSchedulers(
+      {SchedulerKind::kTreeSchedule, SchedulerKind::kHongPairing,
+       SchedulerKind::kSynchronous},
+      config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT((*stats)[0].mean(), (*stats)[1].mean());
+  EXPECT_LT((*stats)[1].mean(), (*stats)[2].mean());
+}
+
+TEST(HongTest, RejectsMismatchedCosts) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  std::vector<OperatorCost> bad(fx.costs.begin(), fx.costs.end() - 1);
+  EXPECT_FALSE(HongSchedule(fx.op_tree, fx.task_tree, bad, CostParams{},
+                            Machine(8), usage)
+                   .ok());
+}
+
+TEST(HongTest, SchedulerKindWiring) {
+  ExperimentConfig config;
+  config.queries_per_point = 1;
+  config.workload.num_joins = 5;
+  config.machine.num_sites = 8;
+  auto artifacts = PrepareQuery(config, 0);
+  ASSERT_TRUE(artifacts.ok());
+  auto response =
+      RunScheduler(SchedulerKind::kHongPairing, &artifacts.value(), config);
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response.value(), 0.0);
+  EXPECT_EQ(SchedulerKindToString(SchedulerKind::kHongPairing),
+            "HONG-PAIRING");
+}
+
+}  // namespace
+}  // namespace mrs

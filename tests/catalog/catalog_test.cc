@@ -1,0 +1,83 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/relation.h"
+
+namespace mrs {
+namespace {
+
+Relation MakeRelation(const std::string& name, int64_t tuples) {
+  Relation r;
+  r.name = name;
+  r.num_tuples = tuples;
+  return r;
+}
+
+TEST(RelationTest, PageMath) {
+  Relation r = MakeRelation("R", 100);
+  EXPECT_EQ(r.NumPages(), 3);  // ceil(100/40)
+  EXPECT_EQ(r.NumBytes(), 100 * 128);
+  r.num_tuples = 40;
+  EXPECT_EQ(r.NumPages(), 1);
+  r.num_tuples = 41;
+  EXPECT_EQ(r.NumPages(), 2);
+  r.num_tuples = 0;
+  EXPECT_EQ(r.NumPages(), 0);
+}
+
+TEST(RelationTest, CustomLayout) {
+  Relation r = MakeRelation("R", 10);
+  r.layout.tuple_bytes = 64;
+  r.layout.tuples_per_page = 5;
+  EXPECT_EQ(r.NumPages(), 2);
+  EXPECT_EQ(r.NumBytes(), 640);
+  EXPECT_EQ(r.layout.PageBytes(), 320);
+}
+
+TEST(KeyJoinTest, ResultIsMaxOfOperands) {
+  EXPECT_EQ(KeyJoinResultTuples(1000, 500), 1000);
+  EXPECT_EQ(KeyJoinResultTuples(500, 1000), 1000);
+  EXPECT_EQ(KeyJoinResultTuples(7, 7), 7);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  auto id0 = catalog.AddRelation(MakeRelation("orders", 1000));
+  auto id1 = catalog.AddRelation(MakeRelation("lineitem", 5000));
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(id0.value(), 0);
+  EXPECT_EQ(id1.value(), 1);
+  EXPECT_EQ(catalog.num_relations(), 2);
+  EXPECT_EQ(catalog.GetRelation(1)->name, "lineitem");
+  EXPECT_EQ(catalog.GetRelationByName("orders")->num_tuples, 1000);
+  EXPECT_EQ(catalog.TotalTuples(), 6000);
+}
+
+TEST(CatalogTest, RejectsDuplicateName) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeRelation("r", 10)).ok());
+  EXPECT_EQ(catalog.AddRelation(MakeRelation("r", 20)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, RejectsMalformedRelations) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.AddRelation(MakeRelation("", 10)).ok());
+  EXPECT_FALSE(catalog.AddRelation(MakeRelation("neg", -1)).ok());
+  Relation bad_layout = MakeRelation("bad", 10);
+  bad_layout.layout.tuples_per_page = 0;
+  EXPECT_FALSE(catalog.AddRelation(bad_layout).ok());
+}
+
+TEST(CatalogTest, LookupMissing) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetRelation(0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.GetRelation(-1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.GetRelationByName("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mrs {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogThreshold(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kWarning);  // documented default
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, NonFatalLogsDoNotAbort) {
+  SetLogThreshold(LogLevel::kFatal);  // silence output during the test
+  MRS_LOG(Debug) << "debug " << 1;
+  MRS_LOG(Info) << "info " << 2.5;
+  MRS_LOG(Warning) << "warning " << "text";
+  MRS_LOG(Error) << "error";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrue) {
+  MRS_CHECK(1 + 1 == 2) << "never printed";
+  MRS_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ MRS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST_F(LoggingTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ MRS_CHECK_OK(Status::Internal("bad")); },
+               "Check failed \\(status\\)");
+}
+
+}  // namespace
+}  // namespace mrs

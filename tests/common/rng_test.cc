@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(rng.UniformInt(0, 7))]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 80);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(3.0, 4.5);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(RngTest, LogUniformRangeAndSpread) {
+  Rng rng(23);
+  int low_decade = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.LogUniform(1e3, 1e5);
+    EXPECT_GE(v, 1e3);
+    EXPECT_LE(v, 1e5);
+    if (v < 1e4) ++low_decade;
+  }
+  // Log-uniform: each decade gets ~half the mass.
+  EXPECT_NEAR(low_decade, 5000, 400);
+}
+
+TEST(RngTest, LogUniformDegenerate) {
+  Rng rng(29);
+  EXPECT_DOUBLE_EQ(rng.LogUniform(42.0, 42.0), 42.0);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(37);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(47);
+  Rng child = a.Fork();
+  // The child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace mrs

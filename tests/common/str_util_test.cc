@@ -1,0 +1,61 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/table_printer.h"
+
+namespace mrs {
+namespace {
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "ab"), "x=3 y=1.50 s=ab");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_input(500, 'q');
+  EXPECT_EQ(StrFormat("%s!", long_input.c_str()).size(), 501u);
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(FormatMillisTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatMillis(0.5), "500 us");
+  EXPECT_EQ(FormatMillis(12.34), "12.3 ms");
+  EXPECT_EQ(FormatMillis(4567.0), "4.57 s");
+  EXPECT_EQ(FormatMillis(126000.0), "2.1 min");
+}
+
+TEST(FormatBytesTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(12.5 * 1024), "12.5 KB");
+  EXPECT_EQ(FormatBytes(3.0 * 1024 * 1024), "3.0 MB");
+  EXPECT_EQ(FormatBytes(2.5 * 1024 * 1024 * 1024), "2.50 GB");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(TablePrinterTest, CsvRendering) {
+  TablePrinter t("title");
+  t.SetHeader({"P", "resp"});
+  t.AddRow({"10", "123.4"});
+  t.AddNumericRow({20.0, 99.5}, 1);
+  EXPECT_EQ(t.ToCsv(), "P,resp\n10,123.4\n20.0,99.5\n");
+}
+
+TEST(TablePrinterTest, RowsPaddedToHeaderWidth) {
+  TablePrinter t("");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.ToCsv(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,134 @@
+#include "core/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/operator_schedule.h"
+#include "resource/usage_model.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::ListScheduleLowerBound;
+using testing_util::MakeOp;
+using testing_util::MakeUnitOp;
+
+TEST(ExhaustiveTest, EmptyInstance) {
+  auto result = ExhaustiveOptimalMakespan({}, 2, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan, 0.0);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(ExhaustiveTest, SingleOpIsItsParallelTime) {
+  OverlapUsageModel usage(0.5);
+  auto op = MakeUnitOp(0, {6.0, 2.0}, usage);
+  auto result = ExhaustiveOptimalMakespan({op}, 3, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan, op.t_par, 1e-12);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(ExhaustiveTest, HandSolvableInstance) {
+  // d=1, three unit ops of sizes 3, 3, 2 on 2 sites: optimum 4 is NOT
+  // what naive largest-first gives if it must pack 3+2 (5); the optimal
+  // packing is {3,?}: loads {3, 3+2=5}? No: {3,3} vs {2} -> 6/2.
+  // Sizes 3,3,2 on 2 sites: best split {3,2} vs {3} -> makespan 5? or
+  // {3,3} vs {2} -> 6. So optimum = 5.
+  OverlapUsageModel usage(1.0);
+  std::vector<ParallelizedOp> ops = {
+      MakeUnitOp(0, WorkVector({3.0}), usage),
+      MakeUnitOp(1, WorkVector({3.0}), usage),
+      MakeUnitOp(2, WorkVector({2.0}), usage),
+  };
+  auto result = ExhaustiveOptimalMakespan(ops, 2, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan, 5.0, 1e-12);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(ExhaustiveTest, MultiDimensionalComplementaryPacking) {
+  // Two CPU-heavy and two disk-heavy clones, 2 sites, perfect overlap:
+  // optimum pairs complementary ops: makespan 8. Scalar pairing would
+  // give 16 on one resource.
+  OverlapUsageModel usage(1.0);
+  std::vector<ParallelizedOp> ops = {
+      MakeUnitOp(0, {8.0, 0.0}, usage),
+      MakeUnitOp(1, {8.0, 0.0}, usage),
+      MakeUnitOp(2, {0.0, 8.0}, usage),
+      MakeUnitOp(3, {0.0, 8.0}, usage),
+  };
+  auto result = ExhaustiveOptimalMakespan(ops, 2, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan, 8.0, 1e-12);
+}
+
+TEST(ExhaustiveTest, ConstraintAForcesSpread) {
+  // One op with 2 clones and 2 sites: clones must go to different sites
+  // even if one site would otherwise be preferable.
+  OverlapUsageModel usage(1.0);
+  auto op = MakeOp(0, {{4.0, 0.0}, {4.0, 0.0}}, usage);
+  auto result = ExhaustiveOptimalMakespan({op}, 2, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan, 4.0, 1e-12);
+}
+
+TEST(ExhaustiveTest, RootedPrePlacementRespected) {
+  OverlapUsageModel usage(1.0);
+  auto rooted = MakeOp(0, {{6.0, 0.0}}, usage, /*home=*/{0});
+  auto floating = MakeUnitOp(1, {6.0, 0.0}, usage);
+  auto result = ExhaustiveOptimalMakespan({rooted, floating}, 2, 2);
+  ASSERT_TRUE(result.ok());
+  // The floating op avoids site 0: both run in parallel -> 6.
+  EXPECT_NEAR(result->makespan, 6.0, 1e-12);
+}
+
+TEST(ExhaustiveTest, NeverWorseThanListSchedule) {
+  Rng rng(555);
+  OverlapUsageModel usage(0.4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ParallelizedOp> ops;
+    const int m = 3 + static_cast<int>(rng.Index(4));
+    for (int i = 0; i < m; ++i) {
+      std::vector<WorkVector> clones;
+      const int degree = 1 + static_cast<int>(rng.Index(2));
+      for (int k = 0; k < degree; ++k) {
+        clones.push_back(
+            {rng.UniformDouble(0, 9), rng.UniformDouble(0, 9)});
+      }
+      ops.push_back(MakeOp(i, std::move(clones), usage));
+    }
+    auto list = OperatorSchedule(ops, 3, 2);
+    auto exact = ExhaustiveOptimalMakespan(ops, 3, 2);
+    ASSERT_TRUE(list.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(exact->makespan, list->Makespan() + 1e-9);
+    EXPECT_GE(exact->makespan + 1e-9, ListScheduleLowerBound(ops, 3));
+  }
+}
+
+TEST(ExhaustiveTest, NodeCapTripsGracefully) {
+  OverlapUsageModel usage(0.5);
+  std::vector<ParallelizedOp> ops;
+  for (int i = 0; i < 12; ++i) {
+    ops.push_back(MakeUnitOp(
+        i, {1.0 + 0.1 * i, 2.0 - 0.1 * i}, usage));
+  }
+  ExhaustiveOptions options;
+  options.max_nodes = 50;
+  auto result = ExhaustiveOptimalMakespan(ops, 4, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->proven_optimal);
+  // Still returns the list-schedule incumbent.
+  auto list = OperatorSchedule(ops, 4, 2);
+  ASSERT_TRUE(list.ok());
+  EXPECT_LE(result->makespan, list->Makespan() + 1e-9);
+}
+
+TEST(ExhaustiveTest, RejectsBadSites) {
+  EXPECT_FALSE(ExhaustiveOptimalMakespan({}, 0, 2).ok());
+}
+
+}  // namespace
+}  // namespace mrs

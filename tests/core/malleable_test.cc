@@ -1,0 +1,203 @@
+#include "core/malleable.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resource/machine.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::MakeOp;
+
+OperatorCost Cost(int id, double cpu, double disk, double bytes) {
+  OperatorCost cost;
+  cost.op_id = id;
+  cost.kind = OperatorKind::kScan;
+  cost.processing = WorkVector({cpu, disk, 0.0});
+  cost.data_bytes = bytes;
+  return cost;
+}
+
+TEST(MalleableTest, EmptyInput) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  auto sel = SelectMalleableParallelization({}, {}, params, usage, 8);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->degrees.empty());
+  EXPECT_DOUBLE_EQ(sel->lower_bound, 0.0);
+}
+
+TEST(MalleableTest, SingleOpGetsUsefulParallelism) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  auto sel = SelectMalleableParallelization({Cost(0, 2000, 2000, 100000)}, {},
+                                            params, usage, 32);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->degrees.size(), 1u);
+  // A single large op should be spread, not serialized.
+  EXPECT_GT(sel->degrees[0], 1);
+  EXPECT_LE(sel->degrees[0], 32);
+  EXPECT_GT(sel->candidates, 1);
+}
+
+TEST(MalleableTest, CandidateCountBounded) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  const int p = 16;
+  std::vector<OperatorCost> ops;
+  for (int i = 0; i < 5; ++i) ops.push_back(Cost(i, 500.0 + i * 100, 300, 0));
+  auto sel = SelectMalleableParallelization(ops, {}, params, usage, p);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_LE(sel->candidates, 1 + 5 * (p - 1));
+}
+
+TEST(MalleableTest, LowerBoundNeverAboveSerialParallelization) {
+  // LB of the chosen parallelization <= LB of N = (1,...,1), since the
+  // all-ones candidate is in the family.
+  CostParams params;
+  OverlapUsageModel usage(0.4);
+  std::vector<OperatorCost> ops = {Cost(0, 900, 400, 50000),
+                                   Cost(1, 100, 700, 20000),
+                                   Cost(2, 1500, 0, 0)};
+  auto sel = SelectMalleableParallelization(ops, {}, params, usage, 12);
+  ASSERT_TRUE(sel.ok());
+  // LB(1,..,1):
+  WorkVector sum(3);
+  double h = 0.0;
+  for (const auto& c : ops) {
+    WorkVector w = c.processing;
+    w[kNetDim] += params.TransferMs(c.data_bytes);
+    w[kCpuDim] += params.startup_ms_per_site / 2.0;
+    w[kNetDim] += params.startup_ms_per_site / 2.0;
+    sum += w;
+    h = std::max(h, ParallelTime(c, 1, params, usage));
+  }
+  const double lb_serial = std::max(sum.Length() / 12.0, h);
+  EXPECT_LE(sel->lower_bound, lb_serial + 1e-9);
+}
+
+TEST(MalleableTest, FixedOpsFloorTheBound) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  // A rooted op with a huge T_par dominates every parallelization.
+  auto fixed = MakeOp(99, {{5000.0, 0.0, 0.0}}, usage, /*home=*/{0});
+  auto sel = SelectMalleableParallelization({Cost(0, 100, 100, 0)}, {fixed},
+                                            params, usage, 8);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GE(sel->lower_bound, fixed.t_par - 1e-9);
+  // The floating op is never the bottleneck: greedy stops immediately.
+  EXPECT_EQ(sel->degrees[0], 1);
+}
+
+TEST(MalleableTest, ScheduleCoversAllOps) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  std::vector<OperatorCost> floating = {Cost(0, 800, 200, 10000),
+                                        Cost(1, 300, 900, 30000)};
+  auto fixed = MakeOp(7, {{100.0, 100.0, 0.0}}, usage, /*home=*/{3});
+  auto schedule =
+      MalleableSchedule(floating, {fixed}, params, usage, 6, 3);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_FALSE(schedule->HomeOf(0).empty());
+  EXPECT_FALSE(schedule->HomeOf(1).empty());
+  EXPECT_EQ(schedule->HomeOf(7), (std::vector<int>{3}));
+}
+
+TEST(MalleableTest, Theorem71BoundHolds) {
+  // Schedule length <= (2d+1) * LB(N_chosen) <= (2d+1) * OPT.
+  CostParams params;
+  Rng rng(31337);
+  for (double eps : {0.1, 0.5, 0.9}) {
+    OverlapUsageModel usage(eps);
+    std::vector<OperatorCost> ops;
+    const int m = 8;
+    for (int i = 0; i < m; ++i) {
+      ops.push_back(Cost(i, rng.UniformDouble(50, 2000),
+                         rng.UniformDouble(0, 1500),
+                         rng.UniformDouble(0, 200000)));
+    }
+    auto sel = SelectMalleableParallelization(ops, {}, params, usage, 10);
+    ASSERT_TRUE(sel.ok());
+    auto schedule = MalleableSchedule(ops, {}, params, usage, 10, 3);
+    ASSERT_TRUE(schedule.ok());
+    const double d = 3.0;
+    EXPECT_LE(schedule->Makespan(),
+              (2.0 * d + 1.0) * sel->lower_bound + 1e-6);
+  }
+}
+
+TEST(MalleableTest, BeatsOrMatchesSerialOnParallelFriendlyLoad) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  std::vector<OperatorCost> ops = {Cost(0, 10000, 10000, 1000)};
+  auto malleable = MalleableSchedule(ops, {}, params, usage, 16, 3);
+  ASSERT_TRUE(malleable.ok());
+  // Serial schedule of the same op:
+  auto serial = ParallelizeAtDegree(ops[0], params, usage, 1, 16);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_LT(malleable->Makespan(), serial->t_par);
+}
+
+TEST(MalleableTest, SurrogateObjectiveAtLeastAsParallel) {
+  // The surrogate keeps growing degrees while the slowest operator
+  // shrinks faster than total work grows; the LB objective stops at the
+  // packing crossover. Surrogate degrees dominate componentwise here.
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  std::vector<OperatorCost> ops;
+  for (int i = 0; i < 6; ++i) {
+    ops.push_back(Cost(i, 3000.0 + 500.0 * i, 2000.0, 50000.0));
+  }
+  auto lb = SelectMalleableParallelization(ops, {}, params, usage, 32,
+                                           MalleableObjective::kLowerBound);
+  auto surrogate = SelectMalleableParallelization(
+      ops, {}, params, usage, 32, MalleableObjective::kSurrogateMakespan);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(surrogate.ok());
+  int lb_total = 0;
+  int surrogate_total = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    lb_total += lb->degrees[i];
+    surrogate_total += surrogate->degrees[i];
+  }
+  EXPECT_GE(surrogate_total, lb_total);
+}
+
+TEST(MalleableTest, BothObjectivesSatisfyTheorem71Inequality) {
+  // T <= (2d+1) * LB(N_chosen) holds for ANY parallelization, so both
+  // objectives' schedules obey it against their own reported bound.
+  CostParams params;
+  OverlapUsageModel usage(0.4);
+  Rng rng(909);
+  std::vector<OperatorCost> ops;
+  for (int i = 0; i < 7; ++i) {
+    ops.push_back(Cost(i, rng.UniformDouble(100, 4000),
+                       rng.UniformDouble(0, 2500),
+                       rng.UniformDouble(0, 300000)));
+  }
+  for (MalleableObjective objective :
+       {MalleableObjective::kLowerBound,
+        MalleableObjective::kSurrogateMakespan}) {
+    auto selection =
+        SelectMalleableParallelization(ops, {}, params, usage, 9, objective);
+    auto schedule = MalleableSchedule(ops, {}, params, usage, 9, 3, {},
+                                      objective);
+    ASSERT_TRUE(selection.ok());
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_LE(schedule->Makespan(),
+              (2.0 * 3 + 1.0) * selection->lower_bound + 1e-6);
+  }
+}
+
+TEST(MalleableTest, RejectsBadSiteCount) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  EXPECT_FALSE(
+      SelectMalleableParallelization({Cost(0, 1, 1, 0)}, {}, params, usage, 0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace mrs

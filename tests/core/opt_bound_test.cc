@@ -1,0 +1,126 @@
+#include "core/opt_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::MakeFixture;
+using testing_util::PipelinedChainFixture;
+using testing_util::PlanFixture;
+
+MachineConfig Machine(int sites) {
+  MachineConfig m;
+  m.num_sites = sites;
+  return m;
+}
+
+TEST(OptBoundTest, SingleScanMatchesBestParallelTime) {
+  PlanFixture fx = testing_util::MakeFixture(
+      {50000}, [](PlanTree* plan) { plan->AddLeaf(0).value(); });
+  OverlapUsageModel usage(0.5);
+  CostParams params;
+  const int p = 16;
+  auto bound = OptBound(fx.op_tree, fx.task_tree, fx.costs, params, usage,
+                        0.7, p);
+  ASSERT_TRUE(bound.ok());
+  // One operator: CP term = its best CG_f parallel time.
+  const OperatorCost& cost = fx.costs[0];
+  const int n = std::min({MaxCoarseGrainDegree(cost.ProcessingArea(),
+                                               cost.data_bytes, params, 0.7),
+                          OptimalDegree(cost, params, usage, p), p});
+  EXPECT_NEAR(bound->critical_path_bound,
+              ParallelTime(cost, n, params, usage), 1e-9);
+  // Work bound: processing only, spread over P.
+  EXPECT_NEAR(bound->work_bound, cost.processing.Length() / p, 1e-9);
+}
+
+TEST(OptBoundTest, WorkBoundArithmetic) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  auto bound = OptBound(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                        usage, 0.7, 10);
+  ASSERT_TRUE(bound.ok());
+  WorkVector total(3);
+  for (const auto& c : fx.costs) total += c.processing;
+  EXPECT_NEAR(bound->work_bound, total.Length() / 10.0, 1e-9);
+  EXPECT_GE(bound->Bound(), bound->work_bound);
+  EXPECT_GE(bound->Bound(), bound->critical_path_bound);
+}
+
+TEST(OptBoundTest, LowerBoundsTreeSchedule) {
+  for (auto fx_maker : {+[]() { return BushyFourWayFixture(); },
+                        +[]() { return PipelinedChainFixture(6); }}) {
+    PlanFixture fx = fx_maker();
+    for (double eps : {0.1, 0.5, 0.9}) {
+      for (int p : {2, 8, 32}) {
+        OverlapUsageModel usage(eps);
+        TreeScheduleOptions options;
+        options.granularity = 0.7;
+        auto schedule = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs,
+                                     CostParams{}, Machine(p), usage,
+                                     options);
+        auto bound = OptBound(fx.op_tree, fx.task_tree, fx.costs,
+                              CostParams{}, usage, 0.7, p);
+        ASSERT_TRUE(schedule.ok());
+        ASSERT_TRUE(bound.ok());
+        EXPECT_LE(bound->Bound(), schedule->response_time + 1e-6)
+            << "eps=" << eps << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(OptBoundTest, CriticalPathGrowsWithBlockingDepth) {
+  // A blocking chain (left-deep shape) has a longer critical path than a
+  // fully pipelined chain over the same relations.
+  std::vector<int64_t> sizes(5, 10000);
+  PlanFixture pipelined = MakeFixture(sizes, [](PlanTree* plan) {
+    int cur = plan->AddLeaf(0).value();
+    for (int i = 1; i <= 4; ++i) {
+      cur = plan->AddJoin(cur, plan->AddLeaf(i).value()).value();
+    }
+  });
+  PlanFixture blocking = MakeFixture(sizes, [](PlanTree* plan) {
+    int cur = plan->AddLeaf(0).value();
+    for (int i = 1; i <= 4; ++i) {
+      cur = plan->AddJoin(plan->AddLeaf(i).value(), cur).value();
+    }
+  });
+  OverlapUsageModel usage(0.5);
+  auto b_pipe = OptBound(pipelined.op_tree, pipelined.task_tree,
+                         pipelined.costs, CostParams{}, usage, 0.7, 32);
+  auto b_block = OptBound(blocking.op_tree, blocking.task_tree,
+                          blocking.costs, CostParams{}, usage, 0.7, 32);
+  ASSERT_TRUE(b_pipe.ok());
+  ASSERT_TRUE(b_block.ok());
+  EXPECT_GT(b_block->critical_path_bound, b_pipe->critical_path_bound);
+}
+
+TEST(OptBoundTest, WorkBoundDominatesOnTinyMachines) {
+  PlanFixture fx = BushyFourWayFixture({100000, 100000, 100000, 100000});
+  OverlapUsageModel usage(0.5);
+  auto bound = OptBound(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                        usage, 0.7, 1);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GT(bound->work_bound, bound->critical_path_bound);
+}
+
+TEST(OptBoundTest, RejectsBadInput) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  std::vector<OperatorCost> short_costs(fx.costs.begin(), fx.costs.end() - 1);
+  EXPECT_FALSE(OptBound(fx.op_tree, fx.task_tree, short_costs, CostParams{},
+                        usage, 0.7, 8)
+                   .ok());
+  EXPECT_FALSE(
+      OptBound(fx.op_tree, fx.task_tree, fx.costs, CostParams{}, usage, 0.7, 0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,188 @@
+#include "core/preemptability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resource/machine.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::MakeOp;
+using testing_util::MakeUnitOp;
+
+TEST(PreemptabilityPenaltyTest, ForDimConstruction) {
+  auto penalty = PreemptabilityPenalty::ForDim(3, kDiskDim, 0.1);
+  EXPECT_DOUBLE_EQ(penalty.DeltaFor(kCpuDim), 0.0);
+  EXPECT_DOUBLE_EQ(penalty.DeltaFor(kDiskDim), 0.1);
+  EXPECT_DOUBLE_EQ(penalty.DeltaFor(kNetDim), 0.0);
+  // Out-of-range dims read as 0.
+  EXPECT_DOUBLE_EQ(penalty.DeltaFor(7), 0.0);
+  EXPECT_NE(penalty.ToString().find("0.100"), std::string::npos);
+}
+
+TEST(PenalizedSiteTimeTest, ZeroDeltaMatchesPlainModel) {
+  OverlapUsageModel usage(0.4);
+  Schedule s(2, 2);
+  ASSERT_TRUE(s.Place(MakeUnitOp(0, {5.0, 3.0}, usage), 0, 0).ok());
+  ASSERT_TRUE(s.Place(MakeUnitOp(1, {2.0, 6.0}, usage), 0, 0).ok());
+  PreemptabilityPenalty none;
+  none.delta = {0.0, 0.0};
+  EXPECT_NEAR(PenalizedSiteTime(s, 0, none), s.SiteTime(0), 1e-12);
+  EXPECT_NEAR(PenalizedMakespan(s, none), s.Makespan(), 1e-12);
+}
+
+TEST(PenalizedSiteTimeTest, InflatesSharedDimensionOnly) {
+  // Two clones share dimension 1 (both nonzero) but only one uses dim 0.
+  OverlapUsageModel usage(0.0);  // T_seq = sum, keep load the binding term
+  Schedule s(1, 2);
+  ASSERT_TRUE(s.Place(MakeUnitOp(0, {0.0, 10.0}, usage), 0, 0).ok());
+  ASSERT_TRUE(s.Place(MakeUnitOp(1, {4.0, 10.0}, usage), 0, 0).ok());
+  PreemptabilityPenalty penalty;
+  penalty.delta = {0.5, 0.1};
+  // dim0: one user -> no inflation: 4. dim1: two users -> 20 * 1.1 = 22.
+  // Slowest clone T_seq = 14 < 22.
+  EXPECT_NEAR(PenalizedSiteTime(s, 0, penalty), 22.0, 1e-12);
+}
+
+TEST(PenalizedSiteTimeTest, SingleCloneNeverPenalized) {
+  OverlapUsageModel usage(0.5);
+  Schedule s(1, 3);
+  ASSERT_TRUE(s.Place(MakeUnitOp(0, {4.0, 9.0, 1.0}, usage), 0, 0).ok());
+  PreemptabilityPenalty penalty;
+  penalty.delta = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(PenalizedSiteTime(s, 0, penalty), s.SiteTime(0), 1e-12);
+}
+
+TEST(PenalizedMakespanTest, MonotoneInDelta) {
+  OverlapUsageModel usage(0.5);
+  Rng rng(404);
+  std::vector<ParallelizedOp> ops;
+  for (int i = 0; i < 10; ++i) {
+    ops.push_back(MakeUnitOp(
+        i,
+        {rng.UniformDouble(0, 5), rng.UniformDouble(0, 5),
+         rng.UniformDouble(0, 5)},
+        usage));
+  }
+  auto s = OperatorSchedule(ops, 3, 3);
+  ASSERT_TRUE(s.ok());
+  double prev = s->Makespan();
+  for (double d : {0.05, 0.1, 0.2, 0.4}) {
+    auto penalty = PreemptabilityPenalty::ForDim(3, kDiskDim, d);
+    const double m = PenalizedMakespan(*s, penalty);
+    EXPECT_GE(m + 1e-12, prev);
+    prev = m;
+  }
+}
+
+TEST(PenaltyAwareScheduleTest, DeltaZeroStaysNearPlainQuality) {
+  // With delta = 0 the penalized model is the plain model; the aware
+  // scheduler's lookahead site choice is a different greedy but must stay
+  // in the same quality class (both obey Theorem 5.1's bound; on random
+  // loads they should be within a few percent of each other).
+  OverlapUsageModel usage(0.5);
+  Rng rng(11);
+  std::vector<ParallelizedOp> ops;
+  for (int i = 0; i < 12; ++i) {
+    ops.push_back(MakeOp(
+        i,
+        {{rng.UniformDouble(0, 9), rng.UniformDouble(0, 9)},
+         {rng.UniformDouble(0, 9), rng.UniformDouble(0, 9)}},
+        usage));
+  }
+  PreemptabilityPenalty none;
+  none.delta = {0.0, 0.0};
+  auto plain = OperatorSchedule(ops, 4, 2);
+  auto aware = PenaltyAwareOperatorSchedule(ops, 4, 2, none);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(aware.ok());
+  EXPECT_TRUE(aware->Validate(ops).ok());
+  const double lb = testing_util::ListScheduleLowerBound(ops, 4);
+  EXPECT_LE(aware->Makespan(), (2.0 * 2 + 1.0) * lb + 1e-9);
+  EXPECT_LE(aware->Makespan(), plain->Makespan() * 1.25);
+  EXPECT_GE(aware->Makespan(), plain->Makespan() * 0.75);
+}
+
+TEST(PenaltyAwareScheduleTest, AvoidsStackingPenalizedResource) {
+  // Four disk-only clones and four cpu-only clones on two sites with a
+  // harsh disk penalty: the aware scheduler mixes cpu/disk per site; a
+  // disk-blind packing that stacks disk clones pays the inflation.
+  OverlapUsageModel usage(1.0);
+  std::vector<ParallelizedOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(MakeUnitOp(i, {0.0, 8.0}, usage));           // disk
+    ops.push_back(MakeUnitOp(4 + i, {8.0, 0.0}, usage));       // cpu
+  }
+  PreemptabilityPenalty penalty;
+  penalty.delta = {0.0, 0.5};
+  auto aware = PenaltyAwareOperatorSchedule(ops, 4, 2, penalty);
+  ASSERT_TRUE(aware.ok());
+  ASSERT_TRUE(aware->Validate(ops).ok());
+  auto plain = OperatorSchedule(ops, 4, 2);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_LE(PenalizedMakespan(*aware, penalty),
+            PenalizedMakespan(*plain, penalty) + 1e-9);
+}
+
+TEST(PenaltyAwareScheduleTest, RandomInstancesNeverWorse) {
+  Rng rng(2025);
+  OverlapUsageModel usage(0.5);
+  const auto penalty = PreemptabilityPenalty::ForDim(3, kDiskDim, 0.3);
+  int aware_wins_or_ties = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<ParallelizedOp> ops;
+    const int m = 6 + static_cast<int>(rng.Index(10));
+    for (int i = 0; i < m; ++i) {
+      ops.push_back(MakeUnitOp(
+          i,
+          {rng.UniformDouble(0, 6), rng.UniformDouble(0, 6),
+           rng.UniformDouble(0, 6)},
+          usage));
+    }
+    auto aware = PenaltyAwareOperatorSchedule(ops, 4, 3, penalty);
+    auto plain = OperatorSchedule(ops, 4, 3);
+    ASSERT_TRUE(aware.ok());
+    ASSERT_TRUE(plain.ok());
+    if (PenalizedMakespan(*aware, penalty) <=
+        PenalizedMakespan(*plain, penalty) + 1e-9) {
+      ++aware_wins_or_ties;
+    }
+  }
+  // Greedy heuristics admit adversarial instances, but on random loads
+  // the penalty-aware variant should essentially never lose.
+  EXPECT_GE(aware_wins_or_ties, trials - 3);
+}
+
+TEST(PenaltyAwareScheduleTest, RespectsConstraintsAndErrors) {
+  OverlapUsageModel usage(0.5);
+  const auto penalty = PreemptabilityPenalty::ForDim(2, 1, 0.2);
+  auto multi = MakeOp(0, {{1.0, 1.0}, {1.0, 1.0}}, usage);
+  auto s = PenaltyAwareOperatorSchedule({multi}, 2, 2, penalty);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Validate({multi}).ok());
+  EXPECT_FALSE(PenaltyAwareOperatorSchedule({multi}, 1, 2, penalty).ok());
+}
+
+TEST(PenalizedResponseTimeTest, SumsPhases) {
+  OverlapUsageModel usage(0.5);
+  auto fx = testing_util::BushyFourWayFixture();
+  MachineConfig machine;
+  machine.num_sites = 6;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const auto penalty = PreemptabilityPenalty::ForDim(3, kDiskDim, 0.2);
+  double sum = 0.0;
+  for (const auto& phase : plan->phases) {
+    sum += PenalizedMakespan(phase.schedule, penalty);
+  }
+  EXPECT_NEAR(PenalizedResponseTime(*plan, penalty), sum, 1e-9);
+  EXPECT_GE(PenalizedResponseTime(*plan, penalty),
+            plan->response_time - 1e-9);
+}
+
+}  // namespace
+}  // namespace mrs

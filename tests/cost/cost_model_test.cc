@@ -1,0 +1,144 @@
+#include "cost/cost_model.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/plan_tree.h"
+#include "resource/machine.h"
+
+namespace mrs {
+namespace {
+
+// One join: outer R0 (1000 tuples) probe side, inner R1 (1000 tuples)
+// build side. All numbers below are hand-derived from Table 2 defaults:
+//   pages(1000) = 25, read cpu = 25*5000 + 1000*300 = 425000 instr = 425ms
+//   disk = 25 * 20ms = 500ms, bytes(1000) = 128000.
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation r0;
+    r0.name = "R0";
+    r0.num_tuples = 1000;
+    Relation r1;
+    r1.name = "R1";
+    r1.num_tuples = 1000;
+    ASSERT_TRUE(catalog_.AddRelation(r0).ok());
+    ASSERT_TRUE(catalog_.AddRelation(r1).ok());
+    plan_ = std::make_unique<PlanTree>(&catalog_);
+    plan_->AddJoin(plan_->AddLeaf(0).value(), plan_->AddLeaf(1).value())
+        .value();
+    ASSERT_TRUE(plan_->Finalize().ok());
+    auto tree = OperatorTree::FromPlan(*plan_);
+    ASSERT_TRUE(tree.ok());
+    ops_ = std::make_unique<OperatorTree>(std::move(tree).value());
+  }
+
+  const PhysicalOp& OpOfKind(OperatorKind kind) {
+    return ops_->op(ops_->OpsOfKind(kind).front());
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PlanTree> plan_;
+  std::unique_ptr<OperatorTree> ops_;
+  CostModel model_{CostParams{}, 3};
+};
+
+TEST_F(CostModelTest, ScanCost) {
+  // The inner scan feeds the build: it ships its output.
+  const PhysicalOp& probe = ops_->op(ops_->root_op());
+  const PhysicalOp& outer_scan = ops_->op(probe.data_inputs[0]);
+  auto cost = model_.Cost(outer_scan);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(cost->processing[kCpuDim], 425.0, 1e-9);
+  EXPECT_NEAR(cost->processing[kDiskDim], 500.0, 1e-9);
+  EXPECT_NEAR(cost->processing[kNetDim], 0.0, 1e-9);  // comm not in W_p
+  EXPECT_NEAR(cost->data_bytes, 128000.0, 1e-9);
+  EXPECT_NEAR(cost->ProcessingArea(), 925.0, 1e-9);
+}
+
+TEST_F(CostModelTest, RootProbeShipsNoOutput) {
+  const PhysicalOp& probe = ops_->op(ops_->root_op());
+  auto cost = model_.Cost(probe);
+  ASSERT_TRUE(cost.ok());
+  // probe cpu: 1000 * (300 extract + 200 probe) = 500000 instr.
+  EXPECT_NEAR(cost->processing[kCpuDim], 500.0, 1e-9);
+  EXPECT_NEAR(cost->processing[kDiskDim], 0.0, 1e-9);
+  // D: receives the outer stream only (it is the plan root).
+  EXPECT_NEAR(cost->data_bytes, 128000.0, 1e-9);
+}
+
+TEST_F(CostModelTest, BuildCost) {
+  const PhysicalOp& build = OpOfKind(OperatorKind::kBuild);
+  auto cost = model_.Cost(build);
+  ASSERT_TRUE(cost.ok());
+  // 1000 * (300 extract + 100 hash) instr.
+  EXPECT_NEAR(cost->processing[kCpuDim], 400.0, 1e-9);
+  EXPECT_NEAR(cost->processing[kDiskDim], 0.0, 1e-9);   // in-memory (A1)
+  EXPECT_NEAR(cost->data_bytes, 128000.0, 1e-9);        // receives inner
+}
+
+TEST_F(CostModelTest, CostAllIndexedByOpId) {
+  auto costs = model_.CostAll(*ops_);
+  ASSERT_TRUE(costs.ok());
+  ASSERT_EQ(static_cast<int>(costs->size()), ops_->num_ops());
+  for (int i = 0; i < ops_->num_ops(); ++i) {
+    EXPECT_EQ((*costs)[static_cast<size_t>(i)].op_id, i);
+    EXPECT_EQ((*costs)[static_cast<size_t>(i)].kind, ops_->op(i).kind);
+    EXPECT_TRUE((*costs)[static_cast<size_t>(i)].processing.IsNonNegative());
+  }
+}
+
+TEST_F(CostModelTest, ExtraDimensionsStayZero) {
+  CostModel wide(CostParams{}, 5);
+  const PhysicalOp& probe = ops_->op(ops_->root_op());
+  auto cost = wide.Cost(probe);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->processing.dim(), 5u);
+  EXPECT_DOUBLE_EQ(cost->processing[3], 0.0);
+  EXPECT_DOUBLE_EQ(cost->processing[4], 0.0);
+}
+
+TEST(CostParamsTest, DefaultsMatchTable2) {
+  CostParams p;
+  EXPECT_DOUBLE_EQ(p.cpu_mips, 1.0);
+  EXPECT_DOUBLE_EQ(p.disk_ms_per_page, 20.0);
+  EXPECT_DOUBLE_EQ(p.startup_ms_per_site, 15.0);
+  EXPECT_DOUBLE_EQ(p.net_ms_per_byte, 0.0006);
+  EXPECT_EQ(p.tuple_bytes, 128);
+  EXPECT_EQ(p.tuples_per_page, 40);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(CostParamsTest, Conversions) {
+  CostParams p;
+  EXPECT_DOUBLE_EQ(p.InstrToMs(5000.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.TransferMs(100000.0), 60.0);
+  // W_c(op, N) = alpha*N + beta*D.
+  EXPECT_DOUBLE_EQ(p.CommunicationArea(4, 100000.0), 4 * 15.0 + 60.0);
+}
+
+TEST(CostParamsTest, ValidationCatchesBadValues) {
+  CostParams p;
+  p.cpu_mips = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = CostParams{};
+  p.startup_ms_per_site = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = CostParams{};
+  p.net_ms_per_byte = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = CostParams{};
+  p.instr_probe_hash = -5.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CostParamsTest, ToStringMentionsKeyNumbers) {
+  const std::string s = CostParams{}.ToString();
+  EXPECT_NE(s.find("Table 2"), std::string::npos);
+  EXPECT_NE(s.find("15.0 ms/site"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrs

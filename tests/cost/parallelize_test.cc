@@ -1,0 +1,235 @@
+#include "cost/parallelize.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "resource/machine.h"
+
+namespace mrs {
+namespace {
+
+// A scan-like operator: 425ms CPU, 500ms disk, ships 128000 bytes.
+OperatorCost ScanCost() {
+  OperatorCost cost;
+  cost.op_id = 7;
+  cost.kind = OperatorKind::kScan;
+  cost.processing = WorkVector({425.0, 500.0, 0.0});
+  cost.data_bytes = 128000.0;
+  return cost;
+}
+
+TEST(MaxCoarseGrainDegreeTest, HandComputedValue) {
+  CostParams params;
+  // (0.7 * 925 - 76.8) / 15 = 38.04... -> 38.
+  EXPECT_EQ(MaxCoarseGrainDegree(925.0, 128000.0, params, 0.7), 38);
+  // Small f starves the numerator -> degree 1.
+  EXPECT_EQ(MaxCoarseGrainDegree(925.0, 128000.0, params, 0.05), 1);
+  // Even negative numerators clamp to 1 (Prop 4.1's max with 1).
+  EXPECT_EQ(MaxCoarseGrainDegree(10.0, 1'000'000.0, params, 0.5), 1);
+}
+
+TEST(MaxCoarseGrainDegreeTest, MonotoneInF) {
+  CostParams params;
+  int prev = 0;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const int n = MaxCoarseGrainDegree(925.0, 128000.0, params, f);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(SplitIntoClonesTest, ConservesTotalWork) {
+  CostParams params;
+  const OperatorCost cost = ScanCost();
+  for (int n : {1, 2, 3, 7, 16}) {
+    const auto clones = SplitIntoClones(cost, n, params);
+    ASSERT_EQ(static_cast<int>(clones.size()), n);
+    const WorkVector total = SumVectors(clones);
+    // Total = W_p + beta*D + alpha*N (the communication area's startup).
+    EXPECT_NEAR(total.Total(),
+                cost.ProcessingArea() + params.TransferMs(cost.data_bytes) +
+                    params.startup_ms_per_site * n,
+                1e-9);
+  }
+}
+
+TEST(SplitIntoClonesTest, CoordinatorCarriesStartup) {
+  CostParams params;
+  const auto clones = SplitIntoClones(ScanCost(), 2, params);
+  // Non-coordinator clone: [212.5, 250, 38.4].
+  EXPECT_NEAR(clones[1][kCpuDim], 212.5, 1e-9);
+  EXPECT_NEAR(clones[1][kDiskDim], 250.0, 1e-9);
+  EXPECT_NEAR(clones[1][kNetDim], 38.4, 1e-9);
+  // Coordinator adds alpha*N/2 = 15 to CPU and net (EA1).
+  EXPECT_NEAR(clones[0][kCpuDim], 227.5, 1e-9);
+  EXPECT_NEAR(clones[0][kDiskDim], 250.0, 1e-9);
+  EXPECT_NEAR(clones[0][kNetDim], 53.4, 1e-9);
+}
+
+TEST(SplitIntoClonesTest, CoordinatorDominatesComponentwise) {
+  CostParams params;
+  for (int n : {2, 5, 9}) {
+    const auto clones = SplitIntoClones(ScanCost(), n, params);
+    for (int k = 1; k < n; ++k) {
+      EXPECT_TRUE(clones[static_cast<size_t>(k)].DominatedBy(clones[0]));
+    }
+  }
+}
+
+TEST(ParallelTimeTest, MatchesCoordinatorSequentialTime) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  const OperatorCost cost = ScanCost();
+  for (int n : {1, 2, 4, 11}) {
+    const auto clones = SplitIntoClones(cost, n, params);
+    EXPECT_NEAR(ParallelTime(cost, n, params, usage),
+                usage.SequentialTime(clones[0]), 1e-9);
+  }
+}
+
+TEST(ParallelTimeTest, HandComputedTwoClones) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  // Coordinator at N=2 is [227.5, 250, 53.4]: T = .5*250 + .5*530.9.
+  EXPECT_NEAR(ParallelTime(ScanCost(), 2, params, usage), 390.45, 1e-9);
+}
+
+TEST(OptimalDegreeTest, InteriorMinimum) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  const OperatorCost cost = ScanCost();
+  const int n_opt = OptimalDegree(cost, params, usage, 140);
+  EXPECT_GT(n_opt, 1);
+  EXPECT_LT(n_opt, 140);
+  // A4 holds up to the optimum: T_par is non-increasing on [1, n_opt].
+  double prev = ParallelTime(cost, 1, params, usage);
+  for (int n = 2; n <= n_opt; ++n) {
+    const double t = ParallelTime(cost, n, params, usage);
+    EXPECT_LE(t, prev + 1e-9);
+    prev = t;
+  }
+  // And it strictly increases immediately afterwards.
+  EXPECT_GT(ParallelTime(cost, n_opt + 1, params, usage),
+            ParallelTime(cost, n_opt, params, usage));
+}
+
+TEST(OptimalDegreeTest, RespectsPMax) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  EXPECT_LE(OptimalDegree(ScanCost(), params, usage, 4), 4);
+  EXPECT_EQ(OptimalDegree(ScanCost(), params, usage, 1), 1);
+}
+
+TEST(ParallelizeFloatingTest, DegreeIsMinOfCaps) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  const OperatorCost cost = ScanCost();
+  // f = 0.7: N_max = 38; optimal degree ~ sqrt-ish; P = 140.
+  auto op = ParallelizeFloating(cost, params, usage, 0.7, 140);
+  ASSERT_TRUE(op.ok());
+  const int n_opt = OptimalDegree(cost, params, usage, 140);
+  EXPECT_EQ(op->degree, std::min(38, n_opt));
+  EXPECT_FALSE(op->rooted);
+  EXPECT_EQ(op->op_id, 7);
+  // Tight site budget wins.
+  auto capped = ParallelizeFloating(cost, params, usage, 0.7, 3);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->degree, 3);
+}
+
+TEST(ParallelizeFloatingTest, TParIsMaxCloneTime) {
+  CostParams params;
+  OverlapUsageModel usage(0.3);
+  auto op = ParallelizeFloating(ScanCost(), params, usage, 0.7, 16);
+  ASSERT_TRUE(op.ok());
+  double max_t = 0.0;
+  for (double t : op->t_seq) max_t = std::max(max_t, t);
+  EXPECT_DOUBLE_EQ(op->t_par, max_t);
+  EXPECT_EQ(op->t_seq.size(), static_cast<size_t>(op->degree));
+}
+
+TEST(ParallelizeFloatingTest, RejectsBadInput) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  EXPECT_FALSE(ParallelizeFloating(ScanCost(), params, usage, 0.7, 0).ok());
+  EXPECT_FALSE(ParallelizeFloating(ScanCost(), params, usage, -0.1, 8).ok());
+  OperatorCost bad = ScanCost();
+  bad.data_bytes = -5.0;
+  EXPECT_FALSE(ParallelizeFloating(bad, params, usage, 0.7, 8).ok());
+}
+
+TEST(ParallelizeAtDegreeTest, ExplicitDegree) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  auto op = ParallelizeAtDegree(ScanCost(), params, usage, 5, 8);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op->degree, 5);
+  EXPECT_FALSE(ParallelizeAtDegree(ScanCost(), params, usage, 0, 8).ok());
+  EXPECT_FALSE(ParallelizeAtDegree(ScanCost(), params, usage, 9, 8).ok());
+}
+
+TEST(ParallelizeRootedTest, HomeFixesDegreeAndOrder) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  auto op = ParallelizeRooted(ScanCost(), params, usage, {4, 1, 6}, 8);
+  ASSERT_TRUE(op.ok());
+  EXPECT_TRUE(op->rooted);
+  EXPECT_EQ(op->degree, 3);
+  EXPECT_EQ(op->home, (std::vector<int>{4, 1, 6}));
+}
+
+TEST(ParallelizeRootedTest, RejectsBadHomes) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  EXPECT_FALSE(ParallelizeRooted(ScanCost(), params, usage, {}, 8).ok());
+  EXPECT_FALSE(ParallelizeRooted(ScanCost(), params, usage, {1, 1}, 8).ok());
+  EXPECT_FALSE(ParallelizeRooted(ScanCost(), params, usage, {8}, 8).ok());
+  EXPECT_FALSE(ParallelizeRooted(ScanCost(), params, usage, {-1}, 8).ok());
+}
+
+TEST(ParallelizedOpTest, TotalWorkIsCloneSum) {
+  CostParams params;
+  OverlapUsageModel usage(0.5);
+  auto op = ParallelizeAtDegree(ScanCost(), params, usage, 4, 8);
+  ASSERT_TRUE(op.ok());
+  const WorkVector total = op->TotalWork();
+  EXPECT_NEAR(total.Total(),
+              925.0 + params.TransferMs(128000.0) + 15.0 * 4, 1e-9);
+}
+
+/// Property sweep over (f, P, eps): chosen degrees always satisfy the CG_f
+/// condition W_c <= f*W_p (or degree 1 when even that is not CG_f), and
+/// non-increasing T_par on [1, degree] (assumption A4).
+class CoarseGrainPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(CoarseGrainPropertyTest, DegreeRespectsGranularityAndA4) {
+  const auto [f, p, eps] = GetParam();
+  CostParams params;
+  OverlapUsageModel usage(eps);
+  const OperatorCost cost = ScanCost();
+  auto op = ParallelizeFloating(cost, params, usage, f, p);
+  ASSERT_TRUE(op.ok());
+  ASSERT_GE(op->degree, 1);
+  ASSERT_LE(op->degree, p);
+  if (op->degree > 1) {
+    EXPECT_LE(params.CommunicationArea(op->degree, cost.data_bytes),
+              f * cost.ProcessingArea() + 1e-9);
+  }
+  double prev = ParallelTime(cost, 1, params, usage);
+  for (int n = 2; n <= op->degree; ++n) {
+    const double t = ParallelTime(cost, n, params, usage);
+    EXPECT_LE(t, prev + 1e-9);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoarseGrainPropertyTest,
+    ::testing::Combine(::testing::Values(0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(1, 4, 20, 140),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,98 @@
+#include "exec/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::PlanFixture;
+
+TEST(ExplainTest, PhasesAndResponseMatchSchedule) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 8;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const ScheduleExplanation exp = ExplainSchedule(*plan);
+  EXPECT_DOUBLE_EQ(exp.response_time, plan->response_time);
+  ASSERT_EQ(exp.phases.size(), plan->phases.size());
+  for (size_t k = 0; k < exp.phases.size(); ++k) {
+    EXPECT_DOUBLE_EQ(exp.phases[k].makespan, plan->phases[k].makespan);
+    // The critical site realizes the makespan.
+    const int cs = exp.phases[k].critical_site;
+    ASSERT_GE(cs, 0);
+    EXPECT_NEAR(plan->phases[k].schedule.SiteTime(cs),
+                plan->phases[k].makespan, 1e-9);
+    // Utilization is a valid fraction per resource.
+    ASSERT_EQ(exp.phases[k].utilization.size(), 3u);
+    for (double u : exp.phases[k].utilization) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0 + 1e-9);
+    }
+    // The heaviest op is actually placed at the critical site.
+    bool found = false;
+    for (int p : plan->phases[k].schedule.SitePlacements(cs)) {
+      if (plan->phases[k]
+              .schedule.placements()[static_cast<size_t>(p)]
+              .op_id == exp.phases[k].heaviest_op) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ExplainTest, LoadBoundConsistentWithEquationTwo) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.3);
+  MachineConfig machine;
+  machine.num_sites = 4;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const ScheduleExplanation exp = ExplainSchedule(*plan);
+  for (size_t k = 0; k < exp.phases.size(); ++k) {
+    const auto& phase = plan->phases[k];
+    const int cs = exp.phases[k].critical_site;
+    double max_t_seq = 0.0;
+    for (int p : phase.schedule.SitePlacements(cs)) {
+      max_t_seq = std::max(
+          max_t_seq,
+          phase.schedule.placements()[static_cast<size_t>(p)].t_seq);
+    }
+    const double load = phase.schedule.SiteLoadLength(cs);
+    EXPECT_EQ(exp.phases[k].load_bound, load >= max_t_seq);
+  }
+}
+
+TEST(ExplainTest, ReportMentionsResourcesByName) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 6;
+  ASSERT_TRUE(machine.Validate().ok());
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const std::string report = ExplainSchedule(*plan).ToString(machine);
+  EXPECT_NE(report.find("schedule explanation"), std::string::npos);
+  EXPECT_NE(report.find("critical site"), std::string::npos);
+  EXPECT_NE(report.find("cpu="), std::string::npos);
+}
+
+TEST(ExplainTest, EmptyResult) {
+  TreeScheduleResult empty;
+  const ScheduleExplanation exp = ExplainSchedule(empty);
+  EXPECT_TRUE(exp.phases.empty());
+  MachineConfig machine;
+  ASSERT_TRUE(machine.Validate().ok());
+  EXPECT_FALSE(exp.ToString(machine).empty());
+}
+
+}  // namespace
+}  // namespace mrs

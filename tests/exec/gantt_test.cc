@@ -1,0 +1,92 @@
+#include "exec/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::MakeUnitOp;
+using testing_util::PlanFixture;
+
+TEST(GanttTest, PhaseGanttListsAllSites) {
+  OverlapUsageModel usage(0.5);
+  Schedule s(3, 2);
+  ASSERT_TRUE(s.Place(MakeUnitOp(0, {5.0, 1.0}, usage), 0, 1).ok());
+  const std::string out = RenderPhaseGantt(s, 40);
+  EXPECT_NE(out.find("s0"), std::string::npos);
+  EXPECT_NE(out.find("s1"), std::string::npos);
+  EXPECT_NE(out.find("s2"), std::string::npos);
+  EXPECT_NE(out.find("op0.0"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyScheduleRendersWithoutBars) {
+  Schedule s(2, 2);
+  const std::string out = RenderPhaseGantt(s, 40);
+  EXPECT_EQ(out.find("#"), std::string::npos);
+}
+
+TEST(GanttTest, TreeGanttShowsAllPhases) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 6;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const std::string out = RenderTreeGantt(*plan, 60);
+  for (size_t k = 0; k < plan->phases.size(); ++k) {
+    EXPECT_NE(out.find("phase " + std::to_string(k)), std::string::npos);
+  }
+  EXPECT_NE(out.find("response time"), std::string::npos);
+}
+
+TEST(GanttTest, SvgIsWellFormedAndCoversAllClones) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 5;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  const std::string svg = RenderTreeGanttSvg(*plan, 800);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One <rect> per placement across all phases.
+  size_t placements = 0;
+  for (const auto& phase : plan->phases) {
+    placements += phase.schedule.placements().size();
+  }
+  size_t rects = 0;
+  size_t pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_EQ(rects, placements);
+  // Every site lane labeled once.
+  EXPECT_NE(svg.find(">s0<"), std::string::npos);
+  EXPECT_NE(svg.find(">s4<"), std::string::npos);
+  // Phase boundary markers: one dashed line per phase.
+  size_t lines = 0;
+  pos = 0;
+  while ((pos = svg.find("stroke-dasharray", pos)) != std::string::npos) {
+    ++lines;
+    pos += 10;
+  }
+  EXPECT_EQ(lines, plan->phases.size());
+}
+
+TEST(GanttTest, SvgHandlesEmptyResult) {
+  TreeScheduleResult empty;
+  const std::string svg = RenderTreeGanttSvg(empty);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrs

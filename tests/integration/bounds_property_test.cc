@@ -1,0 +1,165 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exhaustive.h"
+#include "core/malleable.h"
+#include "core/operator_schedule.h"
+#include "resource/usage_model.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::ListScheduleLowerBound;
+using testing_util::MakeOp;
+
+/// Random instance generator for independent-operator scheduling.
+std::vector<ParallelizedOp> RandomInstance(Rng* rng, int max_ops, int dims,
+                                           int max_degree,
+                                           const OverlapUsageModel& usage) {
+  std::vector<ParallelizedOp> ops;
+  const int m = 2 + static_cast<int>(rng->Index(
+                        static_cast<size_t>(max_ops - 1)));
+  for (int i = 0; i < m; ++i) {
+    const int degree =
+        1 + static_cast<int>(rng->Index(static_cast<size_t>(max_degree)));
+    std::vector<WorkVector> clones;
+    for (int k = 0; k < degree; ++k) {
+      WorkVector w(static_cast<size_t>(dims));
+      for (int r = 0; r < dims; ++r) {
+        // Mixed magnitudes stress the packing more than uniform ones.
+        w[static_cast<size_t>(r)] =
+            rng->Bernoulli(0.3) ? rng->UniformDouble(5.0, 20.0)
+                                : rng->UniformDouble(0.0, 2.0);
+      }
+      clones.push_back(std::move(w));
+    }
+    ops.push_back(MakeOp(i, std::move(clones), usage));
+  }
+  return ops;
+}
+
+/// Theorem 5.1(a) against the *exact* optimum on small instances: the
+/// list schedule is within (2d+1) of the true optimal makespan for the
+/// same parallelization. (Empirically the ratio is far smaller — the
+/// bench `ablation_bounds` quantifies it.)
+class ExactRatioPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
+
+TEST_P(ExactRatioPropertyTest, ListWithinTwoDPlusOneOfExactOptimum) {
+  const auto [dims, eps, seed] = GetParam();
+  OverlapUsageModel usage(eps);
+  Rng rng(seed);
+  const int p = 3;
+  std::vector<ParallelizedOp> ops =
+      RandomInstance(&rng, /*max_ops=*/6, dims, /*max_degree=*/2, usage);
+  // Keep the exhaustive search tractable.
+  size_t clones = 0;
+  for (const auto& op : ops) clones += static_cast<size_t>(op.degree);
+  if (clones > 9) ops.resize(4);
+
+  auto list = OperatorSchedule(ops, p, dims);
+  ASSERT_TRUE(list.ok());
+  auto exact = ExhaustiveOptimalMakespan(ops, p, dims);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact->proven_optimal);
+  ASSERT_GT(exact->makespan, 0.0);
+  const double ratio = list->Makespan() / exact->makespan;
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LE(ratio, 2.0 * dims + 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactRatioPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(11u, 22u, 33u, 44u)));
+
+/// Theorem 5.1(a) against the analytic lower bound on larger instances.
+class AnalyticBoundPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(AnalyticBoundPropertyTest, ListWithinTwoDPlusOneOfLB) {
+  const auto [dims, p, seed] = GetParam();
+  OverlapUsageModel usage(0.5);
+  Rng rng(seed);
+  std::vector<ParallelizedOp> ops = RandomInstance(
+      &rng, /*max_ops=*/30, dims, /*max_degree=*/std::min(p, 5), usage);
+  auto list = OperatorSchedule(ops, p, dims);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(list->Validate(ops).ok());
+  const double lb = ListScheduleLowerBound(ops, p);
+  EXPECT_LE(list->Makespan(), (2.0 * dims + 1.0) * lb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalyticBoundPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 5),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(101u, 202u, 303u)));
+
+/// Theorem 7.1: the malleable pipeline (GF selection + list scheduling)
+/// stays within (2d+1) of its own LB, which lower-bounds the optimum over
+/// all parallelizations.
+class MalleableBoundPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(MalleableBoundPropertyTest, WithinTwoDPlusOne) {
+  const auto [eps, seed] = GetParam();
+  const int dims = 3;
+  OverlapUsageModel usage(eps);
+  CostParams params;
+  Rng rng(seed);
+  std::vector<OperatorCost> costs;
+  const int m = 3 + static_cast<int>(rng.Index(8));
+  for (int i = 0; i < m; ++i) {
+    OperatorCost c;
+    c.op_id = i;
+    c.processing = WorkVector(
+        {rng.UniformDouble(10, 3000), rng.UniformDouble(0, 2000), 0.0});
+    c.data_bytes = rng.UniformDouble(0, 500000);
+    costs.push_back(std::move(c));
+  }
+  const int p = 12;
+  auto selection =
+      SelectMalleableParallelization(costs, {}, params, usage, p);
+  ASSERT_TRUE(selection.ok());
+  auto schedule = MalleableSchedule(costs, {}, params, usage, p, dims);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_LE(schedule->Makespan(),
+            (2.0 * dims + 1.0) * selection->lower_bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MalleableBoundPropertyTest,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(7u, 77u, 777u, 7777u)));
+
+/// Lemma 7.2 ingredient: work vectors are componentwise non-decreasing in
+/// the degree of parallelism under our communication model.
+TEST(MalleableFoundationTest, TotalWorkNonDecreasingInDegree) {
+  CostParams params;
+  OperatorCost c;
+  c.op_id = 0;
+  c.processing = WorkVector({800.0, 300.0, 0.0});
+  c.data_bytes = 64000.0;
+  WorkVector prev;
+  for (int n = 1; n <= 16; ++n) {
+    const WorkVector total = SumVectors(SplitIntoClones(c, n, params));
+    if (n > 1) {
+      // Allow floating-point slack: summing n shares of W/n reassembles W
+      // only to ~1 ulp.
+      for (size_t i = 0; i < total.dim(); ++i) {
+        EXPECT_LE(prev[i], total[i] + 1e-9)
+            << "W(" << n - 1 << ")[" << i << "] should be <= W(" << n
+            << ")[" << i << "]";
+      }
+    }
+    prev = total;
+  }
+}
+
+}  // namespace
+}  // namespace mrs

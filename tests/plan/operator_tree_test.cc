@@ -1,0 +1,140 @@
+#include "plan/operator_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/plan_tree.h"
+
+namespace mrs {
+namespace {
+
+Catalog MakeCatalog(std::vector<int64_t> sizes) {
+  Catalog catalog;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    Relation r;
+    r.name = "R" + std::to_string(i);
+    r.num_tuples = sizes[i];
+    EXPECT_TRUE(catalog.AddRelation(std::move(r)).ok());
+  }
+  return catalog;
+}
+
+TEST(OperatorTreeTest, SingleScanPlan) {
+  Catalog catalog = MakeCatalog({100});
+  PlanTree plan(&catalog);
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto tree = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_ops(), 1);
+  const PhysicalOp& scan = tree->op(tree->root_op());
+  EXPECT_EQ(scan.kind, OperatorKind::kScan);
+  EXPECT_EQ(scan.input_tuples, 100);
+  EXPECT_EQ(scan.output_tuples, 100);
+  EXPECT_EQ(scan.consumer, -1);
+  EXPECT_TRUE(scan.data_inputs.empty());
+}
+
+TEST(OperatorTreeTest, RequiresFinalizedPlan) {
+  Catalog catalog = MakeCatalog({100});
+  PlanTree plan(&catalog);
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  EXPECT_EQ(OperatorTree::FromPlan(plan).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OperatorTreeTest, JoinExpandsToScansBuildProbe) {
+  Catalog catalog = MakeCatalog({1000, 300});
+  PlanTree plan(&catalog);
+  int outer = plan.AddLeaf(0).value();
+  int inner = plan.AddLeaf(1).value();
+  plan.AddJoin(outer, inner).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto tree = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(tree.ok());
+
+  // 1 join over 2 relations: 3*1 + 1 = 4 operators.
+  EXPECT_EQ(tree->num_ops(), 4);
+  EXPECT_EQ(tree->OpsOfKind(OperatorKind::kScan).size(), 2u);
+  EXPECT_EQ(tree->OpsOfKind(OperatorKind::kBuild).size(), 1u);
+  EXPECT_EQ(tree->OpsOfKind(OperatorKind::kProbe).size(), 1u);
+
+  const PhysicalOp& probe = tree->op(tree->root_op());
+  EXPECT_EQ(probe.kind, OperatorKind::kProbe);
+  EXPECT_EQ(probe.input_tuples, 1000);   // outer stream
+  EXPECT_EQ(probe.output_tuples, 1000);  // key join result
+  ASSERT_GE(probe.blocking_input, 0);
+
+  const PhysicalOp& build = tree->op(probe.blocking_input);
+  EXPECT_EQ(build.kind, OperatorKind::kBuild);
+  EXPECT_EQ(build.input_tuples, 300);  // inner stream
+  EXPECT_EQ(build.output_tuples, 0);   // hash table stays local
+  EXPECT_EQ(build.consumer, -1);
+
+  // The build's data input is the inner scan; the probe's is the outer.
+  ASSERT_EQ(build.data_inputs.size(), 1u);
+  const PhysicalOp& inner_scan = tree->op(build.data_inputs[0]);
+  EXPECT_EQ(inner_scan.kind, OperatorKind::kScan);
+  EXPECT_EQ(inner_scan.output_tuples, 300);
+  EXPECT_EQ(inner_scan.consumer, build.id);
+
+  ASSERT_EQ(probe.data_inputs.size(), 1u);
+  const PhysicalOp& outer_scan = tree->op(probe.data_inputs[0]);
+  EXPECT_EQ(outer_scan.output_tuples, 1000);
+  EXPECT_EQ(outer_scan.consumer, probe.id);
+}
+
+TEST(OperatorTreeTest, OperatorCountIs3JPlus1) {
+  for (int joins : {2, 3, 5}) {
+    Catalog catalog = MakeCatalog(
+        std::vector<int64_t>(static_cast<size_t>(joins + 1), 500));
+    PlanTree plan(&catalog);
+    int cur = plan.AddLeaf(0).value();
+    for (int i = 1; i <= joins; ++i) {
+      cur = plan.AddJoin(cur, plan.AddLeaf(i).value()).value();
+    }
+    ASSERT_TRUE(plan.Finalize().ok());
+    auto tree = OperatorTree::FromPlan(plan);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree->num_ops(), 3 * joins + 1);
+  }
+}
+
+TEST(OperatorTreeTest, ByteAccountingUsesLayout) {
+  Catalog catalog = MakeCatalog({10, 20});
+  PlanTree plan(&catalog);
+  plan.AddJoin(plan.AddLeaf(0).value(), plan.AddLeaf(1).value()).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto tree = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(tree.ok());
+  const PhysicalOp& probe = tree->op(tree->root_op());
+  EXPECT_EQ(probe.input_bytes(), 10 * 128);
+  EXPECT_EQ(probe.output_bytes(), 20 * 128);
+}
+
+TEST(OperatorTreeTest, BuildForProbe) {
+  Catalog catalog = MakeCatalog({10, 20});
+  PlanTree plan(&catalog);
+  plan.AddJoin(plan.AddLeaf(0).value(), plan.AddLeaf(1).value()).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto tree = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(tree.ok());
+  const int probe = tree->root_op();
+  auto build = tree->BuildForProbe(probe);
+  ASSERT_TRUE(build.ok());
+  EXPECT_EQ(tree->op(build.value()).kind, OperatorKind::kBuild);
+  // Error paths.
+  EXPECT_EQ(tree->BuildForProbe(999).status().code(), StatusCode::kOutOfRange);
+  const int scan = tree->op(probe).data_inputs[0];
+  EXPECT_EQ(tree->BuildForProbe(scan).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OperatorTreeTest, KindNames) {
+  EXPECT_EQ(OperatorKindToString(OperatorKind::kScan), "scan");
+  EXPECT_EQ(OperatorKindToString(OperatorKind::kBuild), "build");
+  EXPECT_EQ(OperatorKindToString(OperatorKind::kProbe), "probe");
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,79 @@
+#include "plan/plan_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::MakeFixture;
+using testing_util::PlanFixture;
+
+TEST(PlanPrinterTest, RenderPlanTreeShowsJoinsAndScans) {
+  PlanFixture fx = BushyFourWayFixture();
+  const std::string out = RenderPlanTree(*fx.plan);
+  EXPECT_NE(out.find("join"), std::string::npos);
+  EXPECT_NE(out.find("scan R0"), std::string::npos);
+  EXPECT_NE(out.find("scan R3"), std::string::npos);
+  EXPECT_NE(out.find("|out|="), std::string::npos);
+}
+
+TEST(PlanPrinterTest, RenderPlanTreeShowsUnaryOps) {
+  PlanFixture fx = MakeFixture({5000, 2000}, [](PlanTree* plan) {
+    int j = plan->AddJoin(plan->AddLeaf(0).value(), plan->AddLeaf(1).value())
+                .value();
+    plan->AddAggregate(plan->AddSort(j).value(), 0.5).value();
+  });
+  const std::string out = RenderPlanTree(*fx.plan);
+  EXPECT_NE(out.find("sort #"), std::string::npos);
+  EXPECT_NE(out.find("aggregate #"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, UnfinalizedPlanRendersPlaceholder) {
+  auto catalog = testing_util::MakeCatalog({10});
+  PlanTree plan(catalog.get());
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  EXPECT_NE(RenderPlanTree(plan).find("unfinalized"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, RenderOperatorTreeMarksEdgeKinds) {
+  PlanFixture fx = BushyFourWayFixture();
+  const std::string out = RenderOperatorTree(fx.op_tree);
+  EXPECT_NE(out.find("=> "), std::string::npos);  // blocking edges
+  EXPECT_NE(out.find("~> "), std::string::npos);  // pipelined edges
+  EXPECT_NE(out.find("probe"), std::string::npos);
+  EXPECT_NE(out.find("build"), std::string::npos);
+  EXPECT_NE(out.find("scan"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, DotOutputIsWellFormed) {
+  PlanFixture fx = BushyFourWayFixture();
+  const std::string dot = OperatorTreeToDot(fx.op_tree);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Every operator appears as a node.
+  for (const auto& op : fx.op_tree.ops()) {
+    EXPECT_NE(dot.find("op" + std::to_string(op.id) + " ["),
+              std::string::npos);
+  }
+  // Blocking edges are highlighted.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, RenderPhasesListsEveryTaskOnce) {
+  PlanFixture fx = BushyFourWayFixture();
+  const std::string out = RenderPhases(fx.task_tree, fx.op_tree);
+  for (int k = 0; k < fx.task_tree.num_phases(); ++k) {
+    EXPECT_NE(out.find("phase " + std::to_string(k) + ":"),
+              std::string::npos);
+  }
+  for (const auto& task : fx.task_tree.tasks()) {
+    EXPECT_NE(out.find("T" + std::to_string(task.id) + ":"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,139 @@
+#include "plan/plan_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace mrs {
+namespace {
+
+Catalog MakeCatalog(std::vector<int64_t> sizes) {
+  Catalog catalog;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    Relation r;
+    r.name = "R" + std::to_string(i);
+    r.num_tuples = sizes[i];
+    EXPECT_TRUE(catalog.AddRelation(std::move(r)).ok());
+  }
+  return catalog;
+}
+
+TEST(PlanTreeTest, SingleLeafPlan) {
+  Catalog catalog = MakeCatalog({100});
+  PlanTree plan(&catalog);
+  auto leaf = plan.AddLeaf(0);
+  ASSERT_TRUE(leaf.ok());
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.root(), leaf.value());
+  EXPECT_EQ(plan.num_joins(), 0);
+  EXPECT_EQ(plan.Height(), 0);
+  EXPECT_EQ(plan.ToString(), "R0");
+}
+
+TEST(PlanTreeTest, TwoWayJoinSizing) {
+  Catalog catalog = MakeCatalog({1000, 300});
+  PlanTree plan(&catalog);
+  int l0 = plan.AddLeaf(0).value();
+  int l1 = plan.AddLeaf(1).value();
+  auto join = plan.AddJoin(/*outer=*/l0, /*inner=*/l1);
+  ASSERT_TRUE(join.ok());
+  ASSERT_TRUE(plan.Finalize().ok());
+  const PlanNode& root = plan.node(plan.root());
+  EXPECT_FALSE(root.is_leaf);
+  // Key join: |result| = max(|L|, |R|).
+  EXPECT_EQ(root.output.num_tuples, 1000);
+  EXPECT_EQ(root.outer_child, l0);
+  EXPECT_EQ(root.inner_child, l1);
+  EXPECT_EQ(plan.Height(), 1);
+}
+
+TEST(PlanTreeTest, BushySizingPropagates) {
+  Catalog catalog = MakeCatalog({10, 20, 30, 40});
+  PlanTree plan(&catalog);
+  int a = plan.AddLeaf(0).value();
+  int b = plan.AddLeaf(1).value();
+  int c = plan.AddLeaf(2).value();
+  int d = plan.AddLeaf(3).value();
+  int j0 = plan.AddJoin(a, b).value();  // 20
+  int j1 = plan.AddJoin(c, d).value();  // 40
+  int j2 = plan.AddJoin(j0, j1).value();  // 40
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.node(j0).output.num_tuples, 20);
+  EXPECT_EQ(plan.node(j1).output.num_tuples, 40);
+  EXPECT_EQ(plan.node(j2).output.num_tuples, 40);
+  EXPECT_EQ(plan.num_joins(), 3);
+  EXPECT_EQ(plan.num_leaves(), 4);
+  EXPECT_EQ(plan.Height(), 2);
+}
+
+TEST(PlanTreeTest, RightDeepHeight) {
+  Catalog catalog = MakeCatalog({10, 10, 10, 10});
+  PlanTree plan(&catalog);
+  int cur = plan.AddLeaf(0).value();
+  for (int i = 1; i < 4; ++i) {
+    cur = plan.AddJoin(plan.AddLeaf(i).value(), cur).value();
+  }
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.Height(), 3);
+}
+
+TEST(PlanTreeTest, RejectsConsumingNodeTwice) {
+  Catalog catalog = MakeCatalog({10, 10, 10});
+  PlanTree plan(&catalog);
+  int a = plan.AddLeaf(0).value();
+  int b = plan.AddLeaf(1).value();
+  int c = plan.AddLeaf(2).value();
+  ASSERT_TRUE(plan.AddJoin(a, b).ok());
+  EXPECT_EQ(plan.AddJoin(a, c).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanTreeTest, RejectsSelfJoinNode) {
+  Catalog catalog = MakeCatalog({10});
+  PlanTree plan(&catalog);
+  int a = plan.AddLeaf(0).value();
+  EXPECT_EQ(plan.AddJoin(a, a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanTreeTest, RejectsUnknownRelation) {
+  Catalog catalog = MakeCatalog({10});
+  PlanTree plan(&catalog);
+  EXPECT_EQ(plan.AddLeaf(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlanTreeTest, FinalizeRejectsForest) {
+  Catalog catalog = MakeCatalog({10, 10});
+  PlanTree plan(&catalog);
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  ASSERT_TRUE(plan.AddLeaf(1).ok());
+  EXPECT_EQ(plan.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanTreeTest, FinalizeRejectsEmpty) {
+  Catalog catalog = MakeCatalog({});
+  PlanTree plan(&catalog);
+  EXPECT_EQ(plan.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanTreeTest, NoMutationAfterFinalize) {
+  Catalog catalog = MakeCatalog({10});
+  PlanTree plan(&catalog);
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.AddLeaf(0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(plan.Finalize().ok());  // idempotent
+}
+
+TEST(PlanTreeTest, ToStringNested) {
+  Catalog catalog = MakeCatalog({1, 2, 3});
+  PlanTree plan(&catalog);
+  int a = plan.AddLeaf(0).value();
+  int b = plan.AddLeaf(1).value();
+  int c = plan.AddLeaf(2).value();
+  int j0 = plan.AddJoin(a, b).value();
+  plan.AddJoin(j0, c).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  EXPECT_EQ(plan.ToString(), "((R0 JOIN R1) JOIN R2)");
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,82 @@
+#include "plan/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(QueryGraphTest, EmptyGraph) {
+  QueryGraph g(0);
+  EXPECT_EQ(g.num_relations(), 0);
+  EXPECT_EQ(g.num_joins(), 0);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(QueryGraphTest, SingleVertexIsConnectedTree) {
+  QueryGraph g(1);
+  EXPECT_TRUE(g.IsTree());
+}
+
+TEST(QueryGraphTest, AddJoinWiring) {
+  QueryGraph g(3);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());
+  ASSERT_TRUE(g.AddJoin(1, 2).ok());
+  EXPECT_EQ(g.num_joins(), 2);
+  EXPECT_EQ(g.IncidentEdges(1).size(), 2u);
+  EXPECT_EQ(g.IncidentEdges(0).size(), 1u);
+  EXPECT_TRUE(g.IsTree());
+}
+
+TEST(QueryGraphTest, RejectsSelfJoin) {
+  QueryGraph g(2);
+  EXPECT_EQ(g.AddJoin(1, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryGraphTest, RejectsOutOfRange) {
+  QueryGraph g(2);
+  EXPECT_EQ(g.AddJoin(0, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddJoin(-1, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(QueryGraphTest, RejectsDuplicateEdgeEitherOrientation) {
+  QueryGraph g(3);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());
+  EXPECT_EQ(g.AddJoin(0, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddJoin(1, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryGraphTest, DetectsDisconnection) {
+  QueryGraph g(4);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());
+  ASSERT_TRUE(g.AddJoin(2, 3).ok());
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(QueryGraphTest, DetectsCycle) {
+  QueryGraph g(3);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());
+  ASSERT_TRUE(g.AddJoin(1, 2).ok());
+  ASSERT_TRUE(g.AddJoin(2, 0).ok());
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(QueryGraphTest, StarQueryIsTree) {
+  QueryGraph g(5);
+  for (int i = 1; i < 5; ++i) ASSERT_TRUE(g.AddJoin(0, i).ok());
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.IncidentEdges(0).size(), 4u);
+}
+
+TEST(QueryGraphTest, ToStringListsEdges) {
+  QueryGraph g(3);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());
+  EXPECT_NE(g.ToString().find("R0-R1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,200 @@
+#include "plan/task_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/plan_tree.h"
+
+namespace mrs {
+namespace {
+
+Catalog MakeCatalog(int n) {
+  Catalog catalog;
+  for (int i = 0; i < n; ++i) {
+    Relation r;
+    r.name = "R" + std::to_string(i);
+    r.num_tuples = 1000;
+    EXPECT_TRUE(catalog.AddRelation(std::move(r)).ok());
+  }
+  return catalog;
+}
+
+// A fully pipelined chain: every join probes with the previous join's
+// output (outer = running result, inner = fresh base relation), so all
+// probes fuse into one pipeline and every build is a leaf task.
+OperatorTree ExpandRightDeep(const Catalog& catalog, PlanTree* plan,
+                             int joins) {
+  int cur = plan->AddLeaf(0).value();
+  for (int i = 1; i <= joins; ++i) {
+    cur = plan->AddJoin(cur, plan->AddLeaf(i).value()).value();
+  }
+  EXPECT_TRUE(plan->Finalize().ok());
+  auto tree = OperatorTree::FromPlan(*plan);
+  EXPECT_TRUE(tree.ok());
+  (void)catalog;
+  return std::move(tree).value();
+}
+
+TEST(TaskTreeTest, SingleScanIsOneTaskOnePhase) {
+  Catalog catalog = MakeCatalog(1);
+  PlanTree plan(&catalog);
+  ASSERT_TRUE(plan.AddLeaf(0).ok());
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto ops = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(ops.ok());
+  OperatorTree tree = std::move(ops).value();
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(tasks->num_tasks(), 1);
+  EXPECT_EQ(tasks->num_phases(), 1);
+  EXPECT_EQ(tasks->height(), 0);
+  EXPECT_EQ(tree.op(0).task, tasks->root_task());
+}
+
+TEST(TaskTreeTest, SingleJoinHasTwoTasksTwoPhases) {
+  // scan(inner) ~> build  => probe <~ scan(outer): the build side is one
+  // task, the probe side another; build task precedes probe task.
+  Catalog catalog = MakeCatalog(2);
+  PlanTree plan(&catalog);
+  plan.AddJoin(plan.AddLeaf(0).value(), plan.AddLeaf(1).value()).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto ops = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(ops.ok());
+  OperatorTree tree = std::move(ops).value();
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+
+  EXPECT_EQ(tasks->num_tasks(), 2);
+  EXPECT_EQ(tasks->num_phases(), 2);
+
+  const int root_probe = tree.root_op();
+  const int build = tree.op(root_probe).blocking_input;
+  const int probe_task = tree.op(root_probe).task;
+  const int build_task = tree.op(build).task;
+  EXPECT_NE(probe_task, build_task);
+  EXPECT_EQ(tasks->task(build_task).parent, probe_task);
+  EXPECT_EQ(tasks->root_task(), probe_task);
+
+  // Phase 0 runs the build task, phase 1 the probe task.
+  EXPECT_EQ(tasks->phase(0), std::vector<int>{build_task});
+  EXPECT_EQ(tasks->phase(1), std::vector<int>{probe_task});
+
+  // Pipeline membership: inner scan with build; outer scan with probe.
+  const auto& build_ops = tasks->task(build_task).ops;
+  EXPECT_EQ(build_ops.size(), 2u);  // inner scan + build
+  const auto& probe_ops = tasks->task(probe_task).ops;
+  EXPECT_EQ(probe_ops.size(), 2u);  // outer scan + probe
+}
+
+TEST(TaskTreeTest, RightDeepChainPhases) {
+  // Right-deep plan of J joins: probes chain into ONE pipeline with the
+  // outer scan; each inner scan+build is its own task. All build tasks are
+  // children of the root task => 2 phases regardless of J.
+  Catalog catalog = MakeCatalog(4);
+  PlanTree plan(&catalog);
+  OperatorTree tree = ExpandRightDeep(catalog, &plan, 3);
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+
+  EXPECT_EQ(tasks->num_tasks(), 4);  // 3 build tasks + root pipeline
+  EXPECT_EQ(tasks->height(), 1);
+  EXPECT_EQ(tasks->num_phases(), 2);
+  EXPECT_EQ(tasks->phase(0).size(), 3u);
+  EXPECT_EQ(tasks->phase(1).size(), 1u);
+
+  // The root pipeline holds 1 scan + 3 probes.
+  const QueryTask& root = tasks->task(tasks->root_task());
+  EXPECT_EQ(root.ops.size(), 4u);
+}
+
+TEST(TaskTreeTest, LeftDeepChainPhases) {
+  // Left-deep plan: each join's INNER is the previous join's result, so
+  // every build blocks on the previous probe's task: a chain of tasks.
+  // J joins => J+1 tasks and J+1 phases.
+  Catalog catalog = MakeCatalog(4);
+  PlanTree plan(&catalog);
+  int cur = plan.AddLeaf(0).value();
+  for (int i = 1; i <= 3; ++i) {
+    cur = plan.AddJoin(plan.AddLeaf(i).value(), cur).value();
+  }
+  // Note: AddJoin(outer=new leaf, inner=cur) chains the previous result
+  // into the build side — the "left-deep" materializing shape.
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto ops = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(ops.ok());
+  OperatorTree tree = std::move(ops).value();
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(tasks->num_tasks(), 4);
+  EXPECT_EQ(tasks->height(), 3);
+  EXPECT_EQ(tasks->num_phases(), 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(tasks->phase(k).size(), 1u);
+  }
+}
+
+TEST(TaskTreeTest, EveryOpInExactlyOneTask) {
+  Catalog catalog = MakeCatalog(4);
+  PlanTree plan(&catalog);
+  OperatorTree tree = ExpandRightDeep(catalog, &plan, 3);
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+  std::set<int> seen;
+  for (const auto& t : tasks->tasks()) {
+    for (int o : t.ops) {
+      EXPECT_TRUE(seen.insert(o).second) << "op in two tasks";
+      EXPECT_EQ(tree.op(o).task, t.id);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), tree.num_ops());
+}
+
+TEST(TaskTreeTest, PhaseOpsConcatenatesTasks) {
+  Catalog catalog = MakeCatalog(4);
+  PlanTree plan(&catalog);
+  OperatorTree tree = ExpandRightDeep(catalog, &plan, 3);
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+  size_t total = 0;
+  for (int k = 0; k < tasks->num_phases(); ++k) {
+    total += tasks->PhaseOps(k).size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(tree.num_ops()));
+}
+
+TEST(TaskTreeTest, BlockingAlwaysCrossesAdjacentPhases) {
+  // A probe's build must sit exactly one phase earlier (its task is the
+  // probe task's child).
+  Catalog catalog = MakeCatalog(4);
+  PlanTree plan(&catalog);
+  // Bushy: (R0 ⋈ R1) ⋈ (R2 ⋈ R3).
+  int j0 = plan.AddJoin(plan.AddLeaf(0).value(), plan.AddLeaf(1).value())
+               .value();
+  int j1 = plan.AddJoin(plan.AddLeaf(2).value(), plan.AddLeaf(3).value())
+               .value();
+  plan.AddJoin(j0, j1).value();
+  ASSERT_TRUE(plan.Finalize().ok());
+  auto ops = OperatorTree::FromPlan(plan);
+  ASSERT_TRUE(ops.ok());
+  OperatorTree tree = std::move(ops).value();
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+
+  for (const auto& op : tree.ops()) {
+    if (op.kind != OperatorKind::kProbe) continue;
+    const int probe_depth = tasks->task(op.task).depth;
+    const int build_depth =
+        tasks->task(tree.op(op.blocking_input).task).depth;
+    EXPECT_EQ(build_depth, probe_depth + 1);
+  }
+}
+
+TEST(TaskTreeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(TaskTree::FromOperatorTree(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace mrs

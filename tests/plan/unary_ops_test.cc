@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_aware.h"
+#include "core/tree_schedule.h"
+#include "io/plan_text.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::MakeFixture;
+using testing_util::PlanFixture;
+
+// SORT(R0 JOIN R1): scan, scan, build, probe, sort-run, sort-merge.
+PlanFixture SortedJoinFixture() {
+  return MakeFixture({20000, 5000}, [](PlanTree* plan) {
+    int j = plan->AddJoin(plan->AddLeaf(0).value(), plan->AddLeaf(1).value())
+                .value();
+    plan->AddSort(j).value();
+  });
+}
+
+// AGG(R0 JOIN R1) with 10% groups.
+PlanFixture AggregatedJoinFixture() {
+  return MakeFixture({20000, 5000}, [](PlanTree* plan) {
+    int j = plan->AddJoin(plan->AddLeaf(0).value(), plan->AddLeaf(1).value())
+                .value();
+    plan->AddAggregate(j, 0.1).value();
+  });
+}
+
+TEST(UnaryPlanTest, SortPreservesCardinality) {
+  PlanFixture fx = SortedJoinFixture();
+  const PlanNode& root = fx.plan->node(fx.plan->root());
+  EXPECT_EQ(root.kind, PlanNodeKind::kSort);
+  EXPECT_EQ(root.output.num_tuples, 20000);
+  EXPECT_EQ(fx.plan->num_unary(), 1);
+  EXPECT_EQ(fx.plan->ToString(), "SORT((R0 JOIN R1))");
+  EXPECT_EQ(fx.plan->Height(), 2);
+}
+
+TEST(UnaryPlanTest, AggregateShrinksCardinality) {
+  PlanFixture fx = AggregatedJoinFixture();
+  const PlanNode& root = fx.plan->node(fx.plan->root());
+  EXPECT_EQ(root.kind, PlanNodeKind::kAggregate);
+  EXPECT_EQ(root.output.num_tuples, 2000);  // 10% of 20000
+  EXPECT_EQ(fx.plan->ToString(), "AGG((R0 JOIN R1))");
+}
+
+TEST(UnaryPlanTest, AggregateRejectsBadFraction) {
+  auto catalog = testing_util::MakeCatalog({100});
+  PlanTree plan(catalog.get());
+  int leaf = plan.AddLeaf(0).value();
+  EXPECT_FALSE(plan.AddAggregate(leaf, 0.0).ok());
+  // The failed call must not consume the child.
+  EXPECT_TRUE(plan.AddAggregate(leaf, 1.0).ok());
+}
+
+TEST(UnaryPlanTest, UnaryCannotConsumeTwice) {
+  auto catalog = testing_util::MakeCatalog({100});
+  PlanTree plan(catalog.get());
+  int leaf = plan.AddLeaf(0).value();
+  ASSERT_TRUE(plan.AddSort(leaf).ok());
+  EXPECT_FALSE(plan.AddSort(leaf).ok());
+}
+
+TEST(UnaryExpansionTest, SortExpandsToRunAndMerge) {
+  PlanFixture fx = SortedJoinFixture();
+  EXPECT_EQ(fx.op_tree.num_ops(), 6);  // 2 scans + build + probe + 2 sort
+  const PhysicalOp& merge = fx.op_tree.op(fx.op_tree.root_op());
+  EXPECT_EQ(merge.kind, OperatorKind::kSortMerge);
+  EXPECT_EQ(merge.output_tuples, 20000);
+  ASSERT_GE(merge.blocking_input, 0);
+  const PhysicalOp& run = fx.op_tree.op(merge.blocking_input);
+  EXPECT_EQ(run.kind, OperatorKind::kSortRun);
+  EXPECT_EQ(run.input_tuples, 20000);
+  EXPECT_EQ(run.output_tuples, 0);
+  EXPECT_EQ(run.table_tuples, 0);  // runs live on disk, not memory
+  // The probe pipelines into the sort-run (same task); the merge starts a
+  // new task.
+  ASSERT_EQ(run.data_inputs.size(), 1u);
+  EXPECT_EQ(fx.op_tree.op(run.data_inputs[0]).kind, OperatorKind::kProbe);
+}
+
+TEST(UnaryExpansionTest, AggregateExpandsToBuildAndOutput) {
+  PlanFixture fx = AggregatedJoinFixture();
+  const PhysicalOp& emit = fx.op_tree.op(fx.op_tree.root_op());
+  EXPECT_EQ(emit.kind, OperatorKind::kAggOutput);
+  EXPECT_EQ(emit.output_tuples, 2000);
+  const PhysicalOp& accumulate = fx.op_tree.op(emit.blocking_input);
+  EXPECT_EQ(accumulate.kind, OperatorKind::kAggBuild);
+  EXPECT_EQ(accumulate.input_tuples, 20000);
+  EXPECT_EQ(accumulate.table_tuples, 2000);  // one entry per group
+}
+
+TEST(UnaryTaskTest, SortAddsAPhase) {
+  PlanFixture fx = SortedJoinFixture();
+  // Tasks: {scan1,build}, {scan0,probe,sort-run}, {sort-merge}: 3 phases.
+  EXPECT_EQ(fx.task_tree.num_tasks(), 3);
+  EXPECT_EQ(fx.task_tree.num_phases(), 3);
+  const PhysicalOp& merge = fx.op_tree.op(fx.op_tree.root_op());
+  const PhysicalOp& run = fx.op_tree.op(merge.blocking_input);
+  EXPECT_EQ(fx.task_tree.task(run.task).depth,
+            fx.task_tree.task(merge.task).depth + 1);
+}
+
+TEST(UnaryCostTest, SortCostsIncludeRunIO) {
+  PlanFixture fx = SortedJoinFixture();
+  const PhysicalOp& merge = fx.op_tree.op(fx.op_tree.root_op());
+  const OperatorCost& run_cost =
+      fx.costs[static_cast<size_t>(merge.blocking_input)];
+  const OperatorCost& merge_cost =
+      fx.costs[static_cast<size_t>(merge.id)];
+  // 20000 tuples = 500 pages.
+  // run cpu: (300+200)*20000 + 5000*500 = 12.5M instr = 12500 ms.
+  EXPECT_NEAR(run_cost.processing[0], 12500.0, 1e-9);
+  EXPECT_NEAR(run_cost.processing[1], 500 * 20.0, 1e-9);  // write runs
+  // merge cpu: 100*20000 + 5000*500 = 4.5M instr.
+  EXPECT_NEAR(merge_cost.processing[0], 4500.0, 1e-9);
+  EXPECT_NEAR(merge_cost.processing[1], 500 * 20.0, 1e-9);  // read runs
+  // Run receives the repartitioned stream; root merge ships nothing.
+  EXPECT_NEAR(run_cost.data_bytes, 20000.0 * 128, 1e-9);
+  EXPECT_NEAR(merge_cost.data_bytes, 0.0, 1e-9);
+}
+
+TEST(UnaryCostTest, AggregateCosts) {
+  PlanFixture fx = AggregatedJoinFixture();
+  const PhysicalOp& emit = fx.op_tree.op(fx.op_tree.root_op());
+  const OperatorCost& build_cost =
+      fx.costs[static_cast<size_t>(emit.blocking_input)];
+  const OperatorCost& emit_cost = fx.costs[static_cast<size_t>(emit.id)];
+  // accumulate: (300+100)*20000 instr = 8000 ms.
+  EXPECT_NEAR(build_cost.processing[0], 8000.0, 1e-9);
+  // emit: 300*2000 instr = 600 ms.
+  EXPECT_NEAR(emit_cost.processing[0], 600.0, 1e-9);
+}
+
+TEST(UnaryScheduleTest, MergeRootedAtRunHome) {
+  PlanFixture fx = SortedJoinFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 12;
+  auto result = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             machine, usage);
+  ASSERT_TRUE(result.ok());
+  const PhysicalOp& merge = fx.op_tree.op(fx.op_tree.root_op());
+  EXPECT_EQ(result->HomeOf(merge.id), result->HomeOf(merge.blocking_input));
+  for (const auto& phase : result->phases) {
+    EXPECT_TRUE(phase.schedule.Validate(phase.ops).ok());
+  }
+}
+
+TEST(UnaryScheduleTest, AggregatePlansScheduleEndToEnd) {
+  PlanFixture fx = AggregatedJoinFixture();
+  OverlapUsageModel usage(0.3);
+  MachineConfig machine;
+  machine.num_sites = 8;
+  for (ParallelizationPolicy policy :
+       {ParallelizationPolicy::kCoarseGrain,
+        ParallelizationPolicy::kMalleable}) {
+    TreeScheduleOptions options;
+    options.policy = policy;
+    auto result = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs,
+                               CostParams{}, machine, usage, options);
+    ASSERT_TRUE(result.ok());
+    const PhysicalOp& emit = fx.op_tree.op(fx.op_tree.root_op());
+    EXPECT_EQ(result->HomeOf(emit.id), result->HomeOf(emit.blocking_input));
+    EXPECT_GT(result->response_time, 0.0);
+  }
+}
+
+TEST(UnaryMemoryTest, GroupTablesUseMemoryRunsDoNot) {
+  PlanFixture agg = AggregatedJoinFixture();
+  PlanFixture sorted = SortedJoinFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 4;
+  auto agg_result = MemoryAwareTreeSchedule(
+      agg.op_tree, agg.task_tree, agg.costs, CostParams{}, machine, usage);
+  auto sort_result =
+      MemoryAwareTreeSchedule(sorted.op_tree, sorted.task_tree, sorted.costs,
+                              CostParams{}, machine, usage);
+  ASSERT_TRUE(agg_result.ok());
+  ASSERT_TRUE(sort_result.ok());
+  // The aggregated plan is the sorted plan with the sort swapped for an
+  // aggregate: it should show strictly larger peak residency (group table
+  // + join hash table vs join hash table only).
+  EXPECT_GT(agg_result->peak_site_memory, 0.0);
+  EXPECT_GT(sort_result->peak_site_memory, 0.0);
+  EXPECT_GT(agg_result->peak_site_memory, sort_result->peak_site_memory);
+}
+
+TEST(UnaryPlanTextTest, RoundTripsSortAndAgg) {
+  const char* text =
+      "relation a 1000\n"
+      "relation b 2000\n"
+      "plan (sort (agg 0.25 (join a b)))\n";
+  auto parsed = ParsePlanText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->plan->ToString(), "SORT(AGG((R0 JOIN R1)))");
+  const PlanNode& root = parsed->plan->node(parsed->plan->root());
+  EXPECT_EQ(root.kind, PlanNodeKind::kSort);
+  auto written = WritePlanText(*parsed->catalog, *parsed->plan);
+  ASSERT_TRUE(written.ok());
+  auto reparsed = ParsePlanText(written.value());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->plan->ToString(), parsed->plan->ToString());
+  // Aggregate fraction survives the round trip.
+  for (int i = 0; i < reparsed->plan->num_nodes(); ++i) {
+    if (reparsed->plan->node(i).kind == PlanNodeKind::kAggregate) {
+      EXPECT_DOUBLE_EQ(reparsed->plan->node(i).group_fraction, 0.25);
+    }
+  }
+}
+
+TEST(UnaryPlanTextTest, RejectsMalformedUnary) {
+  EXPECT_FALSE(ParsePlanText("relation a 1\nplan (sort)\n").ok());
+  EXPECT_FALSE(ParsePlanText("relation a 1\nplan (agg a)\n").ok());
+  EXPECT_FALSE(ParsePlanText("relation a 1\nplan (agg x a)\n").ok());
+  EXPECT_FALSE(ParsePlanText("relation a 1\nplan (agg 2.0 a)\n").ok());
+}
+
+TEST(UnaryGeneratorTest, SprinklesOperatorsWhenAsked) {
+  WorkloadParams params;
+  params.num_joins = 20;
+  params.sort_probability = 0.5;
+  params.aggregate_probability = 0.5;
+  Rng rng(77);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q->plan->num_unary(), 0);
+  EXPECT_EQ(q->plan->num_joins(), 20);
+  // The whole pipeline still works on such plans.
+  auto ops = OperatorTree::FromPlan(*q->plan);
+  ASSERT_TRUE(ops.ok());
+  OperatorTree tree = std::move(ops).value();
+  auto tasks = TaskTree::FromOperatorTree(&tree);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(tree.num_ops(), 3 * 20 + 1 + 2 * q->plan->num_unary());
+}
+
+TEST(UnaryGeneratorTest, DefaultWorkloadHasNoUnaryOps) {
+  WorkloadParams params;
+  params.num_joins = 10;
+  Rng rng(5);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->plan->num_unary(), 0);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,56 @@
+#include "resource/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(MachineConfigTest, DefaultValid) {
+  MachineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.num_sites, 16);
+  EXPECT_EQ(config.dims, 3);
+  EXPECT_EQ(config.resource_names.size(), 3u);
+}
+
+TEST(MachineConfigTest, RejectsNonPositive) {
+  MachineConfig config;
+  config.num_sites = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.num_sites = 4;
+  config.dims = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MachineConfigTest, PadsResourceNames) {
+  MachineConfig config;
+  config.dims = 5;
+  ASSERT_TRUE(config.Validate().ok());
+  ASSERT_EQ(config.resource_names.size(), 5u);
+  EXPECT_EQ(config.resource_names[0], "cpu");
+  EXPECT_EQ(config.resource_names[3], "r3");
+}
+
+TEST(MachineConfigTest, TruncatesResourceNames) {
+  MachineConfig config;
+  config.dims = 2;
+  ASSERT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.resource_names.size(), 2u);
+}
+
+TEST(MachineConfigTest, ToStringSummarizes) {
+  MachineConfig config;
+  config.num_sites = 80;
+  ASSERT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.ToString(), "P=80 sites x d=3 (cpu,disk,net)");
+}
+
+TEST(MachineConfigTest, DimensionConstantsLayout) {
+  EXPECT_EQ(kCpuDim, 0u);
+  EXPECT_EQ(kDiskDim, 1u);
+  EXPECT_EQ(kNetDim, 2u);
+  EXPECT_EQ(kDefaultDims, 3u);
+}
+
+}  // namespace
+}  // namespace mrs

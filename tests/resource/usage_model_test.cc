@@ -1,0 +1,104 @@
+#include "resource/usage_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(OverlapUsageModelTest, PerfectOverlapIsMax) {
+  OverlapUsageModel usage(1.0);
+  EXPECT_DOUBLE_EQ(usage.SequentialTime({10.0, 15.0, 5.0}), 15.0);
+}
+
+TEST(OverlapUsageModelTest, ZeroOverlapIsSum) {
+  OverlapUsageModel usage(0.0);
+  EXPECT_DOUBLE_EQ(usage.SequentialTime({10.0, 15.0, 5.0}), 30.0);
+}
+
+TEST(OverlapUsageModelTest, ConvexCombination) {
+  OverlapUsageModel usage(0.4);
+  // 0.4*15 + 0.6*30 = 24.
+  EXPECT_DOUBLE_EQ(usage.SequentialTime({10.0, 15.0, 5.0}), 24.0);
+}
+
+TEST(OverlapUsageModelTest, EpsilonClamped) {
+  EXPECT_DOUBLE_EQ(OverlapUsageModel(-0.5).epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapUsageModel(1.5).epsilon(), 1.0);
+}
+
+TEST(OverlapUsageModelTest, BoundsHoldForAllEpsilon) {
+  const WorkVector w = {8.0, 3.0, 9.0};
+  for (double eps = 0.0; eps <= 1.0; eps += 0.1) {
+    OverlapUsageModel usage(eps);
+    const double t = usage.SequentialTime(w);
+    EXPECT_TRUE(SequentialTimeWithinBounds(w, t));
+    EXPECT_GE(t, w.Length());
+    EXPECT_LE(t, w.Total());
+  }
+}
+
+TEST(OverlapUsageModelTest, SiteTimePaperExampleSqueeze) {
+  // Paper §5.2.2: (T1,W1)=(22,[10,15]) and (T2,W2)=(10,[10,5]) at one
+  // site: total [20,20] squeezes into T1 = 22. The example's T values
+  // correspond to eps such that T(W1)=22: 22 = eps*15 + (1-eps)*25 -> eps
+  // = 0.3.
+  OverlapUsageModel usage(0.3);
+  EXPECT_NEAR(usage.SequentialTime({10.0, 15.0}), 22.0, 1e-12);
+  EXPECT_NEAR(usage.SequentialTime({10.0, 5.0}), 10.0 * 0.3 + 15.0 * 0.7,
+              1e-12);
+  const double site = usage.SiteTime({{10.0, 15.0}, {10.0, 5.0}});
+  EXPECT_NEAR(site, 22.0, 1e-12);
+}
+
+TEST(OverlapUsageModelTest, SiteTimePaperExampleCongested) {
+  // Paper §5.2.2 second case: W1=[10,15] with W3=[5,10]: the second
+  // resource is congested, T_site = l({W1,W3}) = 25 > max T_seq.
+  OverlapUsageModel usage(0.3);
+  const double site = usage.SiteTime({{10.0, 15.0}, {5.0, 10.0}});
+  EXPECT_NEAR(site, 25.0, 1e-12);
+}
+
+TEST(OverlapUsageModelTest, SiteTimeEmpty) {
+  OverlapUsageModel usage(0.5);
+  EXPECT_DOUBLE_EQ(usage.SiteTime({}), 0.0);
+}
+
+TEST(OverlapUsageModelTest, SiteTimeSingleCloneIsItsSequentialTime) {
+  OverlapUsageModel usage(0.7);
+  const WorkVector w = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(usage.SiteTime({w}), usage.SequentialTime(w));
+}
+
+TEST(SequentialTimeWithinBoundsTest, DetectsViolations) {
+  const WorkVector w = {10.0, 15.0};
+  EXPECT_FALSE(SequentialTimeWithinBounds(w, 14.0));  // below max
+  EXPECT_FALSE(SequentialTimeWithinBounds(w, 26.0));  // above sum
+  EXPECT_TRUE(SequentialTimeWithinBounds(w, 15.0));
+  EXPECT_TRUE(SequentialTimeWithinBounds(w, 25.0));
+}
+
+/// Property sweep: SiteTime is monotone under adding clones and never less
+/// than any member's T_seq.
+class SiteTimePropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SiteTimePropertyTest, MonotoneAndLowerBounded) {
+  OverlapUsageModel usage(GetParam());
+  std::vector<WorkVector> set;
+  double prev = 0.0;
+  for (int i = 1; i <= 6; ++i) {
+    set.push_back({static_cast<double>(i), 7.0 - i, 2.0 * i});
+    const double t = usage.SiteTime(set);
+    EXPECT_GE(t, prev);
+    for (const auto& w : set) {
+      EXPECT_GE(t + 1e-12, usage.SequentialTime(w));
+    }
+    EXPECT_GE(t + 1e-12, SetLength(set));
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlap, SiteTimePropertyTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 1.0));
+
+}  // namespace
+}  // namespace mrs

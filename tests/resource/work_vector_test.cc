@@ -1,0 +1,97 @@
+#include "resource/work_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(WorkVectorTest, ZeroConstruction) {
+  WorkVector w(3);
+  EXPECT_EQ(w.dim(), 3u);
+  EXPECT_DOUBLE_EQ(w.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 0.0);
+  EXPECT_TRUE(w.IsNonNegative());
+}
+
+TEST(WorkVectorTest, InitializerList) {
+  WorkVector w = {10.0, 15.0, 5.0};
+  EXPECT_EQ(w.dim(), 3u);
+  EXPECT_DOUBLE_EQ(w[1], 15.0);
+  EXPECT_DOUBLE_EQ(w.Length(), 15.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 30.0);
+}
+
+TEST(WorkVectorTest, EmptyVector) {
+  WorkVector w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 0.0);
+}
+
+TEST(WorkVectorTest, Arithmetic) {
+  WorkVector a = {1.0, 2.0};
+  WorkVector b = {3.0, 4.0};
+  EXPECT_EQ(a + b, WorkVector({4.0, 6.0}));
+  EXPECT_EQ(b - a, WorkVector({2.0, 2.0}));
+  EXPECT_EQ(a * 2.0, WorkVector({2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, WorkVector({2.0, 4.0}));
+  a += b;
+  EXPECT_EQ(a, WorkVector({4.0, 6.0}));
+  a -= b;
+  EXPECT_EQ(a, WorkVector({1.0, 2.0}));
+  a *= 3.0;
+  EXPECT_EQ(a, WorkVector({3.0, 6.0}));
+}
+
+TEST(WorkVectorTest, IsNonNegative) {
+  EXPECT_TRUE(WorkVector({0.0, 1.0}).IsNonNegative());
+  EXPECT_FALSE(WorkVector({0.0, -1e-9}).IsNonNegative());
+}
+
+TEST(WorkVectorTest, DominatedBy) {
+  WorkVector small = {1.0, 2.0};
+  WorkVector big = {1.0, 3.0};
+  EXPECT_TRUE(small.DominatedBy(big));
+  EXPECT_TRUE(small.DominatedBy(small));
+  EXPECT_FALSE(big.DominatedBy(small));
+  // Incomparable vectors dominate in neither direction.
+  WorkVector other = {2.0, 1.0};
+  EXPECT_FALSE(small.DominatedBy(other));
+  EXPECT_FALSE(other.DominatedBy(small));
+}
+
+TEST(WorkVectorTest, SetLengthMatchesPaperDefinition) {
+  // l(S) = max component of the vector sum (Table 1).
+  std::vector<WorkVector> s = {{10.0, 15.0}, {10.0, 5.0}};
+  EXPECT_DOUBLE_EQ(SetLength(s), 20.0);
+  std::vector<WorkVector> t = {{10.0, 15.0}, {5.0, 10.0}};
+  EXPECT_DOUBLE_EQ(SetLength(t), 25.0);
+  EXPECT_DOUBLE_EQ(SetLength({}), 0.0);
+}
+
+TEST(WorkVectorTest, SumVectors) {
+  std::vector<WorkVector> s = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(SumVectors(s), WorkVector({9.0, 12.0}));
+  EXPECT_TRUE(SumVectors({}).empty());
+}
+
+TEST(WorkVectorTest, ToString) {
+  EXPECT_EQ(WorkVector({1.0, 2.5}).ToString(), "[1.000, 2.500]");
+}
+
+class WorkVectorDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkVectorDimTest, LengthNeverExceedsTotalForNonNegative) {
+  const size_t d = GetParam();
+  WorkVector w(d);
+  for (size_t i = 0; i < d; ++i) w[i] = static_cast<double>(i + 1) * 1.5;
+  EXPECT_LE(w.Length(), w.Total());
+  EXPECT_DOUBLE_EQ(w.Length(), static_cast<double>(d) * 1.5);
+  EXPECT_DOUBLE_EQ(w.Total(), 1.5 * static_cast<double>(d * (d + 1)) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WorkVectorDimTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,112 @@
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.queries_per_point = 3;
+  config.workload.num_joins = 6;
+  config.machine.num_sites = 10;
+  config.granularity = 0.7;
+  config.overlap = 0.5;
+  return config;
+}
+
+TEST(ExperimentTest, PrepareQueryDerivesConsistentArtifacts) {
+  ExperimentConfig config = SmallConfig();
+  auto artifacts = PrepareQuery(config, 0);
+  ASSERT_TRUE(artifacts.ok());
+  EXPECT_EQ(artifacts->op_tree.num_ops(),
+            3 * config.workload.num_joins + 1);
+  EXPECT_EQ(static_cast<int>(artifacts->costs.size()),
+            artifacts->op_tree.num_ops());
+  EXPECT_GE(artifacts->task_tree.num_tasks(), 1);
+}
+
+TEST(ExperimentTest, PrepareQueryDeterministicPerIndex) {
+  ExperimentConfig config = SmallConfig();
+  auto a = PrepareQuery(config, 1);
+  auto b = PrepareQuery(config, 1);
+  auto c = PrepareQuery(config, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->query.plan->ToString(), b->query.plan->ToString());
+  EXPECT_NE(a->query.plan->ToString(), c->query.plan->ToString());
+}
+
+TEST(ExperimentTest, AllSchedulersProducePositiveResponse) {
+  ExperimentConfig config = SmallConfig();
+  for (SchedulerKind kind :
+       {SchedulerKind::kTreeSchedule, SchedulerKind::kTreeScheduleMalleable,
+        SchedulerKind::kSynchronous, SchedulerKind::kOptBound}) {
+    auto artifacts = PrepareQuery(config, 0);
+    ASSERT_TRUE(artifacts.ok());
+    auto response = RunScheduler(kind, &artifacts.value(), config);
+    ASSERT_TRUE(response.ok()) << SchedulerKindToString(kind) << ": "
+                               << response.status().ToString();
+    EXPECT_GT(response.value(), 0.0) << SchedulerKindToString(kind);
+  }
+}
+
+TEST(ExperimentTest, OptBoundIsBelowTreeSchedule) {
+  ExperimentConfig config = SmallConfig();
+  for (int q = 0; q < 5; ++q) {
+    auto artifacts = PrepareQuery(config, q);
+    ASSERT_TRUE(artifacts.ok());
+    auto tree =
+        RunScheduler(SchedulerKind::kTreeSchedule, &artifacts.value(), config);
+    auto bound =
+        RunScheduler(SchedulerKind::kOptBound, &artifacts.value(), config);
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE(bound.ok());
+    EXPECT_LE(bound.value(), tree.value() + 1e-6);
+  }
+}
+
+TEST(ExperimentTest, MeasureAverageResponseAggregates) {
+  ExperimentConfig config = SmallConfig();
+  auto stat = MeasureAverageResponse(SchedulerKind::kTreeSchedule, config);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->count(),
+            static_cast<size_t>(config.queries_per_point));
+  EXPECT_GT(stat->mean(), 0.0);
+  EXPECT_LE(stat->min(), stat->mean());
+  EXPECT_GE(stat->max(), stat->mean());
+}
+
+TEST(ExperimentTest, MeasureSchedulersSharesQuerySet) {
+  ExperimentConfig config = SmallConfig();
+  auto stats = MeasureSchedulers(
+      {SchedulerKind::kTreeSchedule, SchedulerKind::kOptBound}, config);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 2u);
+  // The lower bound's average is below the scheduler's average on the
+  // same queries.
+  EXPECT_LE((*stats)[1].mean(), (*stats)[0].mean() + 1e-6);
+}
+
+TEST(ExperimentTest, MeasurementsDeterministic) {
+  ExperimentConfig config = SmallConfig();
+  auto a = MeasureAverageResponse(SchedulerKind::kSynchronous, config);
+  auto b = MeasureAverageResponse(SchedulerKind::kSynchronous, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean(), b->mean());
+}
+
+TEST(ExperimentTest, SchedulerNames) {
+  EXPECT_EQ(SchedulerKindToString(SchedulerKind::kTreeSchedule),
+            "TREESCHEDULE");
+  EXPECT_EQ(SchedulerKindToString(SchedulerKind::kSynchronous),
+            "SYNCHRONOUS");
+  EXPECT_EQ(SchedulerKindToString(SchedulerKind::kOptBound), "OPTBOUND");
+  EXPECT_EQ(SchedulerKindToString(SchedulerKind::kTreeScheduleMalleable),
+            "TREESCHEDULE-M");
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,164 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(GeneratorTest, ProducesTreeQueryOfRequestedSize) {
+  WorkloadParams params;
+  params.num_joins = 12;
+  Rng rng(1);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->graph->num_relations(), 13);
+  EXPECT_EQ(q->graph->num_joins(), 12);
+  EXPECT_TRUE(q->graph->IsTree());
+  EXPECT_TRUE(q->plan->finalized());
+  EXPECT_EQ(q->plan->num_joins(), 12);
+  EXPECT_EQ(q->plan->num_leaves(), 13);
+  EXPECT_EQ(q->catalog->num_relations(), 13);
+}
+
+TEST(GeneratorTest, RelationSizesInRange) {
+  WorkloadParams params;
+  params.num_joins = 30;
+  params.min_tuples = 1000;
+  params.max_tuples = 100000;
+  Rng rng(2);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  for (const auto& r : q->catalog->relations()) {
+    EXPECT_GE(r.num_tuples, 1000);
+    EXPECT_LE(r.num_tuples, 100000);
+  }
+}
+
+TEST(GeneratorTest, UniformSizingAlsoInRange) {
+  WorkloadParams params;
+  params.num_joins = 20;
+  params.sizing = RelationSizing::kUniform;
+  Rng rng(3);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  for (const auto& r : q->catalog->relations()) {
+    EXPECT_GE(r.num_tuples, params.min_tuples);
+    EXPECT_LE(r.num_tuples, params.max_tuples);
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  WorkloadParams params;
+  params.num_joins = 15;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  auto a = GenerateQuery(params, &rng_a);
+  auto b = GenerateQuery(params, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->plan->ToString(), b->plan->ToString());
+  EXPECT_EQ(a->graph->ToString(), b->graph->ToString());
+  for (int i = 0; i < a->catalog->num_relations(); ++i) {
+    EXPECT_EQ(a->catalog->GetRelation(i)->num_tuples,
+              b->catalog->GetRelation(i)->num_tuples);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDifferentPlans) {
+  WorkloadParams params;
+  params.num_joins = 15;
+  Rng rng_a(1);
+  Rng rng_b(2);
+  auto a = GenerateQuery(params, &rng_a);
+  auto b = GenerateQuery(params, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->plan->ToString(), b->plan->ToString());
+}
+
+TEST(GeneratorTest, BuildSideIsSmallerUnderDefaultRule) {
+  WorkloadParams params;
+  params.num_joins = 10;
+  Rng rng(5);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < q->plan->num_nodes(); ++i) {
+    const PlanNode& node = q->plan->node(i);
+    if (node.is_leaf) continue;
+    const int64_t outer = q->plan->node(node.outer_child).output.num_tuples;
+    const int64_t inner = q->plan->node(node.inner_child).output.num_tuples;
+    EXPECT_LE(inner, outer);
+  }
+}
+
+TEST(GeneratorTest, KeyJoinSizingPropagates) {
+  WorkloadParams params;
+  params.num_joins = 8;
+  Rng rng(6);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < q->plan->num_nodes(); ++i) {
+    const PlanNode& node = q->plan->node(i);
+    if (node.is_leaf) continue;
+    const int64_t outer = q->plan->node(node.outer_child).output.num_tuples;
+    const int64_t inner = q->plan->node(node.inner_child).output.num_tuples;
+    EXPECT_EQ(node.output.num_tuples, std::max(outer, inner));
+  }
+}
+
+TEST(GeneratorTest, ZeroJoinQuery) {
+  WorkloadParams params;
+  params.num_joins = 0;
+  Rng rng(7);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->plan->num_joins(), 0);
+  EXPECT_EQ(q->plan->num_leaves(), 1);
+}
+
+TEST(GeneratorTest, RandomBuildSideStillValidPlan) {
+  WorkloadParams params;
+  params.num_joins = 10;
+  params.build_side = BuildSideRule::kRandom;
+  Rng rng(8);
+  auto q = GenerateQuery(params, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->plan->finalized());
+  EXPECT_EQ(q->plan->num_joins(), 10);
+}
+
+TEST(GeneratorTest, RejectsInvalidParams) {
+  Rng rng(9);
+  WorkloadParams bad;
+  bad.num_joins = -1;
+  EXPECT_FALSE(GenerateQuery(bad, &rng).ok());
+  bad = WorkloadParams{};
+  bad.min_tuples = 0;
+  EXPECT_FALSE(GenerateQuery(bad, &rng).ok());
+  bad = WorkloadParams{};
+  bad.max_tuples = bad.min_tuples - 1;
+  EXPECT_FALSE(GenerateQuery(bad, &rng).ok());
+}
+
+/// Plan shapes vary across seeds: over many draws we should see both
+/// shallow and deep plans (a fixed generator bug would collapse this).
+TEST(GeneratorTest, PlanShapeDiversity) {
+  WorkloadParams params;
+  params.num_joins = 12;
+  int min_height = 1000;
+  int max_height = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    auto q = GenerateQuery(params, &rng);
+    ASSERT_TRUE(q.ok());
+    const int h = q->plan->Height();
+    min_height = std::min(min_height, h);
+    max_height = std::max(max_height, h);
+  }
+  EXPECT_LT(min_height, max_height);
+}
+
+}  // namespace
+}  // namespace mrs

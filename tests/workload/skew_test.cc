@@ -1,0 +1,149 @@
+#include "workload/skew.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::MakeOp;
+using testing_util::PlanFixture;
+
+ParallelizedOp EvenOp(int id, int degree, const OverlapUsageModel& usage) {
+  std::vector<WorkVector> clones(static_cast<size_t>(degree),
+                                 WorkVector({12.0, 6.0, 3.0}));
+  return MakeOp(id, std::move(clones), usage);
+}
+
+TEST(ApplySkewTest, ThetaZeroIsIdentity) {
+  OverlapUsageModel usage(0.5);
+  Rng rng(1);
+  auto op = EvenOp(0, 4, usage);
+  SkewParams params;
+  params.theta = 0.0;
+  auto skewed = ApplySkew(op, params, usage, &rng);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(skewed.clones[static_cast<size_t>(k)],
+              op.clones[static_cast<size_t>(k)]);
+  }
+  EXPECT_DOUBLE_EQ(skewed.t_par, op.t_par);
+}
+
+TEST(ApplySkewTest, SingleCloneUnaffected) {
+  OverlapUsageModel usage(0.5);
+  Rng rng(1);
+  auto op = EvenOp(0, 1, usage);
+  SkewParams params;
+  params.theta = 1.5;
+  auto skewed = ApplySkew(op, params, usage, &rng);
+  EXPECT_EQ(skewed.clones[0], op.clones[0]);
+}
+
+TEST(ApplySkewTest, PreservesTotalWork) {
+  OverlapUsageModel usage(0.5);
+  Rng rng(9);
+  auto op = EvenOp(0, 6, usage);
+  for (double theta : {0.3, 0.8, 1.5}) {
+    SkewParams params;
+    params.theta = theta;
+    auto skewed = ApplySkew(op, params, usage, &rng);
+    const WorkVector before = op.TotalWork();
+    const WorkVector after = skewed.TotalWork();
+    for (size_t i = 0; i < before.dim(); ++i) {
+      EXPECT_NEAR(after[i], before[i], 1e-9);
+    }
+  }
+}
+
+TEST(ApplySkewTest, IncreasesTParForPositiveTheta) {
+  OverlapUsageModel usage(0.5);
+  Rng rng(3);
+  auto op = EvenOp(0, 8, usage);
+  SkewParams params;
+  params.theta = 1.0;
+  auto skewed = ApplySkew(op, params, usage, &rng);
+  // One clone got more than its even share, so the slowest clone slowed.
+  EXPECT_GT(skewed.t_par, op.t_par);
+  // Clone times stay consistent with the usage model.
+  for (int k = 0; k < op.degree; ++k) {
+    EXPECT_NEAR(
+        skewed.t_seq[static_cast<size_t>(k)],
+        usage.SequentialTime(skewed.clones[static_cast<size_t>(k)]), 1e-12);
+  }
+}
+
+TEST(ApplySkewTest, MoreThetaMoreImbalance) {
+  OverlapUsageModel usage(0.5);
+  auto op = EvenOp(0, 8, usage);
+  double prev = op.t_par;
+  for (double theta : {0.25, 0.5, 1.0, 2.0}) {
+    SkewParams params;
+    params.theta = theta;
+    Rng rng(42);  // same rank assignment across thetas
+    auto skewed = ApplySkew(op, params, usage, &rng);
+    EXPECT_GT(skewed.t_par, prev);
+    prev = skewed.t_par;
+  }
+}
+
+TEST(SkewedResponseTest, ZeroThetaMatchesAnalytic) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 10;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  SkewParams params;
+  params.theta = 0.0;
+  auto skewed = SkewedResponseTime(*plan, params, usage);
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_NEAR(skewed.value(), plan->response_time, 1e-9);
+}
+
+TEST(SkewedResponseTest, SkewNeverHelpsMuchAndUsuallyHurts) {
+  PlanFixture fx = BushyFourWayFixture({60000, 30000, 90000, 20000});
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 16;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  int hurt = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SkewParams params;
+    params.theta = 1.0;
+    params.seed = seed;
+    auto skewed = SkewedResponseTime(*plan, params, usage);
+    ASSERT_TRUE(skewed.ok());
+    // Skew moves work between co-scheduled clones; it can occasionally
+    // cancel out, but it cannot beat the balanced schedule by much.
+    EXPECT_GE(skewed.value(), plan->response_time * 0.95);
+    if (skewed.value() > plan->response_time * 1.01) ++hurt;
+  }
+  EXPECT_GE(hurt, 7);
+}
+
+TEST(SkewedResponseTest, DeterministicPerSeed) {
+  PlanFixture fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  MachineConfig machine;
+  machine.num_sites = 8;
+  auto plan = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                           machine, usage);
+  ASSERT_TRUE(plan.ok());
+  SkewParams params;
+  params.theta = 0.7;
+  params.seed = 99;
+  auto a = SkewedResponseTime(*plan, params, usage);
+  auto b = SkewedResponseTime(*plan, params, usage);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,92 @@
+#include "workload/tpch_like.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "cost/cost_model.h"
+#include "plan/task_tree.h"
+
+namespace mrs {
+namespace {
+
+TEST(TpchLikeTest, AllShapesParseAndFinalize) {
+  for (const std::string& shape : TpchLikeShapes()) {
+    auto q = MakeTpchLikeQuery(shape, 0.01);
+    ASSERT_TRUE(q.ok()) << shape << ": " << q.status().ToString();
+    EXPECT_EQ(q->name, shape);
+    EXPECT_TRUE(q->parsed.plan->finalized());
+    EXPECT_EQ(q->parsed.catalog->num_relations(), 8);
+  }
+}
+
+TEST(TpchLikeTest, CardinalitiesScaleLinearly) {
+  auto small = MakeTpchLikeQuery("q3-like", 0.01);
+  auto large = MakeTpchLikeQuery("q3-like", 0.1);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  const int64_t small_li =
+      small->parsed.catalog->GetRelationByName("lineitem")->num_tuples;
+  const int64_t large_li =
+      large->parsed.catalog->GetRelationByName("lineitem")->num_tuples;
+  EXPECT_EQ(small_li, 60000);
+  EXPECT_EQ(large_li, 600000);
+  // Tiny relations clamp to at least one tuple.
+  auto tiny = MakeTpchLikeQuery("q3-like", 1e-9);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GE(tiny->parsed.catalog->GetRelationByName("region")->num_tuples,
+            1);
+}
+
+TEST(TpchLikeTest, ShapesHaveExpectedStructure) {
+  auto q3 = MakeTpchLikeQuery("q3-like");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(q3->parsed.plan->num_joins(), 2);
+  EXPECT_EQ(q3->parsed.plan->num_unary(), 1);  // the sort
+  EXPECT_EQ(q3->parsed.plan->node(q3->parsed.plan->root()).kind,
+            PlanNodeKind::kSort);
+
+  auto q9 = MakeTpchLikeQuery("q9-like");
+  ASSERT_TRUE(q9.ok());
+  EXPECT_EQ(q9->parsed.plan->num_joins(), 5);
+  EXPECT_EQ(q9->parsed.plan->node(q9->parsed.plan->root()).kind,
+            PlanNodeKind::kAggregate);
+
+  auto q18 = MakeTpchLikeQuery("q18-like");
+  ASSERT_TRUE(q18.ok());
+  EXPECT_EQ(q18->parsed.plan->num_joins(), 2);
+  EXPECT_EQ(q18->parsed.plan->num_unary(), 1);  // the pre-aggregation
+}
+
+TEST(TpchLikeTest, SchedulesEndToEnd) {
+  for (const std::string& shape : TpchLikeShapes()) {
+    auto q = MakeTpchLikeQuery(shape, 0.005);
+    ASSERT_TRUE(q.ok());
+    auto ops = OperatorTree::FromPlan(*q->parsed.plan);
+    ASSERT_TRUE(ops.ok());
+    OperatorTree op_tree = std::move(ops).value();
+    auto tasks = TaskTree::FromOperatorTree(&op_tree);
+    ASSERT_TRUE(tasks.ok());
+    CostModel model(CostParams{}, kDefaultDims);
+    auto costs = model.CostAll(op_tree);
+    ASSERT_TRUE(costs.ok());
+    MachineConfig machine;
+    machine.num_sites = 12;
+    OverlapUsageModel usage(0.5);
+    auto schedule = TreeSchedule(op_tree, *tasks, costs.value(), CostParams{},
+                                 machine, usage);
+    ASSERT_TRUE(schedule.ok()) << shape;
+    EXPECT_GT(schedule->response_time, 0.0);
+    for (const auto& phase : schedule->phases) {
+      EXPECT_TRUE(phase.schedule.Validate(phase.ops).ok());
+    }
+  }
+}
+
+TEST(TpchLikeTest, RejectsBadInput) {
+  EXPECT_FALSE(MakeTpchLikeQuery("q99-like").ok());
+  EXPECT_FALSE(MakeTpchLikeQuery("q3-like", 0.0).ok());
+  EXPECT_FALSE(MakeTpchLikeQuery("q3-like", -1.0).ok());
+}
+
+}  // namespace
+}  // namespace mrs
