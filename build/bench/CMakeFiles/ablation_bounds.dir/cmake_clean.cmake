@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bounds.dir/ablation_bounds.cc.o"
+  "CMakeFiles/ablation_bounds.dir/ablation_bounds.cc.o.d"
+  "CMakeFiles/ablation_bounds.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_bounds.dir/bench_common.cc.o.d"
+  "ablation_bounds"
+  "ablation_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

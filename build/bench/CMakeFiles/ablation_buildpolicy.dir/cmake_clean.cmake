@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buildpolicy.dir/ablation_buildpolicy.cc.o"
+  "CMakeFiles/ablation_buildpolicy.dir/ablation_buildpolicy.cc.o.d"
+  "CMakeFiles/ablation_buildpolicy.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_buildpolicy.dir/bench_common.cc.o.d"
+  "ablation_buildpolicy"
+  "ablation_buildpolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buildpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disks.dir/ablation_disks.cc.o"
+  "CMakeFiles/ablation_disks.dir/ablation_disks.cc.o.d"
+  "CMakeFiles/ablation_disks.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_disks.dir/bench_common.cc.o.d"
+  "ablation_disks"
+  "ablation_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

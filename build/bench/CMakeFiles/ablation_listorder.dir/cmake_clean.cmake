@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_listorder.dir/ablation_listorder.cc.o"
+  "CMakeFiles/ablation_listorder.dir/ablation_listorder.cc.o.d"
+  "CMakeFiles/ablation_listorder.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_listorder.dir/bench_common.cc.o.d"
+  "ablation_listorder"
+  "ablation_listorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_listorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_malleable.dir/ablation_malleable.cc.o"
+  "CMakeFiles/ablation_malleable.dir/ablation_malleable.cc.o.d"
+  "CMakeFiles/ablation_malleable.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_malleable.dir/bench_common.cc.o.d"
+  "ablation_malleable"
+  "ablation_malleable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_malleable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preemptability.dir/ablation_preemptability.cc.o"
+  "CMakeFiles/ablation_preemptability.dir/ablation_preemptability.cc.o.d"
+  "CMakeFiles/ablation_preemptability.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_preemptability.dir/bench_common.cc.o.d"
+  "ablation_preemptability"
+  "ablation_preemptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preemptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unary_ops.dir/ablation_unary_ops.cc.o"
+  "CMakeFiles/ablation_unary_ops.dir/ablation_unary_ops.cc.o.d"
+  "CMakeFiles/ablation_unary_ops.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_unary_ops.dir/bench_common.cc.o.d"
+  "ablation_unary_ops"
+  "ablation_unary_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unary_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_granularity.dir/bench_common.cc.o"
+  "CMakeFiles/fig5a_granularity.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5a_granularity.dir/fig5a_granularity.cc.o"
+  "CMakeFiles/fig5a_granularity.dir/fig5a_granularity.cc.o.d"
+  "fig5a_granularity"
+  "fig5a_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

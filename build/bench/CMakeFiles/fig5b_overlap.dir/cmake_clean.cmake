@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_overlap.dir/bench_common.cc.o"
+  "CMakeFiles/fig5b_overlap.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5b_overlap.dir/fig5b_overlap.cc.o"
+  "CMakeFiles/fig5b_overlap.dir/fig5b_overlap.cc.o.d"
+  "fig5b_overlap"
+  "fig5b_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_query_size.dir/bench_common.cc.o"
+  "CMakeFiles/fig6a_query_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6a_query_size.dir/fig6a_query_size.cc.o"
+  "CMakeFiles/fig6a_query_size.dir/fig6a_query_size.cc.o.d"
+  "fig6a_query_size"
+  "fig6a_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

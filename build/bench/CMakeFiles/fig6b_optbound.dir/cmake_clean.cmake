@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_optbound.dir/bench_common.cc.o"
+  "CMakeFiles/fig6b_optbound.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6b_optbound.dir/fig6b_optbound.cc.o"
+  "CMakeFiles/fig6b_optbound.dir/fig6b_optbound.cc.o.d"
+  "fig6b_optbound"
+  "fig6b_optbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_optbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler_runtime.dir/micro_scheduler_runtime.cc.o"
+  "CMakeFiles/micro_scheduler_runtime.dir/micro_scheduler_runtime.cc.o.d"
+  "micro_scheduler_runtime"
+  "micro_scheduler_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

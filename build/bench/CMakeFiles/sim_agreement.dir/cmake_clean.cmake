@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_agreement.dir/bench_common.cc.o"
+  "CMakeFiles/sim_agreement.dir/bench_common.cc.o.d"
+  "CMakeFiles/sim_agreement.dir/sim_agreement.cc.o"
+  "CMakeFiles/sim_agreement.dir/sim_agreement.cc.o.d"
+  "sim_agreement"
+  "sim_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bushy_join_demo.dir/bushy_join_demo.cpp.o"
+  "CMakeFiles/bushy_join_demo.dir/bushy_join_demo.cpp.o.d"
+  "bushy_join_demo"
+  "bushy_join_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bushy_join_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malleable_demo.dir/malleable_demo.cpp.o"
+  "CMakeFiles/malleable_demo.dir/malleable_demo.cpp.o.d"
+  "malleable_demo"
+  "malleable_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malleable_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

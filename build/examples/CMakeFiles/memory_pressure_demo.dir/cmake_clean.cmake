@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_pressure_demo.dir/memory_pressure_demo.cpp.o"
+  "CMakeFiles/memory_pressure_demo.dir/memory_pressure_demo.cpp.o.d"
+  "memory_pressure_demo"
+  "memory_pressure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_pressure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_server.dir/multimedia_server.cpp.o"
+  "CMakeFiles/multimedia_server.dir/multimedia_server.cpp.o.d"
+  "multimedia_server"
+  "multimedia_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cli.dir/sched_cli.cpp.o"
+  "CMakeFiles/sched_cli.dir/sched_cli.cpp.o.d"
+  "sched_cli"
+  "sched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hong.cc" "src/CMakeFiles/mrs.dir/baseline/hong.cc.o" "gcc" "src/CMakeFiles/mrs.dir/baseline/hong.cc.o.d"
+  "/root/repo/src/baseline/synchronous.cc" "src/CMakeFiles/mrs.dir/baseline/synchronous.cc.o" "gcc" "src/CMakeFiles/mrs.dir/baseline/synchronous.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/mrs.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/mrs.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/relation.cc" "src/CMakeFiles/mrs.dir/catalog/relation.cc.o" "gcc" "src/CMakeFiles/mrs.dir/catalog/relation.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mrs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mrs.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mrs.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mrs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/mrs.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/mrs.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/mrs.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "src/CMakeFiles/mrs.dir/core/exhaustive.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/malleable.cc" "src/CMakeFiles/mrs.dir/core/malleable.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/malleable.cc.o.d"
+  "/root/repo/src/core/memory_aware.cc" "src/CMakeFiles/mrs.dir/core/memory_aware.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/memory_aware.cc.o.d"
+  "/root/repo/src/core/operator_schedule.cc" "src/CMakeFiles/mrs.dir/core/operator_schedule.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/operator_schedule.cc.o.d"
+  "/root/repo/src/core/opt_bound.cc" "src/CMakeFiles/mrs.dir/core/opt_bound.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/opt_bound.cc.o.d"
+  "/root/repo/src/core/preemptability.cc" "src/CMakeFiles/mrs.dir/core/preemptability.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/preemptability.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/mrs.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/tree_schedule.cc" "src/CMakeFiles/mrs.dir/core/tree_schedule.cc.o" "gcc" "src/CMakeFiles/mrs.dir/core/tree_schedule.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/mrs.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/mrs.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/cost_params.cc" "src/CMakeFiles/mrs.dir/cost/cost_params.cc.o" "gcc" "src/CMakeFiles/mrs.dir/cost/cost_params.cc.o.d"
+  "/root/repo/src/cost/parallelize.cc" "src/CMakeFiles/mrs.dir/cost/parallelize.cc.o" "gcc" "src/CMakeFiles/mrs.dir/cost/parallelize.cc.o.d"
+  "/root/repo/src/exec/explain.cc" "src/CMakeFiles/mrs.dir/exec/explain.cc.o" "gcc" "src/CMakeFiles/mrs.dir/exec/explain.cc.o.d"
+  "/root/repo/src/exec/fluid_simulator.cc" "src/CMakeFiles/mrs.dir/exec/fluid_simulator.cc.o" "gcc" "src/CMakeFiles/mrs.dir/exec/fluid_simulator.cc.o.d"
+  "/root/repo/src/exec/gantt.cc" "src/CMakeFiles/mrs.dir/exec/gantt.cc.o" "gcc" "src/CMakeFiles/mrs.dir/exec/gantt.cc.o.d"
+  "/root/repo/src/io/plan_text.cc" "src/CMakeFiles/mrs.dir/io/plan_text.cc.o" "gcc" "src/CMakeFiles/mrs.dir/io/plan_text.cc.o.d"
+  "/root/repo/src/io/schedule_export.cc" "src/CMakeFiles/mrs.dir/io/schedule_export.cc.o" "gcc" "src/CMakeFiles/mrs.dir/io/schedule_export.cc.o.d"
+  "/root/repo/src/plan/operator_tree.cc" "src/CMakeFiles/mrs.dir/plan/operator_tree.cc.o" "gcc" "src/CMakeFiles/mrs.dir/plan/operator_tree.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/mrs.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/mrs.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/plan_tree.cc" "src/CMakeFiles/mrs.dir/plan/plan_tree.cc.o" "gcc" "src/CMakeFiles/mrs.dir/plan/plan_tree.cc.o.d"
+  "/root/repo/src/plan/query_graph.cc" "src/CMakeFiles/mrs.dir/plan/query_graph.cc.o" "gcc" "src/CMakeFiles/mrs.dir/plan/query_graph.cc.o.d"
+  "/root/repo/src/plan/task_tree.cc" "src/CMakeFiles/mrs.dir/plan/task_tree.cc.o" "gcc" "src/CMakeFiles/mrs.dir/plan/task_tree.cc.o.d"
+  "/root/repo/src/resource/machine.cc" "src/CMakeFiles/mrs.dir/resource/machine.cc.o" "gcc" "src/CMakeFiles/mrs.dir/resource/machine.cc.o.d"
+  "/root/repo/src/resource/usage_model.cc" "src/CMakeFiles/mrs.dir/resource/usage_model.cc.o" "gcc" "src/CMakeFiles/mrs.dir/resource/usage_model.cc.o.d"
+  "/root/repo/src/resource/work_vector.cc" "src/CMakeFiles/mrs.dir/resource/work_vector.cc.o" "gcc" "src/CMakeFiles/mrs.dir/resource/work_vector.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/mrs.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/mrs.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/mrs.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/mrs.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/skew.cc" "src/CMakeFiles/mrs.dir/workload/skew.cc.o" "gcc" "src/CMakeFiles/mrs.dir/workload/skew.cc.o.d"
+  "/root/repo/src/workload/tpch_like.cc" "src/CMakeFiles/mrs.dir/workload/tpch_like.cc.o" "gcc" "src/CMakeFiles/mrs.dir/workload/tpch_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mrs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/hong_test.cc" "tests/CMakeFiles/mrs_tests.dir/baseline/hong_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/baseline/hong_test.cc.o.d"
+  "/root/repo/tests/baseline/synchronous_test.cc" "tests/CMakeFiles/mrs_tests.dir/baseline/synchronous_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/baseline/synchronous_test.cc.o.d"
+  "/root/repo/tests/catalog/catalog_test.cc" "tests/CMakeFiles/mrs_tests.dir/catalog/catalog_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/catalog/catalog_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/mrs_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/mrs_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/mrs_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/mrs_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/str_util_test.cc" "tests/CMakeFiles/mrs_tests.dir/common/str_util_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/common/str_util_test.cc.o.d"
+  "/root/repo/tests/core/exhaustive_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/exhaustive_test.cc.o.d"
+  "/root/repo/tests/core/malleable_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/malleable_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/malleable_test.cc.o.d"
+  "/root/repo/tests/core/memory_aware_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/memory_aware_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/memory_aware_test.cc.o.d"
+  "/root/repo/tests/core/operator_schedule_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/operator_schedule_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/operator_schedule_test.cc.o.d"
+  "/root/repo/tests/core/opt_bound_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/opt_bound_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/opt_bound_test.cc.o.d"
+  "/root/repo/tests/core/preemptability_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/preemptability_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/preemptability_test.cc.o.d"
+  "/root/repo/tests/core/schedule_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/schedule_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/schedule_test.cc.o.d"
+  "/root/repo/tests/core/tree_schedule_test.cc" "tests/CMakeFiles/mrs_tests.dir/core/tree_schedule_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/core/tree_schedule_test.cc.o.d"
+  "/root/repo/tests/cost/cost_model_test.cc" "tests/CMakeFiles/mrs_tests.dir/cost/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/cost/cost_model_test.cc.o.d"
+  "/root/repo/tests/cost/multi_disk_test.cc" "tests/CMakeFiles/mrs_tests.dir/cost/multi_disk_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/cost/multi_disk_test.cc.o.d"
+  "/root/repo/tests/cost/parallelize_test.cc" "tests/CMakeFiles/mrs_tests.dir/cost/parallelize_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/cost/parallelize_test.cc.o.d"
+  "/root/repo/tests/exec/explain_test.cc" "tests/CMakeFiles/mrs_tests.dir/exec/explain_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/exec/explain_test.cc.o.d"
+  "/root/repo/tests/exec/fluid_simulator_test.cc" "tests/CMakeFiles/mrs_tests.dir/exec/fluid_simulator_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/exec/fluid_simulator_test.cc.o.d"
+  "/root/repo/tests/exec/gantt_test.cc" "tests/CMakeFiles/mrs_tests.dir/exec/gantt_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/exec/gantt_test.cc.o.d"
+  "/root/repo/tests/integration/bounds_property_test.cc" "tests/CMakeFiles/mrs_tests.dir/integration/bounds_property_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/integration/bounds_property_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/mrs_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/model_property_test.cc" "tests/CMakeFiles/mrs_tests.dir/integration/model_property_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/integration/model_property_test.cc.o.d"
+  "/root/repo/tests/integration/quality_property_test.cc" "tests/CMakeFiles/mrs_tests.dir/integration/quality_property_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/integration/quality_property_test.cc.o.d"
+  "/root/repo/tests/integration/regression_test.cc" "tests/CMakeFiles/mrs_tests.dir/integration/regression_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/integration/regression_test.cc.o.d"
+  "/root/repo/tests/io/plan_text_test.cc" "tests/CMakeFiles/mrs_tests.dir/io/plan_text_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/io/plan_text_test.cc.o.d"
+  "/root/repo/tests/io/schedule_export_test.cc" "tests/CMakeFiles/mrs_tests.dir/io/schedule_export_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/io/schedule_export_test.cc.o.d"
+  "/root/repo/tests/plan/operator_tree_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/operator_tree_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/operator_tree_test.cc.o.d"
+  "/root/repo/tests/plan/plan_printer_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/plan_printer_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/plan_printer_test.cc.o.d"
+  "/root/repo/tests/plan/plan_tree_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/plan_tree_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/plan_tree_test.cc.o.d"
+  "/root/repo/tests/plan/query_graph_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/query_graph_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/query_graph_test.cc.o.d"
+  "/root/repo/tests/plan/task_tree_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/task_tree_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/task_tree_test.cc.o.d"
+  "/root/repo/tests/plan/unary_ops_test.cc" "tests/CMakeFiles/mrs_tests.dir/plan/unary_ops_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/plan/unary_ops_test.cc.o.d"
+  "/root/repo/tests/resource/machine_test.cc" "tests/CMakeFiles/mrs_tests.dir/resource/machine_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/resource/machine_test.cc.o.d"
+  "/root/repo/tests/resource/usage_model_test.cc" "tests/CMakeFiles/mrs_tests.dir/resource/usage_model_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/resource/usage_model_test.cc.o.d"
+  "/root/repo/tests/resource/work_vector_test.cc" "tests/CMakeFiles/mrs_tests.dir/resource/work_vector_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/resource/work_vector_test.cc.o.d"
+  "/root/repo/tests/workload/experiment_test.cc" "tests/CMakeFiles/mrs_tests.dir/workload/experiment_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/workload/experiment_test.cc.o.d"
+  "/root/repo/tests/workload/generator_test.cc" "tests/CMakeFiles/mrs_tests.dir/workload/generator_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/workload/generator_test.cc.o.d"
+  "/root/repo/tests/workload/skew_test.cc" "tests/CMakeFiles/mrs_tests.dir/workload/skew_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/workload/skew_test.cc.o.d"
+  "/root/repo/tests/workload/tpch_like_test.cc" "tests/CMakeFiles/mrs_tests.dir/workload/tpch_like_test.cc.o" "gcc" "tests/CMakeFiles/mrs_tests.dir/workload/tpch_like_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mrs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
