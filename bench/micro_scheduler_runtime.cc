@@ -4,12 +4,18 @@
 //   OPERATORSCHEDULE:  O(M P (M + log P))
 //   TREESCHEDULE:      O(J P (J + log P))
 //   GF selection:      O(M P log M)
+//
+// plus the batch scheduling engine: BM_BatchSchedule reports queries/sec
+// (items_per_second) for a generated batch at 1/2/4/8 worker threads —
+// the speedup column of the ROADMAP's throughput story — and
+// BM_BatchSchedule_NoCache isolates the memoized parallelize cache.
 
 #include <benchmark/benchmark.h>
 
 #include "core/malleable.h"
 #include "core/operator_schedule.h"
 #include "core/tree_schedule.h"
+#include "exec/batch_scheduler.h"
 #include "workload/experiment.h"
 
 namespace mrs {
@@ -122,6 +128,59 @@ BENCHMARK(BM_OperatorScheduleOnly)
     ->Args({256, 32})
     ->Args({64, 8})
     ->Args({64, 128});
+
+// Batch scheduling engine throughput: one batch of `range(1)` generated
+// queries per iteration on `range(0)` worker threads. items_per_second is
+// queries/sec; divide across thread counts for the speedup vs. 1 thread.
+void BM_BatchSchedule(benchmark::State& state, bool use_cache) {
+  const int threads = static_cast<int>(state.range(0));
+  const int queries = static_cast<int>(state.range(1));
+  BatchSchedulerOptions options;
+  options.num_threads = threads;
+  options.overlap_eps = 0.5;
+  options.tree.granularity = 0.7;
+  options.use_cost_cache = use_cache;
+  WorkloadParams workload;
+  workload.num_joins = 10;
+  CostParams params;
+  MachineConfig machine;
+  machine.num_sites = 32;
+  BatchScheduler engine(params, machine, options);
+  int failed = 0;
+  for (auto _ : state) {
+    BatchOutput output = engine.ScheduleGenerated(workload, 9607, queries);
+    failed += queries - output.NumOk();
+    benchmark::DoNotOptimize(output);
+  }
+  if (failed > 0) {
+    state.SkipWithError("batch items failed");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+  state.SetLabel("K=" + std::to_string(threads) +
+                 " Q=" + std::to_string(queries) +
+                 (use_cache ? " cache" : " nocache"));
+}
+
+void BM_BatchScheduleCached(benchmark::State& state) {
+  BM_BatchSchedule(state, /*use_cache=*/true);
+}
+void BM_BatchScheduleNoCache(benchmark::State& state) {
+  BM_BatchSchedule(state, /*use_cache=*/false);
+}
+
+BENCHMARK(BM_BatchScheduleCached)
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({4, 1000})
+    ->Args({8, 1000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchScheduleNoCache)
+    ->Args({1, 1000})
+    ->Args({8, 1000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mrs

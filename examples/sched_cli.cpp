@@ -6,21 +6,30 @@
 // Usage:
 //   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
 //             [--algorithm tree|malleable|sync] [--format text|gantt|svg|json|csv]
+//             [--batch N] [--threads K]
+//
+// With --batch N the plan is scheduled N times through the batch
+// scheduling engine on K worker threads (a serving-loop smoke test:
+// reports queries/sec and parallelize-cache hit rate, then prints the
+// first schedule in the requested format).
 //
 // Plan file format (see src/io/plan_text.h):
 //   relation customer 30000
 //   relation orders 90000
 //   plan (join orders customer)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baseline/synchronous.h"
 #include "core/tree_schedule.h"
+#include "exec/batch_scheduler.h"
 #include "exec/gantt.h"
 #include "io/plan_text.h"
 #include "io/schedule_export.h"
@@ -32,7 +41,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <plan-file> [--sites N] [--eps E] [--f F]\n"
                "          [--algorithm tree|malleable|sync]\n"
-               "          [--format text|gantt|svg|json|csv]\n",
+               "          [--format text|gantt|svg|json|csv]\n"
+               "          [--batch N] [--threads K]\n",
                argv0);
   return 2;
 }
@@ -49,6 +59,8 @@ int main(int argc, char** argv) {
   double f = 0.7;
   std::string algorithm = "tree";
   std::string format = "text";
+  int batch = 1;
+  int threads = 1;
   for (int i = 2; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -67,9 +79,17 @@ int main(int argc, char** argv) {
       algorithm = need_value("--algorithm");
     } else if (std::strcmp(argv[i], "--format") == 0) {
       format = need_value("--format");
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = std::atoi(need_value("--batch"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(need_value("--threads"));
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (batch < 1 || threads < 1) {
+    std::fprintf(stderr, "--batch and --threads must be >= 1\n");
+    return 2;
   }
 
   std::ifstream in(plan_path);
@@ -84,6 +104,59 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed.status().ToString().c_str());
     return 1;
+  }
+
+  if (batch > 1 || threads > 1) {
+    // Batch mode: push N copies of the plan through the batch scheduling
+    // engine and report throughput plus cache effectiveness.
+    if (algorithm == "sync") {
+      std::fprintf(stderr, "--batch supports tree|malleable only\n");
+      return 2;
+    }
+    BatchSchedulerOptions options;
+    options.num_threads = threads;
+    options.overlap_eps = eps;
+    options.tree.granularity = f;
+    if (algorithm == "malleable") {
+      options.tree.policy = ParallelizationPolicy::kMalleable;
+    } else if (algorithm != "tree") {
+      return Usage(argv[0]);
+    }
+    CostParams params;
+    MachineConfig machine;
+    machine.num_sites = sites;
+    BatchScheduler engine(params, machine, options);
+    std::vector<const PlanTree*> plans(static_cast<size_t>(batch),
+                                       parsed->plan.get());
+    const auto start = std::chrono::steady_clock::now();
+    BatchOutput output = engine.ScheduleAll(plans);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (const auto& item : output.items) {
+      if (!item.status.ok()) {
+        std::fprintf(stderr, "scheduling failed (plan %d): %s\n", item.index,
+                     item.status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr,
+                 "%s; %d queries on %d threads in %.3fs (%.0f queries/s)\n",
+                 output.ToString().c_str(), batch, engine.options().num_threads,
+                 elapsed_s, elapsed_s > 0 ? batch / elapsed_s : 0.0);
+    const TreeScheduleResult& first = output.items.front().schedule;
+    if (format == "json") {
+      std::printf("%s\n", TreeScheduleToJson(first).c_str());
+    } else if (format == "csv") {
+      std::printf("%s", TreeScheduleToCsv(first).c_str());
+    } else if (format == "gantt") {
+      std::printf("%s", RenderTreeGantt(first).c_str());
+    } else if (format == "svg") {
+      std::printf("%s", RenderTreeGanttSvg(first).c_str());
+    } else {
+      std::printf("%s", first.ToString().c_str());
+    }
+    return 0;
   }
 
   auto op_tree_result = OperatorTree::FromPlan(*parsed->plan);

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mrs {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const size_t n = static_cast<size_t>(std::max(num_threads, 1));
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    // Lock/unlock pairs with the worker's wait so the stop flag cannot be
+    // missed between its predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MRS_CHECK(task != nullptr) << "Submit requires a callable task";
+  MRS_CHECK(!stopping_.load(std::memory_order_acquire))
+      << "Submit on a destroyed ThreadPool";
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                          shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.tasks.push_back(std::move(task));
+  }
+  shard.cv.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return !shard.tasks.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (shard.tasks.empty()) return;  // stopping and drained
+      task = std::move(shard.tasks.front());
+      shard.tasks.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Empty critical section: a WaitAll-er between its predicate check
+      // and its sleep holds done_mu_, so locking here prevents the notify
+      // from slipping into that window and being lost.
+      { std::lock_guard<std::mutex> lock(done_mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mrs

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/operator_schedule.h"
 
 namespace mrs {
@@ -180,12 +181,65 @@ Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
                      return a.work.Length() > b.work.Length();
                    });
 
-  Search search(std::move(clones), num_sites, dims, t_par_max,
-                std::move(load), options.max_nodes, incumbent);
-  for (const auto& [op_index, site] : rooted_sites) {
-    search.ForbidSiteForOp(op_index, site);
+  ExhaustiveResult result;
+  if (options.pool != nullptr && clones.size() >= 2 && num_sites >= 2) {
+    // Fan the root of the branch-and-bound tree across the pool: one
+    // independent sub-search per candidate site of the first clone,
+    // replicating the sequential root loop (including its empty-site
+    // symmetry breaking). Constraint A at the root is enforced by
+    // pre-forbidding the branch site for the clone's siblings.
+    std::vector<char> forbidden(static_cast<size_t>(num_sites), 0);
+    for (const auto& [op_index, site] : rooted_sites) {
+      if (op_index == clones.front().op_index) {
+        forbidden[static_cast<size_t>(site)] = 1;
+      }
+    }
+    std::vector<int> branch_sites;
+    bool tried_empty = false;
+    for (int j = 0; j < num_sites; ++j) {
+      if (forbidden[static_cast<size_t>(j)]) continue;
+      const bool empty = load[static_cast<size_t>(j)].Length() == 0.0;
+      if (empty) {
+        if (tried_empty) continue;
+        tried_empty = true;
+      }
+      branch_sites.push_back(j);
+    }
+    const uint64_t branch_budget = std::max<uint64_t>(
+        options.max_nodes / std::max<size_t>(branch_sites.size(), 1), 1);
+    const Clone first = clones.front();
+    const std::vector<Clone> rest(clones.begin() + 1, clones.end());
+    std::vector<ExhaustiveResult> branch_results(branch_sites.size());
+    for (size_t b = 0; b < branch_sites.size(); ++b) {
+      options.pool->Submit([&, b] {
+        const int site = branch_sites[b];
+        std::vector<WorkVector> branch_load = load;
+        branch_load[static_cast<size_t>(site)] += first.work;
+        Search branch(rest, num_sites, dims, t_par_max,
+                      std::move(branch_load), branch_budget, incumbent);
+        for (const auto& [op_index, rooted_site] : rooted_sites) {
+          branch.ForbidSiteForOp(op_index, rooted_site);
+        }
+        branch.ForbidSiteForOp(first.op_index, site);
+        branch_results[b] = branch.Run();
+      });
+    }
+    options.pool->WaitAll();
+    result.makespan = incumbent;
+    result.proven_optimal = true;
+    for (const ExhaustiveResult& branch : branch_results) {
+      result.makespan = std::min(result.makespan, branch.makespan);
+      result.proven_optimal = result.proven_optimal && branch.proven_optimal;
+      result.nodes_explored += branch.nodes_explored;
+    }
+  } else {
+    Search search(std::move(clones), num_sites, dims, t_par_max,
+                  std::move(load), options.max_nodes, incumbent);
+    for (const auto& [op_index, site] : rooted_sites) {
+      search.ForbidSiteForOp(op_index, site);
+    }
+    result = search.Run();
   }
-  ExhaustiveResult result = search.Run();
   // The incumbent seed is a valid schedule; report it if nothing better.
   result.makespan = std::min(result.makespan, seed->Makespan());
   return result;

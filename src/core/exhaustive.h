@@ -9,10 +9,21 @@
 
 namespace mrs {
 
+class ThreadPool;
+
 struct ExhaustiveOptions {
   /// Abort the search after this many branch-and-bound nodes; the result
   /// is then the best schedule found so far with proven_optimal = false.
+  /// With a pool, the budget is split evenly across the root branches.
   uint64_t max_nodes = 20'000'000;
+  /// Optional thread pool (not owned). When set, the search fans the root
+  /// of the branch-and-bound tree — one task per candidate site of the
+  /// first (largest) floating clone — across the pool. The result is
+  /// identical to the sequential search when both run to proof (each
+  /// branch is explored deterministically and the final makespan is the
+  /// min over branches); under a node budget the two may differ, since
+  /// parallel branches cannot share incumbents.
+  ThreadPool* pool = nullptr;
 };
 
 struct ExhaustiveResult {

@@ -42,6 +42,32 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
   MRS_RETURN_IF_ERROR(params.Validate());
   MachineConfig config = machine;
   MRS_RETURN_IF_ERROR(config.Validate());
+  if (options.cache != nullptr &&
+      !options.cache->CompatibleWith(params, usage.epsilon(),
+                                     options.granularity,
+                                     config.num_sites)) {
+    return Status::InvalidArgument(
+        "parallelize cache was built for a different scheduling context");
+  }
+  // Parallelization entry points, memoized when a cache is supplied.
+  auto par_rooted = [&](const OperatorCost& cost, std::vector<int> home) {
+    return options.cache != nullptr
+               ? options.cache->Rooted(cost, std::move(home))
+               : ParallelizeRooted(cost, params, usage, std::move(home),
+                                   config.num_sites);
+  };
+  auto par_floating = [&](const OperatorCost& cost) {
+    return options.cache != nullptr
+               ? options.cache->Floating(cost)
+               : ParallelizeFloating(cost, params, usage,
+                                     options.granularity, config.num_sites);
+  };
+  auto par_at_degree = [&](const OperatorCost& cost, int degree) {
+    return options.cache != nullptr
+               ? options.cache->AtDegree(cost, degree)
+               : ParallelizeAtDegree(cost, params, usage, degree,
+                                     config.num_sites);
+  };
 
   TreeScheduleResult result;
   result.phases.reserve(static_cast<size_t>(task_tree.num_phases()));
@@ -93,8 +119,7 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
                         "an earlier phase",
                         op.blocking_input, oid));
         }
-        auto rooted =
-            ParallelizeRooted(cost, params, usage, home, config.num_sites);
+        auto rooted = par_rooted(cost, std::move(home));
         if (!rooted.ok()) return rooted.status();
         ops.push_back(std::move(rooted).value());
       } else {
@@ -113,21 +138,17 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
                                                       usage, config.num_sites);
       if (!selection.ok()) return selection.status();
       for (size_t i = 0; i < floating_ids.size(); ++i) {
-        auto op = ParallelizeAtDegree(
-            costs[static_cast<size_t>(floating_ids[i])], params, usage,
-            selection->degrees[i], config.num_sites);
+        auto op = par_at_degree(costs[static_cast<size_t>(floating_ids[i])],
+                                selection->degrees[i]);
         if (!op.ok()) return op.status();
         ops.push_back(std::move(op).value());
       }
     } else {
       for (int oid : floating_ids) {
-        auto sized = ParallelizeFloating(sizing_cost(oid), params, usage,
-                                         options.granularity,
-                                         config.num_sites);
+        auto sized = par_floating(sizing_cost(oid));
         if (!sized.ok()) return sized.status();
-        auto op = ParallelizeAtDegree(costs[static_cast<size_t>(oid)],
-                                      params, usage, sized->degree,
-                                      config.num_sites);
+        auto op = par_at_degree(costs[static_cast<size_t>(oid)],
+                                sized->degree);
         if (!op.ok()) return op.status();
         ops.push_back(std::move(op).value());
       }

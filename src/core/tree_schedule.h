@@ -9,6 +9,7 @@
 #include "core/schedule.h"
 #include "cost/cost_model.h"
 #include "cost/parallelize.h"
+#include "cost/parallelize_cache.h"
 #include "plan/operator_tree.h"
 #include "plan/task_tree.h"
 #include "resource/machine.h"
@@ -47,6 +48,12 @@ struct TreeScheduleOptions {
   BuildDegreePolicy build_degree = BuildDegreePolicy::kJoinAware;
   /// List scheduling knobs forwarded to OperatorSchedule.
   OperatorScheduleOptions list_options;
+  /// Optional memoized parallelization cache (not owned), typically shared
+  /// across the queries of a batch. Must have been constructed for the same
+  /// (CostParams, overlap epsilon, granularity, num_sites) this call uses,
+  /// or TreeSchedule fails with InvalidArgument. Caching never changes the
+  /// result: entries are pure functions of the operator signature.
+  ParallelizeCache* cache = nullptr;
 };
 
 /// One synchronized phase of a TREESCHEDULE execution.

@@ -131,11 +131,7 @@ Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,
   return MakeParallelized(cost, degree, params, usage);
 }
 
-Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,
-                                         const CostParams& params,
-                                         const OverlapUsageModel& usage,
-                                         std::vector<int> home,
-                                         int num_sites) {
+Status ValidateHome(const std::vector<int>& home, int num_sites) {
   if (home.empty()) {
     return Status::InvalidArgument("rooted operator requires a non-empty home");
   }
@@ -150,6 +146,15 @@ Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,
           StrFormat("home lists site %d twice", s));
     }
   }
+  return Status::OK();
+}
+
+Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,
+                                         const CostParams& params,
+                                         const OverlapUsageModel& usage,
+                                         std::vector<int> home,
+                                         int num_sites) {
+  MRS_RETURN_IF_ERROR(ValidateHome(home, num_sites));
   auto op = ParallelizeAtDegree(cost, params, usage,
                                 static_cast<int>(home.size()), num_sites);
   if (!op.ok()) return op.status();

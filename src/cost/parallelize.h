@@ -81,6 +81,11 @@ Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,
                                            const OverlapUsageModel& usage,
                                            int degree, int num_sites);
 
+/// Checks that `home` names distinct sites in [0, num_sites) and is
+/// non-empty (the validity precondition of ParallelizeRooted; exposed so
+/// memoizing callers can validate without recomputing the clone split).
+Status ValidateHome(const std::vector<int>& home, int num_sites);
+
 /// Parallelizes a rooted operator whose home (and hence degree) is fixed by
 /// data placement. `home` must name distinct sites in [0, num_sites).
 Result<ParallelizedOp> ParallelizeRooted(const OperatorCost& cost,

@@ -1,0 +1,157 @@
+#include "cost/parallelize_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace mrs {
+
+namespace {
+
+/// Hashes the bit pattern of a double (so the key comparison and the hash
+/// agree on exact equality; note -0.0 and 0.0 hash differently, which only
+/// costs a spurious miss, never a wrong hit — operator== on the component
+/// vectors is the authority).
+uint64_t HashDouble(double value, uint64_t seed) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  uint64_t x = seed ^ (bits + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+bool SameParams(const CostParams& a, const CostParams& b) {
+  return a.cpu_mips == b.cpu_mips &&
+         a.disk_ms_per_page == b.disk_ms_per_page &&
+         a.startup_ms_per_site == b.startup_ms_per_site &&
+         a.net_ms_per_byte == b.net_ms_per_byte &&
+         a.tuple_bytes == b.tuple_bytes &&
+         a.tuples_per_page == b.tuples_per_page &&
+         a.instr_read_page == b.instr_read_page &&
+         a.instr_write_page == b.instr_write_page &&
+         a.instr_extract_tuple == b.instr_extract_tuple &&
+         a.instr_hash_tuple == b.instr_hash_tuple &&
+         a.instr_probe_hash == b.instr_probe_hash &&
+         a.instr_sort_tuple == b.instr_sort_tuple &&
+         a.instr_merge_tuple == b.instr_merge_tuple;
+}
+
+}  // namespace
+
+size_t ParallelizeCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = 0x51ed27f4a7c15ULL ^ static_cast<uint64_t>(key.degree);
+  h = HashDouble(key.data_bytes, h);
+  for (double component : key.processing) h = HashDouble(component, h);
+  return static_cast<size_t>(h);
+}
+
+ParallelizeCache::ParallelizeCache(const CostParams& params,
+                                   double overlap_eps, double granularity,
+                                   int num_sites)
+    : params_(params),
+      usage_(overlap_eps),
+      granularity_(granularity),
+      num_sites_(num_sites) {}
+
+ParallelizeCache::Key ParallelizeCache::MakeKey(const OperatorCost& cost,
+                                                int degree) {
+  Key key;
+  key.processing = cost.processing.components();
+  key.data_bytes = cost.data_bytes;
+  key.degree = degree;
+  return key;
+}
+
+ParallelizeCache::Shard& ParallelizeCache::ShardFor(const Key& key) {
+  return shards_[KeyHash{}(key) % kNumShards];
+}
+
+template <typename ComputeFn>
+Result<ParallelizedOp> ParallelizeCache::Lookup(const OperatorCost& cost,
+                                                int degree,
+                                                ComputeFn compute) {
+  Key key = MakeKey(cost, degree);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      counter_.RecordHit();
+      ParallelizedOp op = it->second;
+      op.op_id = cost.op_id;
+      op.kind = cost.kind;
+      return op;
+    }
+  }
+  counter_.RecordMiss();
+  // Compute outside the lock; a concurrent double-compute of the same key
+  // yields bit-identical values (the computation is a pure function of the
+  // key under this cache's fixed context), so first-insert-wins is safe.
+  Result<ParallelizedOp> computed = compute();
+  if (!computed.ok()) return computed.status();  // errors are not cached
+  ParallelizedOp canonical = computed.value();
+  canonical.op_id = -1;
+  canonical.kind = OperatorKind::kScan;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.emplace(std::move(key), std::move(canonical));
+  }
+  ParallelizedOp op = std::move(computed).value();
+  op.op_id = cost.op_id;
+  op.kind = cost.kind;
+  return op;
+}
+
+Result<ParallelizedOp> ParallelizeCache::Floating(const OperatorCost& cost) {
+  return Lookup(cost, kFloatingDegree, [&] {
+    return ParallelizeFloating(cost, params_, usage_, granularity_,
+                               num_sites_);
+  });
+}
+
+Result<ParallelizedOp> ParallelizeCache::AtDegree(const OperatorCost& cost,
+                                                  int degree) {
+  if (degree < 1 || degree > num_sites_) {
+    // Out-of-range degrees bypass the cache entirely: degree 0 is the
+    // floating sentinel in the key space and must not alias a stored
+    // floating entry.
+    return ParallelizeAtDegree(cost, params_, usage_, degree, num_sites_);
+  }
+  return Lookup(cost, degree, [&] {
+    return ParallelizeAtDegree(cost, params_, usage_, degree, num_sites_);
+  });
+}
+
+Result<ParallelizedOp> ParallelizeCache::Rooted(const OperatorCost& cost,
+                                                std::vector<int> home) {
+  // Validate the home exactly as ParallelizeRooted would, then serve the
+  // degree-dependent clone split from the cache.
+  MRS_RETURN_IF_ERROR(ValidateHome(home, num_sites_));
+  auto split = AtDegree(cost, static_cast<int>(home.size()));
+  if (!split.ok()) return split.status();
+  ParallelizedOp op = std::move(split).value();
+  op.rooted = true;
+  op.home = std::move(home);
+  return op;
+}
+
+bool ParallelizeCache::CompatibleWith(const CostParams& params,
+                                      double overlap_eps, double granularity,
+                                      int num_sites) const {
+  return SameParams(params_, params) && usage_.epsilon() == overlap_eps &&
+         granularity_ == granularity && num_sites_ == num_sites;
+}
+
+size_t ParallelizeCache::NumEntries() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace mrs

@@ -1,0 +1,115 @@
+#ifndef MRS_COST_PARALLELIZE_CACHE_H_
+#define MRS_COST_PARALLELIZE_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "cost/cost_model.h"
+#include "cost/parallelize.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+/// Memoized front-end to the parallelization routines of cost/parallelize.h
+/// — the compile-time hot path of TREESCHEDULE. Parallelizing a floating
+/// operator evaluates T_par(N) for every candidate degree (the OptimalDegree
+/// scan), and a batch of queries over a shared catalog re-derives the exact
+/// same clone splits over and over: two scans of equally sized relations,
+/// the build sides of identically sized joins, every probe re-rooted at an
+/// equal home degree. This cache keys on the *operator signature* — the
+/// processing work vector and shipped bytes, compared bit-exactly — times
+/// the degree, so one computation serves every recurrence within and across
+/// the queries of a batch.
+///
+/// A cache instance is bound to one (CostParams, overlap epsilon,
+/// granularity f, num_sites) context at construction; entries are pure
+/// functions of (signature, degree) under that context, which is what makes
+/// concurrent use deterministic: a racing double-compute produces the same
+/// bits, and whichever insert wins, every reader sees an identical value.
+///
+/// Thread-safe. Hit/miss counters are exposed via common/stats.h's
+/// HitMissCounter.
+class ParallelizeCache {
+ public:
+  ParallelizeCache(const CostParams& params, double overlap_eps,
+                   double granularity, int num_sites);
+
+  /// Memoized ParallelizeFloating(cost, params, usage, f, num_sites).
+  Result<ParallelizedOp> Floating(const OperatorCost& cost);
+
+  /// Memoized ParallelizeAtDegree(cost, params, usage, degree, num_sites).
+  Result<ParallelizedOp> AtDegree(const OperatorCost& cost, int degree);
+
+  /// Memoized ParallelizeRooted: the clone split is served from the
+  /// degree cache; only the home vector is per-call.
+  Result<ParallelizedOp> Rooted(const OperatorCost& cost,
+                                std::vector<int> home);
+
+  /// True iff this cache was built for exactly this scheduling context
+  /// (bit-exact parameter comparison, same granularity/epsilon/sites).
+  bool CompatibleWith(const CostParams& params, double overlap_eps,
+                      double granularity, int num_sites) const;
+
+  const CostParams& params() const { return params_; }
+  double overlap_eps() const { return usage_.epsilon(); }
+  double granularity() const { return granularity_; }
+  int num_sites() const { return num_sites_; }
+
+  const HitMissCounter& counter() const { return counter_; }
+  HitMissCounter& counter() { return counter_; }
+
+  /// Total number of memoized entries across both maps (test aid).
+  size_t NumEntries() const;
+
+ private:
+  /// Degree kFloatingDegree marks the "degree chosen by the CG_f rule"
+  /// entry; real degrees are >= 1.
+  static constexpr int kFloatingDegree = 0;
+
+  struct Key {
+    std::vector<double> processing;
+    double data_bytes = 0.0;
+    int degree = kFloatingDegree;
+
+    bool operator==(const Key& other) const {
+      return degree == other.degree && data_bytes == other.data_bytes &&
+             processing == other.processing;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, ParallelizedOp, KeyHash> entries;
+  };
+
+  static Key MakeKey(const OperatorCost& cost, int degree);
+  Shard& ShardFor(const Key& key);
+
+  /// Looks up `key`; on miss runs `compute` (outside the shard lock) and
+  /// memoizes its value. `compute` must be a pure function of the key.
+  template <typename ComputeFn>
+  Result<ParallelizedOp> Lookup(const OperatorCost& cost, int degree,
+                                ComputeFn compute);
+
+  static constexpr size_t kNumShards = 16;
+
+  CostParams params_;
+  OverlapUsageModel usage_;
+  double granularity_;
+  int num_sites_;
+  std::array<Shard, kNumShards> shards_;
+  HitMissCounter counter_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_COST_PARALLELIZE_CACHE_H_

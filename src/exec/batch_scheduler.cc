@@ -1,0 +1,158 @@
+#include "exec/batch_scheduler.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "cost/cost_model.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+
+namespace {
+
+/// Mixes (seed, index) into the 64-bit seed of item `index`'s private RNG
+/// stream (SplitMix-style, mirroring the experiment harness): streams are
+/// a function of the work item, never of the worker thread that happens to
+/// run it.
+uint64_t ItemSeed(uint64_t seed, int index) {
+  uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+  x ^= (x >> 30);
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= static_cast<uint64_t>(index) * 0x94d049bb133111ebULL;
+  x ^= (x >> 27);
+  x *= 0x94d049bb133111ebULL;
+  x ^= (x >> 31);
+  return x;
+}
+
+}  // namespace
+
+int BatchOutput::NumOk() const {
+  int ok = 0;
+  for (const auto& item : items) {
+    if (item.status.ok()) ++ok;
+  }
+  return ok;
+}
+
+double BatchOutput::TotalResponseTime() const {
+  double total = 0.0;
+  for (const auto& item : items) {
+    if (item.status.ok()) total += item.schedule.response_time;
+  }
+  return total;
+}
+
+std::string BatchOutput::ToString() const {
+  const uint64_t lookups = cache_hits + cache_misses;
+  const double rate = lookups == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(cache_hits) /
+                                         static_cast<double>(lookups);
+  return StrFormat("batch: %d ok / %zu, cache %.1f%% hits", NumOk(),
+                   items.size(), rate);
+}
+
+BatchScheduler::BatchScheduler(const CostParams& params,
+                               const MachineConfig& machine,
+                               const BatchSchedulerOptions& options)
+    : params_(params),
+      machine_(machine),
+      options_(options),
+      cache_(params, options.overlap_eps, options.tree.granularity,
+             machine.num_sites),
+      pool_(options.num_threads) {
+  options_.num_threads = pool_.num_threads();
+}
+
+BatchItemResult BatchScheduler::ScheduleOne(const PlanTree& plan, int index) {
+  BatchItemResult item;
+  item.index = index;
+
+  auto op_tree = OperatorTree::FromPlan(plan);
+  if (!op_tree.ok()) {
+    item.status = op_tree.status();
+    return item;
+  }
+  OperatorTree ops = std::move(op_tree).value();
+
+  auto task_tree = TaskTree::FromOperatorTree(&ops);
+  if (!task_tree.ok()) {
+    item.status = task_tree.status();
+    return item;
+  }
+
+  const CostModel model(params_, machine_.dims, options_.num_disks);
+  auto costs = model.CostAll(ops);
+  if (!costs.ok()) {
+    item.status = costs.status();
+    return item;
+  }
+
+  const OverlapUsageModel usage(options_.overlap_eps);
+  TreeScheduleOptions tree_options = options_.tree;
+  tree_options.cache = options_.use_cost_cache ? &cache_ : nullptr;
+  auto result = TreeSchedule(ops, *task_tree, costs.value(), params_,
+                             machine_, usage, tree_options);
+  if (!result.ok()) {
+    item.status = result.status();
+    return item;
+  }
+  item.schedule = std::move(result).value();
+  return item;
+}
+
+BatchOutput BatchScheduler::ScheduleAll(
+    const std::vector<const PlanTree*>& plans) {
+  BatchOutput output;
+  output.items.resize(plans.size());
+  const uint64_t hits_before = cache_.counter().hits();
+  const uint64_t misses_before = cache_.counter().misses();
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    pool_.Submit([this, &output, &plans, i] {
+      const PlanTree* plan = plans[i];
+      if (plan == nullptr) {
+        output.items[i].index = static_cast<int>(i);
+        output.items[i].status = Status::InvalidArgument("null plan in batch");
+        return;
+      }
+      output.items[i] = ScheduleOne(*plan, static_cast<int>(i));
+    });
+  }
+  pool_.WaitAll();
+
+  output.cache_hits = cache_.counter().hits() - hits_before;
+  output.cache_misses = cache_.counter().misses() - misses_before;
+  return output;
+}
+
+BatchOutput BatchScheduler::ScheduleGenerated(const WorkloadParams& workload,
+                                              uint64_t seed, int count) {
+  BatchOutput output;
+  if (count < 0) count = 0;
+  output.items.resize(static_cast<size_t>(count));
+  const uint64_t hits_before = cache_.counter().hits();
+  const uint64_t misses_before = cache_.counter().misses();
+
+  for (int i = 0; i < count; ++i) {
+    pool_.Submit([this, &output, &workload, seed, i] {
+      Rng rng(ItemSeed(seed, i));
+      auto query = GenerateQuery(workload, &rng);
+      if (!query.ok()) {
+        output.items[static_cast<size_t>(i)].index = i;
+        output.items[static_cast<size_t>(i)].status = query.status();
+        return;
+      }
+      output.items[static_cast<size_t>(i)] = ScheduleOne(*query->plan, i);
+    });
+  }
+  pool_.WaitAll();
+
+  output.cache_hits = cache_.counter().hits() - hits_before;
+  output.cache_misses = cache_.counter().misses() - misses_before;
+  return output;
+}
+
+}  // namespace mrs

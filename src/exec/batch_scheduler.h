@@ -1,0 +1,113 @@
+#ifndef MRS_EXEC_BATCH_SCHEDULER_H_
+#define MRS_EXEC_BATCH_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/tree_schedule.h"
+#include "cost/cost_params.h"
+#include "cost/parallelize_cache.h"
+#include "plan/plan_tree.h"
+#include "resource/machine.h"
+#include "workload/generator.h"
+
+namespace mrs {
+
+/// Knobs of the batch scheduling engine.
+struct BatchSchedulerOptions {
+  /// Worker threads of the engine's pool (clamped to >= 1).
+  int num_threads = 1;
+  /// Resource overlap parameter epsilon (EA2).
+  double overlap_eps = 0.5;
+  /// Disks per site, forwarded to the cost model.
+  int num_disks = 1;
+  /// Per-query scheduling knobs (granularity, policy, list options).
+  TreeScheduleOptions tree;
+  /// Share one memoized parallelize cache across the whole batch. Caching
+  /// is semantically invisible (entries are pure functions of operator
+  /// signatures); disable only to measure its effect.
+  bool use_cost_cache = true;
+};
+
+/// Outcome of one batch item, in input order.
+struct BatchItemResult {
+  int index = -1;
+  Status status = Status::OK();
+  /// Meaningful iff status.ok().
+  TreeScheduleResult schedule;
+};
+
+/// Outcome of one batch run.
+struct BatchOutput {
+  /// items[i] is the result for input plan i, independent of thread count
+  /// and execution interleaving.
+  std::vector<BatchItemResult> items;
+  /// Parallelize-cache counters for this run (both 0 when the cache is
+  /// disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  /// Number of items with an OK status.
+  int NumOk() const;
+  /// Sum of the response times of the OK items.
+  double TotalResponseTime() const;
+  /// "batch: 100 ok / 100, cache 82.3% hits"
+  std::string ToString() const;
+};
+
+/// The batch scheduling engine: runs the full compile-time pipeline
+/// (operator-tree expansion → cost model → parallelization → TREESCHEDULE)
+/// for N plans concurrently on a fixed thread pool, sharing one memoized
+/// parallelize cache across all queries of the batch.
+///
+/// **Determinism guarantee.** For fixed inputs and options, the output is
+/// byte-identical for every thread count (1 worker and 64 workers produce
+/// the same makespans and the same site assignments):
+///  * each item's pipeline depends only on that item's plan — there is no
+///    cross-item state except the cache;
+///  * cache entries are pure functions of the operator signature under the
+///    engine's fixed (params, eps, f, P) context, so whichever thread
+///    computes an entry first, every reader sees the same bits;
+///  * results are written to a pre-sized slot per input index, never
+///    appended in completion order;
+///  * generated batches (ScheduleGenerated) derive one RNG stream per item
+///    from (seed, index) — streams follow the work item, not the worker —
+///    so generation is reproducible under any thread assignment.
+class BatchScheduler {
+ public:
+  BatchScheduler(const CostParams& params, const MachineConfig& machine,
+                 const BatchSchedulerOptions& options = {});
+
+  /// Schedules every plan of the batch; items[i] corresponds to plans[i].
+  /// Null plans yield an InvalidArgument item. Per-item failures are
+  /// reported in the item's status — one bad plan never poisons the batch.
+  BatchOutput ScheduleAll(const std::vector<const PlanTree*>& plans);
+
+  /// Generates `count` random queries (query i from the stream derived
+  /// from (seed, i), mirroring the experiment harness) and schedules them
+  /// as one batch. Generation itself runs on the pool.
+  BatchOutput ScheduleGenerated(const WorkloadParams& workload, uint64_t seed,
+                                int count);
+
+  const BatchSchedulerOptions& options() const { return options_; }
+  const MachineConfig& machine() const { return machine_; }
+  /// Cumulative parallelize-cache counters across all runs of this engine.
+  const HitMissCounter& cache_counter() const { return cache_.counter(); }
+
+ private:
+  /// Runs the pipeline for one plan (cost → parallelize → TreeSchedule).
+  BatchItemResult ScheduleOne(const PlanTree& plan, int index);
+
+  CostParams params_;
+  MachineConfig machine_;
+  BatchSchedulerOptions options_;
+  ParallelizeCache cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_EXEC_BATCH_SCHEDULER_H_

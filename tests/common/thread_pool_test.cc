@@ -1,0 +1,152 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mrs {
+namespace {
+
+TEST(ThreadPoolTest, ZeroTaskWaitAllReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.WaitAll();  // must not block
+  EXPECT_EQ(pool.completed_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&runs, i] { runs[static_cast<size_t>(i)].fetch_add(1); });
+  }
+  pool.WaitAll();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[static_cast<size_t>(i)].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.completed_tasks(), static_cast<uint64_t>(kTasks));
+}
+
+/// Oversubscription: tasks ≫ threads; everything still runs, on a
+/// single-worker pool too.
+TEST(ThreadPoolTest, OversubscriptionDrainsCompletely) {
+  for (int threads : {1, 2, 16}) {
+    ThreadPool pool(threads);
+    constexpr int kTasks = 20000;
+    std::atomic<int64_t> sum{0};
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2)
+        << "threads=" << threads;
+  }
+}
+
+/// The result written by each task depends only on the task, not on the
+/// order tasks were submitted in: submitting a permuted task list produces
+/// the same output vector.
+TEST(ThreadPoolTest, SubmitOrderIndependence) {
+  constexpr int kTasks = 256;
+  auto run = [](const std::vector<int>& order) {
+    ThreadPool pool(4);
+    std::vector<int> out(kTasks, -1);
+    for (int i : order) {
+      pool.Submit([&out, i] { out[static_cast<size_t>(i)] = 3 * i + 1; });
+    }
+    pool.WaitAll();
+    return out;
+  };
+  std::vector<int> forward(kTasks);
+  std::iota(forward.begin(), forward.end(), 0);
+  std::vector<int> backward(forward.rbegin(), forward.rend());
+  std::vector<int> strided;
+  for (int s = 0; s < 7; ++s) {
+    for (int i = s; i < kTasks; i += 7) strided.push_back(i);
+  }
+  const std::vector<int> a = run(forward);
+  EXPECT_EQ(a, run(backward));
+  EXPECT_EQ(a, run(strided));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToWaitAll) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&after] { after.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  // The failure neither cancels sibling tasks nor poisons the pool.
+  EXPECT_EQ(after.load(), 50);
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.WaitAll();  // no rethrow: the error was consumed above
+  EXPECT_EQ(after.load(), 51);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  pool.WaitAll();  // subsequent waits are clean
+}
+
+/// Destroying a pool with queued tasks drains them (destruction joins
+/// after completion, it does not drop work).
+TEST(ThreadPoolTest, DestructionRunsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ran.fetch_add(1);
+      });
+    }
+    // No WaitAll: the destructor must drain.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitAllIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(count.load(), 40 * (batch + 1));
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    count.fetch_add(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 11);
+}
+
+}  // namespace
+}  // namespace mrs

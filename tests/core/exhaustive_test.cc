@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/operator_schedule.h"
 #include "resource/usage_model.h"
 #include "test_util.h"
@@ -128,6 +129,45 @@ TEST(ExhaustiveTest, NodeCapTripsGracefully) {
 
 TEST(ExhaustiveTest, RejectsBadSites) {
   EXPECT_FALSE(ExhaustiveOptimalMakespan({}, 0, 2).ok());
+}
+
+/// Fanning the root of the search across a thread pool explores the same
+/// space: run to proof (no node budget), the pooled search returns the
+/// same optimum as the sequential one on random instances.
+TEST(ExhaustiveTest, PooledSearchMatchesSequential) {
+  Rng rng(777);
+  OverlapUsageModel usage(0.6);
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<ParallelizedOp> ops;
+    const int m = 3 + static_cast<int>(rng.Index(4));
+    for (int i = 0; i < m; ++i) {
+      std::vector<WorkVector> clones;
+      const int degree = 1 + static_cast<int>(rng.Index(2));
+      for (int k = 0; k < degree; ++k) {
+        clones.push_back(
+            {rng.UniformDouble(0, 9), rng.UniformDouble(0, 9)});
+      }
+      // Root the occasional op (home size must equal the degree) to
+      // exercise the pre-placed branch too.
+      std::vector<int> home;
+      if (i == 0 && rng.Bernoulli(0.5)) {
+        for (int k = 0; k < static_cast<int>(clones.size()); ++k) {
+          home.push_back(k);
+        }
+      }
+      ops.push_back(MakeOp(i, std::move(clones), usage, home));
+    }
+    auto sequential = ExhaustiveOptimalMakespan(ops, 3, 2);
+    ExhaustiveOptions options;
+    options.pool = &pool;
+    auto pooled = ExhaustiveOptimalMakespan(ops, 3, 2, options);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+    EXPECT_TRUE(pooled->proven_optimal);
+    EXPECT_NEAR(pooled->makespan, sequential->makespan, 1e-12)
+        << "trial " << trial;
+  }
 }
 
 }  // namespace

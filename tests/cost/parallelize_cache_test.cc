@@ -1,0 +1,201 @@
+#include "cost/parallelize_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cost/parallelize.h"
+
+namespace mrs {
+namespace {
+
+OperatorCost MakeCost(int op_id, double cpu, double disk, double net,
+                      double bytes) {
+  OperatorCost cost;
+  cost.op_id = op_id;
+  cost.kind = OperatorKind::kProbe;
+  cost.processing = WorkVector({cpu, disk, net});
+  cost.data_bytes = bytes;
+  return cost;
+}
+
+std::string OpString(const ParallelizedOp& op) {
+  std::string out = std::to_string(op.degree) + "|" +
+                    std::to_string(op.t_par) + "|" +
+                    std::to_string(op.rooted);
+  for (const WorkVector& clone : op.clones) out += "|" + clone.ToString();
+  for (int site : op.home) out += "@" + std::to_string(site);
+  return out;
+}
+
+TEST(ParallelizeCacheTest, FloatingMatchesDirectComputation) {
+  const CostParams params;
+  const OverlapUsageModel usage(0.5);
+  ParallelizeCache cache(params, 0.5, 0.7, 16);
+  const OperatorCost cost = MakeCost(3, 800.0, 500.0, 0.0, 40000.0);
+
+  auto direct = ParallelizeFloating(cost, params, usage, 0.7, 16);
+  auto cached = cache.Floating(cost);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(OpString(direct.value()), OpString(cached.value()));
+  EXPECT_EQ(cached->op_id, 3);
+  EXPECT_EQ(cached->kind, OperatorKind::kProbe);
+  EXPECT_EQ(cache.counter().misses(), 1u);
+
+  // Second call with the same signature hits, regardless of identity.
+  OperatorCost twin = cost;
+  twin.op_id = 9;
+  twin.kind = OperatorKind::kScan;
+  auto hit = cache.Floating(twin);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cache.counter().hits(), 1u);
+  EXPECT_EQ(hit->op_id, 9) << "identity must follow the caller, not the key";
+  EXPECT_EQ(hit->kind, OperatorKind::kScan);
+  EXPECT_EQ(hit->degree, cached->degree);
+  EXPECT_EQ(hit->t_par, cached->t_par);
+}
+
+TEST(ParallelizeCacheTest, AtDegreeKeyedSeparatelyFromFloating) {
+  const CostParams params;
+  ParallelizeCache cache(params, 0.5, 0.7, 16);
+  const OperatorCost cost = MakeCost(0, 600.0, 300.0, 0.0, 20000.0);
+
+  ASSERT_TRUE(cache.Floating(cost).ok());
+  ASSERT_TRUE(cache.AtDegree(cost, 2).ok());
+  ASSERT_TRUE(cache.AtDegree(cost, 3).ok());
+  EXPECT_EQ(cache.counter().misses(), 3u);
+  EXPECT_EQ(cache.NumEntries(), 3u);
+
+  const OverlapUsageModel usage(0.5);
+  auto direct = ParallelizeAtDegree(cost, params, usage, 2, 16);
+  auto cached = cache.AtDegree(cost, 2);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(OpString(direct.value()), OpString(cached.value()));
+  EXPECT_EQ(cache.counter().hits(), 1u);
+}
+
+TEST(ParallelizeCacheTest, RootedServesSplitFromCacheAndPinsHome) {
+  const CostParams params;
+  const OverlapUsageModel usage(0.5);
+  ParallelizeCache cache(params, 0.5, 0.7, 16);
+  const OperatorCost cost = MakeCost(1, 500.0, 250.0, 0.0, 10000.0);
+
+  auto direct = ParallelizeRooted(cost, params, usage, {4, 7}, 16);
+  auto cached = cache.Rooted(cost, {4, 7});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(OpString(direct.value()), OpString(cached.value()));
+  EXPECT_TRUE(cached->rooted);
+  EXPECT_EQ(cached->home, (std::vector<int>{4, 7}));
+
+  // A different home with the same degree reuses the memoized split.
+  auto moved = cache.Rooted(cost, {0, 15});
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(cache.counter().hits(), 1u);
+  EXPECT_EQ(moved->home, (std::vector<int>{0, 15}));
+  EXPECT_EQ(moved->clones.size(), cached->clones.size());
+}
+
+TEST(ParallelizeCacheTest, RootedStillValidatesHome) {
+  ParallelizeCache cache(CostParams{}, 0.5, 0.7, 8);
+  const OperatorCost cost = MakeCost(0, 100.0, 50.0, 0.0, 1000.0);
+  EXPECT_FALSE(cache.Rooted(cost, {}).ok());
+  EXPECT_FALSE(cache.Rooted(cost, {8}).ok());       // out of range
+  EXPECT_FALSE(cache.Rooted(cost, {1, 1}).ok());    // duplicate site
+  EXPECT_FALSE(cache.Rooted(cost, {-1}).ok());
+}
+
+TEST(ParallelizeCacheTest, ErrorsAreNotCached) {
+  ParallelizeCache cache(CostParams{}, 0.5, 0.7, 8);
+  const OperatorCost cost = MakeCost(0, 100.0, 50.0, 0.0, 1000.0);
+  EXPECT_FALSE(cache.AtDegree(cost, 0).ok());
+  EXPECT_FALSE(cache.AtDegree(cost, 9).ok());  // > num_sites
+  EXPECT_EQ(cache.NumEntries(), 0u);
+
+  // Degree 0 is the floating sentinel in the key space: an invalid
+  // degree-0 request must still fail after a floating entry for the same
+  // signature has been stored.
+  ASSERT_TRUE(cache.Floating(cost).ok());
+  EXPECT_FALSE(cache.AtDegree(cost, 0).ok());
+}
+
+TEST(ParallelizeCacheTest, CompatibleWithIsExact) {
+  const CostParams params;
+  ParallelizeCache cache(params, 0.5, 0.7, 16);
+  EXPECT_TRUE(cache.CompatibleWith(params, 0.5, 0.7, 16));
+  EXPECT_FALSE(cache.CompatibleWith(params, 0.5, 0.7, 17));
+  EXPECT_FALSE(cache.CompatibleWith(params, 0.5, 0.71, 16));
+  EXPECT_FALSE(cache.CompatibleWith(params, 0.49, 0.7, 16));
+  CostParams other = params;
+  other.startup_ms_per_site += 1.0;
+  EXPECT_FALSE(cache.CompatibleWith(other, 0.5, 0.7, 16));
+}
+
+TEST(ParallelizeCacheTest, DistinctSignaturesDoNotCollide) {
+  ParallelizeCache cache(CostParams{}, 0.5, 0.7, 16);
+  const OperatorCost a = MakeCost(0, 800.0, 500.0, 0.0, 40000.0);
+  OperatorCost b = a;
+  b.data_bytes += 1.0;
+  OperatorCost c = a;
+  c.processing = WorkVector({800.0, 500.0 + 1e-9, 0.0});
+
+  auto ra = cache.Floating(a);
+  auto rb = cache.Floating(b);
+  auto rc = cache.Floating(c);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(cache.counter().misses(), 3u);
+  EXPECT_EQ(cache.counter().hits(), 0u);
+  EXPECT_EQ(cache.NumEntries(), 3u);
+}
+
+/// Hammer one cache from many threads over a small signature space: every
+/// result must equal the direct computation (first-insert-wins is safe
+/// because entries are pure functions of the key).
+TEST(ParallelizeCacheTest, ConcurrentLookupsAreConsistent) {
+  const CostParams params;
+  const OverlapUsageModel usage(0.5);
+  ParallelizeCache cache(params, 0.5, 0.7, 16);
+
+  std::vector<OperatorCost> signatures;
+  for (int i = 0; i < 8; ++i) {
+    signatures.push_back(
+        MakeCost(i, 400.0 + 100.0 * i, 200.0 + 50.0 * i, 0.0,
+                 10000.0 * (1 + i % 3)));
+  }
+  std::vector<std::string> expected;
+  for (const OperatorCost& cost : signatures) {
+    auto direct = ParallelizeFloating(cost, params, usage, 0.7, 16);
+    ASSERT_TRUE(direct.ok());
+    expected.push_back(OpString(direct.value()));
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        const size_t i = static_cast<size_t>((t + round) % 8);
+        auto result = cache.Floating(signatures[i]);
+        if (!result.ok() || OpString(result.value()) != expected[i]) {
+          ++mismatches[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+  EXPECT_EQ(cache.NumEntries(), signatures.size());
+  EXPECT_EQ(cache.counter().lookups(), 8u * 200u);
+}
+
+}  // namespace
+}  // namespace mrs

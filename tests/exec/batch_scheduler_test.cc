@@ -1,0 +1,276 @@
+#include "exec/batch_scheduler.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "io/schedule_export.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+WorkloadParams SmallWorkload() {
+  WorkloadParams params;
+  params.num_joins = 6;
+  return params;
+}
+
+/// Pre-generates `count` queries from one seeded stream (kept alive so the
+/// PlanTree pointers stay valid).
+std::vector<GeneratedQuery> GenerateBatch(uint64_t seed, int count,
+                                          const WorkloadParams& params) {
+  std::vector<GeneratedQuery> queries;
+  queries.reserve(static_cast<size_t>(count));
+  Rng master(seed);
+  for (int i = 0; i < count; ++i) {
+    Rng stream = master.Fork();
+    auto query = GenerateQuery(params, &stream);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    queries.push_back(std::move(query).value());
+  }
+  return queries;
+}
+
+std::vector<const PlanTree*> PlanPointers(
+    const std::vector<GeneratedQuery>& queries) {
+  std::vector<const PlanTree*> plans;
+  plans.reserve(queries.size());
+  for (const auto& q : queries) plans.push_back(q.plan.get());
+  return plans;
+}
+
+/// The reference single-threaded path: the same pipeline the batch engine
+/// runs, executed inline with no pool and no cache.
+Result<TreeScheduleResult> ReferenceSchedule(const PlanTree& plan,
+                                             const CostParams& params,
+                                             const MachineConfig& machine,
+                                             double eps,
+                                             const TreeScheduleOptions& tree) {
+  auto op_tree = OperatorTree::FromPlan(plan);
+  if (!op_tree.ok()) return op_tree.status();
+  OperatorTree ops = std::move(op_tree).value();
+  auto task_tree = TaskTree::FromOperatorTree(&ops);
+  if (!task_tree.ok()) return task_tree.status();
+  const CostModel model(params, machine.dims, 1);
+  auto costs = model.CostAll(ops);
+  if (!costs.ok()) return costs.status();
+  const OverlapUsageModel usage(eps);
+  return TreeSchedule(ops, *task_tree, costs.value(), params, machine, usage,
+                      tree);
+}
+
+/// A schedule rendered to bytes: the response time plus every phase's
+/// clone→site placement (TreeScheduleToCsv lists op, clone, site, work,
+/// and times per row), so equality here is makespan- and
+/// site-assignment-exact.
+std::string Fingerprint(const TreeScheduleResult& result) {
+  return std::to_string(result.response_time) + "\n" +
+         TreeScheduleToCsv(result);
+}
+
+/// Sequential-equivalence property (the batch engine's determinism
+/// contract): for 200 random plans, schedules out of the engine at 1, 2,
+/// and 8 threads — cache on and off — are byte-identical to the inline
+/// single-threaded path. Swept over 5 seeds.
+class BatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchEquivalenceTest, MatchesSequentialPathAtAllThreadCounts) {
+  const uint64_t seed = GetParam();
+  const WorkloadParams workload = SmallWorkload();
+  const CostParams params;
+  MachineConfig machine;
+  machine.num_sites = 24;
+  const double eps = 0.5;
+  TreeScheduleOptions tree;
+  tree.granularity = 0.7;
+
+  const int kQueries = 200;
+  std::vector<GeneratedQuery> queries =
+      GenerateBatch(seed, kQueries, workload);
+  std::vector<const PlanTree*> plans = PlanPointers(queries);
+
+  std::vector<std::string> reference;
+  reference.reserve(plans.size());
+  for (const PlanTree* plan : plans) {
+    auto result = ReferenceSchedule(*plan, params, machine, eps, tree);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reference.push_back(Fingerprint(result.value()));
+  }
+
+  struct Config {
+    int threads;
+    bool cache;
+  };
+  for (const Config& config : std::vector<Config>{
+           {1, true}, {2, true}, {8, true}, {1, false}, {8, false}}) {
+    BatchSchedulerOptions options;
+    options.num_threads = config.threads;
+    options.overlap_eps = eps;
+    options.tree = tree;
+    options.use_cost_cache = config.cache;
+    BatchScheduler engine(params, machine, options);
+    BatchOutput output = engine.ScheduleAll(plans);
+    ASSERT_EQ(output.items.size(), plans.size());
+    for (size_t i = 0; i < output.items.size(); ++i) {
+      ASSERT_TRUE(output.items[i].status.ok())
+          << "threads=" << config.threads << " cache=" << config.cache
+          << " item " << i << ": " << output.items[i].status.ToString();
+      EXPECT_EQ(output.items[i].index, static_cast<int>(i));
+      EXPECT_EQ(Fingerprint(output.items[i].schedule), reference[i])
+          << "threads=" << config.threads << " cache=" << config.cache
+          << " item " << i;
+    }
+    if (config.cache) {
+      EXPECT_GT(output.cache_hits + output.cache_misses, 0u);
+    } else {
+      EXPECT_EQ(output.cache_hits + output.cache_misses, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+/// The malleable policy goes through the same engine; spot-check
+/// equivalence on a smaller batch.
+TEST(BatchSchedulerTest, MalleablePolicyMatchesSequentialPath) {
+  const WorkloadParams workload = SmallWorkload();
+  const CostParams params;
+  MachineConfig machine;
+  machine.num_sites = 16;
+  TreeScheduleOptions tree;
+  tree.policy = ParallelizationPolicy::kMalleable;
+
+  std::vector<GeneratedQuery> queries = GenerateBatch(321, 40, workload);
+  std::vector<const PlanTree*> plans = PlanPointers(queries);
+
+  BatchSchedulerOptions options;
+  options.num_threads = 4;
+  options.tree = tree;
+  BatchScheduler engine(params, machine, options);
+  BatchOutput output = engine.ScheduleAll(plans);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    auto reference =
+        ReferenceSchedule(*plans[i], params, machine, 0.5, tree);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_TRUE(output.items[i].status.ok());
+    EXPECT_EQ(Fingerprint(output.items[i].schedule),
+              Fingerprint(reference.value()));
+  }
+}
+
+/// ScheduleGenerated derives per-item RNG streams from (seed, index), so
+/// the generated batch is identical for every thread count and across
+/// repeated runs of one engine (warm cache included).
+TEST(BatchSchedulerTest, GeneratedBatchesAreThreadCountInvariant) {
+  const WorkloadParams workload = SmallWorkload();
+  const CostParams params;
+  const MachineConfig machine;
+
+  auto run = [&](int threads) {
+    BatchSchedulerOptions options;
+    options.num_threads = threads;
+    BatchScheduler engine(params, machine, options);
+    BatchOutput output = engine.ScheduleGenerated(workload, 9607, 60);
+    std::vector<std::string> prints;
+    for (const auto& item : output.items) {
+      EXPECT_TRUE(item.status.ok()) << item.status.ToString();
+      prints.push_back(Fingerprint(item.schedule));
+    }
+    return prints;
+  };
+  const std::vector<std::string> one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+
+  // Re-running the same batch on one engine (now-warm cache) still
+  // reproduces the same bytes: memoization is semantically invisible.
+  BatchSchedulerOptions options;
+  options.num_threads = 4;
+  BatchScheduler engine(params, machine, options);
+  BatchOutput first = engine.ScheduleGenerated(workload, 9607, 60);
+  BatchOutput second = engine.ScheduleGenerated(workload, 9607, 60);
+  ASSERT_EQ(first.items.size(), second.items.size());
+  for (size_t i = 0; i < first.items.size(); ++i) {
+    EXPECT_EQ(Fingerprint(first.items[i].schedule),
+              Fingerprint(second.items[i].schedule));
+  }
+  // The warm run resolves nearly everything from the cache.
+  EXPECT_GT(second.cache_hits, second.cache_misses);
+}
+
+/// Repeating one plan across the batch makes every operator signature a
+/// repeat: the cache must convert those into hits.
+TEST(BatchSchedulerTest, CacheCountsHitsAcrossIdenticalQueries) {
+  std::vector<GeneratedQuery> queries = GenerateBatch(7, 1, SmallWorkload());
+  std::vector<const PlanTree*> plans(50, queries.front().plan.get());
+
+  const CostParams params;
+  const MachineConfig machine;
+  BatchSchedulerOptions options;
+  options.num_threads = 2;
+  BatchScheduler engine(params, machine, options);
+  BatchOutput output = engine.ScheduleAll(plans);
+  EXPECT_EQ(output.NumOk(), 50);
+  EXPECT_GT(output.cache_hits, output.cache_misses)
+      << "identical queries should be nearly all hits";
+  EXPECT_EQ(engine.cache_counter().lookups(),
+            output.cache_hits + output.cache_misses);
+  EXPECT_GT(output.TotalResponseTime(), 0.0);
+}
+
+TEST(BatchSchedulerTest, NullPlanFailsItsItemOnly) {
+  std::vector<GeneratedQuery> queries = GenerateBatch(9, 2, SmallWorkload());
+  std::vector<const PlanTree*> plans = {queries[0].plan.get(), nullptr,
+                                        queries[1].plan.get()};
+  BatchScheduler engine(CostParams{}, MachineConfig{}, {});
+  BatchOutput output = engine.ScheduleAll(plans);
+  ASSERT_EQ(output.items.size(), 3u);
+  EXPECT_TRUE(output.items[0].status.ok());
+  EXPECT_EQ(output.items[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(output.items[2].status.ok());
+  EXPECT_EQ(output.NumOk(), 2);
+}
+
+TEST(BatchSchedulerTest, EmptyBatch) {
+  BatchScheduler engine(CostParams{}, MachineConfig{}, {});
+  EXPECT_TRUE(engine.ScheduleAll({}).items.empty());
+  EXPECT_TRUE(
+      engine.ScheduleGenerated(SmallWorkload(), 1, 0).items.empty());
+}
+
+/// A cache built for one context is rejected by a TreeSchedule call with a
+/// different one (the compatibility guard of TreeScheduleOptions::cache).
+TEST(BatchSchedulerTest, IncompatibleCacheIsRejected) {
+  std::vector<GeneratedQuery> queries = GenerateBatch(3, 1, SmallWorkload());
+  auto op_tree = OperatorTree::FromPlan(*queries[0].plan);
+  ASSERT_TRUE(op_tree.ok());
+  OperatorTree ops = std::move(op_tree).value();
+  auto task_tree = TaskTree::FromOperatorTree(&ops);
+  ASSERT_TRUE(task_tree.ok());
+  const CostParams params;
+  MachineConfig machine;
+  const CostModel model(params, machine.dims);
+  auto costs = model.CostAll(ops);
+  ASSERT_TRUE(costs.ok());
+  const OverlapUsageModel usage(0.5);
+
+  ParallelizeCache cache(params, 0.5, /*granularity=*/0.7,
+                         /*num_sites=*/machine.num_sites + 1);
+  TreeScheduleOptions options;
+  options.granularity = 0.7;
+  options.cache = &cache;
+  auto result = TreeSchedule(ops, *task_tree, costs.value(), params, machine,
+                             usage, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrs

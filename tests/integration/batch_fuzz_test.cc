@@ -1,0 +1,133 @@
+// Randomized invariant fuzzing of the batch scheduling engine: for random
+// workloads, overlap eps, granularity f, machine sizes, and thread counts,
+// every schedule the engine emits must still satisfy the paper's structural
+// constraints and the Theorem 5.1(a) bound. The checkers are the ones the
+// bounds property suite uses: Schedule::Validate (constraints A and rooted
+// placement) and testing_util::ListScheduleLowerBound (the analytic LB of
+// the 2d+1 theorem).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/batch_scheduler.h"
+#include "plan/operator_tree.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::ListScheduleLowerBound;
+
+class BatchFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchFuzzTest, SchedulesSatisfyConstraintsAndTheoremBound) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    // Random scheduling context.
+    WorkloadParams workload;
+    workload.num_joins = 2 + static_cast<int>(rng.Index(10));
+    workload.sort_probability = rng.Bernoulli(0.3) ? 0.2 : 0.0;
+    workload.aggregate_probability = rng.Bernoulli(0.3) ? 0.2 : 0.0;
+    const double eps = rng.UniformDouble();
+    const double f = rng.UniformDouble(0.3, 0.9);
+    MachineConfig machine;
+    machine.num_sites = 4 + static_cast<int>(rng.Index(60));
+    const int threads = 1 << rng.Index(4);  // 1, 2, 4, or 8
+    const CostParams params;
+
+    BatchSchedulerOptions options;
+    options.num_threads = threads;
+    options.overlap_eps = eps;
+    options.tree.granularity = f;
+    BatchScheduler engine(params, machine, options);
+
+    const uint64_t batch_seed = rng.Next();
+    const int count = 8;
+    BatchOutput output =
+        engine.ScheduleGenerated(workload, batch_seed, count);
+    ASSERT_EQ(output.items.size(), static_cast<size_t>(count));
+
+    for (const BatchItemResult& item : output.items) {
+      ASSERT_TRUE(item.status.ok())
+          << "round " << round << ": " << item.status.ToString();
+      const TreeScheduleResult& result = item.schedule;
+      ASSERT_FALSE(result.phases.empty());
+      double phase_sum = 0.0;
+      for (const PhaseSchedule& phase : result.phases) {
+        // Constraint A + rooted placement, via the schedule validator.
+        ASSERT_TRUE(phase.schedule.Validate(phase.ops).ok())
+            << "round " << round << " phase " << phase.phase;
+        // Theorem 5.1(a): the phase's list schedule stays within (2d+1)
+        // of the analytic lower bound for its parallelization.
+        const double lb =
+            ListScheduleLowerBound(phase.ops, machine.num_sites);
+        EXPECT_LE(phase.makespan,
+                  (2.0 * machine.dims + 1.0) * lb + 1e-6)
+            << "round " << round << " phase " << phase.phase
+            << " eps=" << eps << " f=" << f << " P=" << machine.num_sites;
+        phase_sum += phase.makespan;
+        // Every rooted op in this phase sits exactly at its declared home.
+        for (const ParallelizedOp& op : phase.ops) {
+          if (op.rooted) {
+            EXPECT_EQ(phase.schedule.HomeOf(op.op_id), op.home);
+          }
+        }
+      }
+      EXPECT_NEAR(result.response_time, phase_sum, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchFuzzTest,
+                         ::testing::Values(1001u, 2002u, 3003u, 4004u));
+
+/// Direct constraint-B check on one deterministic batch: rebuild the
+/// operator tree for each generated plan and verify each blocked op's home
+/// equals its blocking producer's home.
+TEST(BatchFuzzTest, ConstraintBAcrossPhases) {
+  WorkloadParams workload;
+  workload.num_joins = 8;
+  const CostParams params;
+  MachineConfig machine;
+  machine.num_sites = 20;
+
+  // Generate the queries outside the engine so the operator trees are
+  // available for the cross-check (same plans via ScheduleAll).
+  std::vector<GeneratedQuery> queries;
+  Rng master(4242);
+  for (int i = 0; i < 20; ++i) {
+    Rng stream = master.Fork();
+    auto query = GenerateQuery(workload, &stream);
+    ASSERT_TRUE(query.ok());
+    queries.push_back(std::move(query).value());
+  }
+  std::vector<const PlanTree*> plans;
+  for (const auto& q : queries) plans.push_back(q.plan.get());
+
+  BatchSchedulerOptions options;
+  options.num_threads = 4;
+  BatchScheduler engine(params, machine, options);
+  BatchOutput output = engine.ScheduleAll(plans);
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    ASSERT_TRUE(output.items[i].status.ok());
+    auto op_tree = OperatorTree::FromPlan(*plans[i]);
+    ASSERT_TRUE(op_tree.ok());
+    const TreeScheduleResult& result = output.items[i].schedule;
+    for (const PhysicalOp& op : op_tree->ops()) {
+      if (op.blocking_input < 0) continue;
+      const std::vector<int> own = result.HomeOf(op.id);
+      const std::vector<int> producer = result.HomeOf(op.blocking_input);
+      ASSERT_FALSE(own.empty());
+      EXPECT_EQ(own, producer)
+          << "op " << op.id << " must run at the home of its blocking "
+          << "producer " << op.blocking_input;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrs
