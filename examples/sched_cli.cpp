@@ -6,12 +6,18 @@
 // Usage:
 //   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
 //             [--algorithm tree|malleable|sync] [--format text|gantt|svg|json|csv]
-//             [--batch N] [--threads K]
+//             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
 //
 // With --batch N the plan is scheduled N times through the batch
 // scheduling engine on K worker threads (a serving-loop smoke test:
 // reports queries/sec and parallelize-cache hit rate, then prints the
 // first schedule in the requested format).
+//
+// --metrics prints the process metrics registry (counters, cache hit
+// rates, latency histogram percentiles) after the schedule output.
+// --trace-json=FILE records a per-query trace of every pipeline stage
+// (parse, expansion, costing, parallelize, OPERATORSCHEDULE per phase)
+// and writes the versioned JSON report of io/trace_export.h to FILE.
 //
 // Plan file format (see src/io/plan_text.h):
 //   relation customer 30000
@@ -28,11 +34,14 @@
 #include <vector>
 
 #include "baseline/synchronous.h"
+#include "common/metrics.h"
 #include "core/tree_schedule.h"
 #include "exec/batch_scheduler.h"
 #include "exec/gantt.h"
+#include "exec/trace.h"
 #include "io/plan_text.h"
 #include "io/schedule_export.h"
+#include "io/trace_export.h"
 #include "workload/experiment.h"
 
 namespace {
@@ -42,9 +51,24 @@ int Usage(const char* argv0) {
                "usage: %s <plan-file> [--sites N] [--eps E] [--f F]\n"
                "          [--algorithm tree|malleable|sync]\n"
                "          [--format text|gantt|svg|json|csv]\n"
-               "          [--batch N] [--threads K]\n",
+               "          [--batch N] [--threads K]\n"
+               "          [--metrics] [--trace-json=FILE]\n",
                argv0);
   return 2;
+}
+
+/// Writes the versioned trace report to `path`; returns false on IO error.
+bool WriteTraceReport(const std::string& path,
+                      const std::vector<const mrs::ScheduleTrace*>& traces) {
+  const std::string report = mrs::ExportTraceReport(
+      traces, mrs::MetricsRegistry::Global().Snapshot());
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << report << "\n";
+  return out.good();
 }
 
 }  // namespace
@@ -61,6 +85,8 @@ int main(int argc, char** argv) {
   std::string format = "text";
   int batch = 1;
   int threads = 1;
+  bool print_metrics = false;
+  std::string trace_json_path;
   for (int i = 2; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -83,6 +109,12 @@ int main(int argc, char** argv) {
       batch = std::atoi(need_value("--batch"));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+      trace_json_path = need_value("--trace-json");
     } else {
       return Usage(argv[0]);
     }
@@ -92,6 +124,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool tracing = !trace_json_path.empty();
+  ScheduleTrace driver_trace;
+  driver_trace.set_label("driver");
+  ScheduleTrace* trace = tracing ? &driver_trace : nullptr;
+  // Trace report + metrics table, shared by every successful exit path.
+  auto finish_reports =
+      [&](const std::vector<const ScheduleTrace*>& extra) -> bool {
+    if (tracing) {
+      std::vector<const ScheduleTrace*> traces{&driver_trace};
+      traces.insert(traces.end(), extra.begin(), extra.end());
+      if (!WriteTraceReport(trace_json_path, traces)) return false;
+    }
+    if (print_metrics) {
+      std::printf("%s",
+                  MetricsRegistry::Global().Snapshot().ToString().c_str());
+    }
+    return true;
+  };
+
   std::ifstream in(plan_path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", plan_path.c_str());
@@ -99,12 +150,18 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+  SpanTimer parse_span(trace, "parse");
   auto parsed = ParsePlanText(buffer.str());
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed.status().ToString().c_str());
     return 1;
   }
+  if (parse_span.active()) {
+    parse_span.AttrInt("bytes", static_cast<int64_t>(buffer.str().size()));
+    parse_span.AttrInt("relations", parsed->catalog->num_relations());
+  }
+  parse_span.End();
 
   if (batch > 1 || threads > 1) {
     // Batch mode: push N copies of the plan through the batch scheduling
@@ -117,6 +174,7 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.overlap_eps = eps;
     options.tree.granularity = f;
+    options.collect_traces = tracing;
     if (algorithm == "malleable") {
       options.tree.policy = ParallelizationPolicy::kMalleable;
     } else if (algorithm != "tree") {
@@ -156,7 +214,11 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s", first.ToString().c_str());
     }
-    return 0;
+    std::vector<const ScheduleTrace*> item_traces;
+    for (const auto& item : output.items) {
+      item_traces.push_back(item.trace.get());
+    }
+    return finish_reports(item_traces) ? 0 : 1;
   }
 
   auto op_tree_result = OperatorTree::FromPlan(*parsed->plan);
@@ -175,18 +237,19 @@ int main(int argc, char** argv) {
 
   if (algorithm == "sync") {
     auto result = SynchronousSchedule(op_tree, *task_tree, costs.value(),
-                                      params, machine, usage);
+                                      params, machine, usage, trace);
     if (!result.ok()) {
       std::fprintf(stderr, "scheduling failed: %s\n",
                    result.status().ToString().c_str());
       return 1;
     }
     std::printf("%s", result->ToString().c_str());
-    return 0;
+    return finish_reports({}) ? 0 : 1;
   }
 
   TreeScheduleOptions options;
   options.granularity = f;
+  options.trace = trace;
   if (algorithm == "malleable") {
     options.policy = ParallelizationPolicy::kMalleable;
   } else if (algorithm != "tree") {
@@ -214,5 +277,5 @@ int main(int argc, char** argv) {
       std::printf("%s", phase.schedule.ToString().c_str());
     }
   }
-  return 0;
+  return finish_reports({}) ? 0 : 1;
 }

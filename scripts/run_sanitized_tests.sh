@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the full test suite under both sanitizer configurations:
+#
+#   build-tsan  MRS_SANITIZE=thread   (ThreadSanitizer)
+#   build-asan  MRS_SANITIZE=address  (AddressSanitizer + UBSan)
+#
+# Each config is configured/built/run in its own tree next to the source
+# checkout, so the regular `build/` directory is untouched. Any extra
+# arguments are forwarded to ctest (e.g. -R BatchFuzz).
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest args...]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+generator_args=()
+if command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
+
+run_config() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local build_dir="${repo_root}/build-${name}"
+  echo "=== ${name}: MRS_SANITIZE=${sanitize} (${build_dir}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" "${generator_args[@]}" \
+    -DMRS_SANITIZE="${sanitize}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" --target mrs_tests mrs_golden_tests
+  ctest --test-dir "${build_dir}" --output-on-failure "$@"
+}
+
+run_config tsan thread "$@"
+run_config asan address "$@"
+echo "=== both sanitizer suites passed ==="

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "core/operator_schedule.h"
 #include "cost/parallelize.h"
+#include "exec/trace.h"
 
 namespace mrs {
 
@@ -40,7 +41,8 @@ Result<HongResult> HongSchedule(const OperatorTree& op_tree,
                                 const std::vector<OperatorCost>& costs,
                                 const CostParams& params,
                                 const MachineConfig& machine,
-                                const OverlapUsageModel& usage) {
+                                const OverlapUsageModel& usage,
+                                TraceSink* trace) {
   if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
     return Status::InvalidArgument(
         StrFormat("costs size %zu != %d operators", costs.size(),
@@ -49,6 +51,7 @@ Result<HongResult> HongSchedule(const OperatorTree& op_tree,
   MachineConfig config = machine;
   MRS_RETURN_IF_ERROR(config.Validate());
   MRS_RETURN_IF_ERROR(params.Validate());
+  SpanTimer span(trace, "hong_schedule");
 
   HongResult result;
   // Homes of blocking producers scheduled in earlier rounds.
@@ -134,6 +137,10 @@ Result<HongResult> HongSchedule(const OperatorTree& op_tree,
       result.response_time += round.makespan;
       result.rounds.push_back(std::move(round));
     }
+  }
+  if (span.active()) {
+    span.AttrDouble("response_time_ms", result.response_time);
+    span.AttrInt("rounds", static_cast<int64_t>(result.rounds.size()));
   }
   return result;
 }

@@ -14,6 +14,8 @@
 
 namespace mrs {
 
+struct TraceSink;
+
 /// One co-executed round: at most two pipelines (one IO-bound + one
 /// CPU-bound when possible) sharing the whole machine.
 struct HongRound {
@@ -51,12 +53,16 @@ struct HongResult {
 /// pipelines — the bench `ablation_baselines` measures what that costs.
 /// Operators with blocking producers are still rooted at their producers'
 /// homes (constraint B).
+///
+/// When `trace` is non-null one "hong_schedule" span is recorded with the
+/// response time and round count.
 Result<HongResult> HongSchedule(const OperatorTree& op_tree,
                                 const TaskTree& task_tree,
                                 const std::vector<OperatorCost>& costs,
                                 const CostParams& params,
                                 const MachineConfig& machine,
-                                const OverlapUsageModel& usage);
+                                const OverlapUsageModel& usage,
+                                TraceSink* trace = nullptr);
 
 }  // namespace mrs
 

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/schedule.h"
+#include "exec/trace.h"
 
 namespace mrs {
 
@@ -277,7 +278,8 @@ std::string SynchronousResult::ToString() const {
 Result<SynchronousResult> SynchronousSchedule(
     const OperatorTree& op_tree, const TaskTree& task_tree,
     const std::vector<OperatorCost>& costs, const CostParams& params,
-    const MachineConfig& machine, const OverlapUsageModel& usage) {
+    const MachineConfig& machine, const OverlapUsageModel& usage,
+    TraceSink* trace) {
   if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
     return Status::InvalidArgument(
         StrFormat("costs size %zu != %d operators", costs.size(),
@@ -286,8 +288,14 @@ Result<SynchronousResult> SynchronousSchedule(
   MachineConfig config = machine;
   MRS_RETURN_IF_ERROR(config.Validate());
   MRS_RETURN_IF_ERROR(params.Validate());
+  SpanTimer span(trace, "synchronous_schedule");
   SynchronousPlanner planner(op_tree, task_tree, costs, params, config, usage);
-  return planner.Run();
+  auto result = planner.Run();
+  if (span.active() && result.ok()) {
+    span.AttrDouble("response_time_ms", result->response_time);
+    span.AttrInt("tasks", static_cast<int64_t>(result->tasks.size()));
+  }
+  return result;
 }
 
 }  // namespace mrs

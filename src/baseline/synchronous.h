@@ -14,6 +14,8 @@
 
 namespace mrs {
 
+struct TraceSink;
+
 /// Placement of one pipeline stage (operator) by the SYNCHRONOUS baseline.
 struct SyncStagePlacement {
   int op_id = -1;
@@ -68,10 +70,14 @@ struct SynchronousResult {
 /// the models. There are no global phase barriers: independent subtrees
 /// overlap freely within their disjoint site ranges, which if anything
 /// favors this baseline.
+///
+/// When `trace` is non-null one "synchronous_schedule" span is recorded
+/// with the response time and task count.
 Result<SynchronousResult> SynchronousSchedule(
     const OperatorTree& op_tree, const TaskTree& task_tree,
     const std::vector<OperatorCost>& costs, const CostParams& params,
-    const MachineConfig& machine, const OverlapUsageModel& usage);
+    const MachineConfig& machine, const OverlapUsageModel& usage,
+    TraceSink* trace = nullptr);
 
 }  // namespace mrs
 

@@ -3,23 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/str_util.h"
-
 namespace mrs {
-
-double HitMissCounter::HitRate() const {
-  const uint64_t h = hits();
-  const uint64_t total = h + misses();
-  if (total == 0) return 0.0;
-  return static_cast<double>(h) / static_cast<double>(total);
-}
-
-std::string HitMissCounter::ToString() const {
-  return StrFormat("hits=%llu misses=%llu (%.1f%%)",
-                   static_cast<unsigned long long>(hits()),
-                   static_cast<unsigned long long>(misses()),
-                   100.0 * HitRate());
-}
 
 void RunningStat::Add(double x) {
   if (count_ == 0) {

@@ -1,9 +1,7 @@
 #ifndef MRS_COMMON_STATS_H_
 #define MRS_COMMON_STATS_H_
 
-#include <atomic>
 #include <cstddef>
-#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,37 +35,6 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-};
-
-/// Thread-safe hit/miss counter pair for memoization caches (the batch
-/// engine's parallelize cache reports through one of these). Relaxed
-/// atomics: counts are monotone but only approximately ordered across
-/// threads, which is all cache metrics need.
-class HitMissCounter {
- public:
-  HitMissCounter() = default;
-
-  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
-
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t lookups() const { return hits() + misses(); }
-
-  /// hits / (hits + misses); 0 before the first lookup.
-  double HitRate() const;
-
-  void Reset() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-  }
-
-  /// "hits=12 misses=3 (80.0%)"
-  std::string ToString() const;
-
- private:
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
 };
 
 /// Exact percentile of a sample set (linear interpolation between order

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "core/operator_schedule.h"
+#include "exec/trace.h"
 
 namespace mrs {
 
@@ -143,6 +144,7 @@ Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
   if (num_sites < 1) {
     return Status::InvalidArgument("num_sites must be >= 1");
   }
+  SpanTimer span(options.trace, "exhaustive_search");
   // Seed the incumbent with the list schedule: the search then only has to
   // prove or improve it.
   auto seed = OperatorSchedule(ops, num_sites, dims);
@@ -180,6 +182,7 @@ Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
                    [](const Clone& a, const Clone& b) {
                      return a.work.Length() > b.work.Length();
                    });
+  const size_t num_floating = clones.size();
 
   ExhaustiveResult result;
   if (options.pool != nullptr && clones.size() >= 2 && num_sites >= 2) {
@@ -242,6 +245,15 @@ Result<ExhaustiveResult> ExhaustiveOptimalMakespan(
   }
   // The incumbent seed is a valid schedule; report it if nothing better.
   result.makespan = std::min(result.makespan, seed->Makespan());
+  if (span.active()) {
+    span.AttrInt("floating_clones", static_cast<int64_t>(num_floating));
+    span.AttrInt("rooted_clones", static_cast<int64_t>(rooted_sites.size()));
+    span.AttrDouble("incumbent_ms", seed->Makespan());
+    span.AttrDouble("makespan_ms", result.makespan);
+    span.AttrInt("nodes_explored",
+                 static_cast<int64_t>(result.nodes_explored));
+    span.Attr("proven_optimal", result.proven_optimal ? "true" : "false");
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 namespace mrs {
 
 class ThreadPool;
+struct TraceSink;
 
 struct ExhaustiveOptions {
   /// Abort the search after this many branch-and-bound nodes; the result
@@ -24,6 +25,10 @@ struct ExhaustiveOptions {
   /// min over branches); under a node budget the two may differ, since
   /// parallel branches cannot share incumbents.
   ThreadPool* pool = nullptr;
+  /// Optional trace sink (not owned). Records one "exhaustive_search" span
+  /// annotated with clone counts, nodes explored, the incumbent seed, and
+  /// whether optimality was proven. Null = tracing disabled.
+  TraceSink* trace = nullptr;
 };
 
 struct ExhaustiveResult {

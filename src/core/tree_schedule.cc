@@ -6,8 +6,36 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "core/malleable.h"
+#include "exec/explain.h"
 
 namespace mrs {
+
+namespace {
+
+/// Annotates a finished OPERATORSCHEDULE span with the phase diagnosis the
+/// paper's analysis audits: the critical site of the eq. (3) argmax and
+/// whether its l(work(s)) (resource congestion) or its slowest clone's
+/// T_seq binds.
+void AnnotateOperatorScheduleSpan(SpanTimer* span, const PhaseSchedule& phase,
+                                  const MachineConfig& config) {
+  const PhaseExplanation exp = ExplainPhase(phase);
+  span->AttrInt("ops", static_cast<int64_t>(phase.ops.size()));
+  span->AttrDouble("makespan_ms", phase.makespan);
+  span->AttrInt("critical_site", exp.critical_site);
+  if (exp.load_bound && exp.critical_resource >= 0) {
+    const size_t r = static_cast<size_t>(exp.critical_resource);
+    span->Attr("eq3_binding",
+               StrFormat("congestion:%s",
+                         r < config.resource_names.size()
+                             ? config.resource_names[r].c_str()
+                             : StrFormat("r%zu", r).c_str()));
+  } else {
+    span->Attr("eq3_binding", "t_seq");
+  }
+  span->AttrInt("heaviest_op", exp.heaviest_op);
+}
+
+}  // namespace
 
 std::vector<int> TreeScheduleResult::HomeOf(int op_id) const {
   for (const auto& phase : phases) {
@@ -49,6 +77,15 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
     return Status::InvalidArgument(
         "parallelize cache was built for a different scheduling context");
   }
+  TraceSink* const trace = options.trace;
+  SpanTimer call_span(trace, "tree_schedule");
+  uint64_t call_hits0 = 0;
+  uint64_t call_misses0 = 0;
+  if (trace != nullptr && options.cache != nullptr) {
+    call_hits0 = options.cache->counter().hits();
+    call_misses0 = options.cache->counter().misses();
+  }
+
   // Parallelization entry points, memoized when a cache is supplied.
   auto par_rooted = [&](const OperatorCost& cost, std::vector<int> home) {
     return options.cache != nullptr
@@ -101,6 +138,13 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
   };
 
   for (int k = 0; k < task_tree.num_phases(); ++k) {
+    SpanTimer par_span(trace, "parallelize", k);
+    uint64_t phase_hits0 = 0;
+    uint64_t phase_misses0 = 0;
+    if (par_span.active() && options.cache != nullptr) {
+      phase_hits0 = options.cache->counter().hits();
+      phase_misses0 = options.cache->counter().misses();
+    }
     std::vector<int> op_ids = task_tree.PhaseOps(k);
     std::vector<ParallelizedOp> ops;
     std::vector<int> floating_ids;
@@ -122,6 +166,10 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
         auto rooted = par_rooted(cost, std::move(home));
         if (!rooted.ok()) return rooted.status();
         ops.push_back(std::move(rooted).value());
+        if (par_span.active()) {
+          par_span.Attr(StrFormat("op%d.degree", oid),
+                        StrFormat("%d:rooted", ops.back().degree));
+        }
       } else {
         floating_ids.push_back(oid);
       }
@@ -134,14 +182,25 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
       std::vector<OperatorCost> sizing;
       sizing.reserve(floating_ids.size());
       for (int oid : floating_ids) sizing.push_back(sizing_cost(oid));
+      SpanTimer malleable_span(trace, "malleable_select", k);
       auto selection = SelectMalleableParallelization(sizing, ops, params,
                                                       usage, config.num_sites);
       if (!selection.ok()) return selection.status();
+      if (malleable_span.active()) {
+        malleable_span.AttrInt("floating_ops",
+                               static_cast<int64_t>(floating_ids.size()));
+        malleable_span.AttrDouble("lower_bound_ms", selection->lower_bound);
+      }
+      malleable_span.End();
       for (size_t i = 0; i < floating_ids.size(); ++i) {
         auto op = par_at_degree(costs[static_cast<size_t>(floating_ids[i])],
                                 selection->degrees[i]);
         if (!op.ok()) return op.status();
         ops.push_back(std::move(op).value());
+        if (par_span.active()) {
+          par_span.Attr(StrFormat("op%d.degree", floating_ids[i]),
+                        StrFormat("%d:malleable", selection->degrees[i]));
+        }
       }
     } else {
       for (int oid : floating_ids) {
@@ -151,16 +210,51 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
                                 sized->degree);
         if (!op.ok()) return op.status();
         ops.push_back(std::move(op).value());
+        if (par_span.active()) {
+          // Chosen degree vs. the Prop. 4.1 cap the CG_f rule derived it
+          // from (on the sizing cost: join-aware for builds).
+          const OperatorCost sc = sizing_cost(oid);
+          const int n_max = MaxCoarseGrainDegree(
+              sc.ProcessingArea(), sc.data_bytes, params, options.granularity);
+          par_span.Attr(StrFormat("op%d.degree", oid),
+                        StrFormat("%d/nmax=%d", sized->degree, n_max));
+        }
       }
     }
+    if (par_span.active() && options.cache != nullptr) {
+      par_span.AttrInt(
+          "cache.hits",
+          static_cast<int64_t>(options.cache->counter().hits() - phase_hits0));
+      par_span.AttrInt("cache.misses",
+                       static_cast<int64_t>(options.cache->counter().misses() -
+                                            phase_misses0));
+    }
+    par_span.End();
 
+    SpanTimer sched_span(trace, "operator_schedule", k);
     auto schedule = OperatorSchedule(ops, config.num_sites, config.dims,
                                      options.list_options);
     if (!schedule.ok()) return schedule.status();
     PhaseSchedule phase{k, std::move(ops), std::move(schedule).value(), 0.0};
     phase.makespan = phase.schedule.Makespan();
+    if (sched_span.active()) {
+      AnnotateOperatorScheduleSpan(&sched_span, phase, config);
+    }
+    sched_span.End();
     result.response_time += phase.makespan;
     result.phases.push_back(std::move(phase));
+  }
+  if (call_span.active()) {
+    call_span.AttrInt("phases", static_cast<int64_t>(result.phases.size()));
+    call_span.AttrDouble("response_time_ms", result.response_time);
+    if (options.cache != nullptr) {
+      call_span.AttrInt(
+          "cache.hits",
+          static_cast<int64_t>(options.cache->counter().hits() - call_hits0));
+      call_span.AttrInt("cache.misses",
+                        static_cast<int64_t>(options.cache->counter().misses() -
+                                             call_misses0));
+    }
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "cost/cost_model.h"
 #include "cost/parallelize.h"
 #include "cost/parallelize_cache.h"
+#include "exec/trace.h"
 #include "plan/operator_tree.h"
 #include "plan/task_tree.h"
 #include "resource/machine.h"
@@ -54,6 +55,13 @@ struct TreeScheduleOptions {
   /// or TreeSchedule fails with InvalidArgument. Caching never changes the
   /// result: entries are pure functions of the operator signature.
   ParallelizeCache* cache = nullptr;
+  /// Optional per-query trace sink (not owned). When set, TreeSchedule
+  /// records one span per stage (parallelize and OPERATORSCHEDULE per
+  /// phase, malleable selection, whole-call assembly) annotated with the
+  /// chosen degrees vs. N_max(op, f), the binding eq. (3) term per phase,
+  /// and parallelize-cache hits/misses per stage. Null = tracing disabled
+  /// at the cost of one branch per instrumentation site.
+  TraceSink* trace = nullptr;
 };
 
 /// One synchronized phase of a TREESCHEDULE execution.

@@ -50,11 +50,18 @@ size_t ParallelizeCache::KeyHash::operator()(const Key& key) const {
 
 ParallelizeCache::ParallelizeCache(const CostParams& params,
                                    double overlap_eps, double granularity,
-                                   int num_sites)
+                                   int num_sites, MetricsRegistry* registry)
     : params_(params),
       usage_(overlap_eps),
       granularity_(granularity),
-      num_sites_(num_sites) {}
+      num_sites_(num_sites) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  hits_callback_ = reg.RegisterCounterCallback(
+      "parallelize_cache.hits", [this] { return counter_.hits(); });
+  misses_callback_ = reg.RegisterCounterCallback(
+      "parallelize_cache.misses", [this] { return counter_.misses(); });
+}
 
 ParallelizeCache::Key ParallelizeCache::MakeKey(const OperatorCost& cost,
                                                 int degree) {

@@ -7,8 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
-#include "common/stats.h"
 #include "cost/cost_model.h"
 #include "cost/parallelize.h"
 #include "resource/usage_model.h"
@@ -32,12 +32,18 @@ namespace mrs {
 /// concurrent use deterministic: a racing double-compute produces the same
 /// bits, and whichever insert wins, every reader sees an identical value.
 ///
-/// Thread-safe. Hit/miss counters are exposed via common/stats.h's
-/// HitMissCounter.
+/// Thread-safe. Hit/miss accounting is recorded exactly once, into the
+/// instance's HitMissCounter; the counter is additionally published into a
+/// MetricsRegistry ("parallelize_cache.hits"/"parallelize_cache.misses",
+/// summed across live caches) via read-through callbacks, so registry
+/// snapshots and `counter()` can never disagree.
 class ParallelizeCache {
  public:
+  /// `registry` is where the hit/miss counters are published; nullptr
+  /// means the process-global MetricsRegistry.
   ParallelizeCache(const CostParams& params, double overlap_eps,
-                   double granularity, int num_sites);
+                   double granularity, int num_sites,
+                   MetricsRegistry* registry = nullptr);
 
   /// Memoized ParallelizeFloating(cost, params, usage, f, num_sites).
   Result<ParallelizedOp> Floating(const OperatorCost& cost);
@@ -108,6 +114,10 @@ class ParallelizeCache {
   int num_sites_;
   std::array<Shard, kNumShards> shards_;
   HitMissCounter counter_;
+  // Read-through publication of counter_ into the metrics registry; must
+  // be declared after counter_ (unregisters before counter_ dies).
+  MetricsRegistry::CallbackHandle hits_callback_;
+  MetricsRegistry::CallbackHandle misses_callback_;
 };
 
 }  // namespace mrs

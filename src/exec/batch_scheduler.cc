@@ -1,5 +1,6 @@
 #include "exec/batch_scheduler.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/str_util.h"
@@ -16,6 +17,12 @@ namespace {
 /// stream (SplitMix-style, mirroring the experiment harness): streams are
 /// a function of the work item, never of the worker thread that happens to
 /// run it.
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 uint64_t ItemSeed(uint64_t seed, int index) {
   uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
   x ^= (x >> 30);
@@ -61,15 +68,40 @@ BatchScheduler::BatchScheduler(const CostParams& params,
       machine_(machine),
       options_(options),
       cache_(params, options.overlap_eps, options.tree.granularity,
-             machine.num_sites),
-      pool_(options.num_threads) {
+             machine.num_sites, options.metrics),
+      pool_(options.num_threads),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &MetricsRegistry::Global()) {
   options_.num_threads = pool_.num_threads();
+  item_hist_ = metrics_->GetHistogram("batch.item_ms");
+  queue_wait_hist_ = metrics_->GetHistogram("pool.queue_wait_ms");
+  items_counter_ = metrics_->GetCounter("batch.items");
+  errors_counter_ = metrics_->GetCounter("batch.errors");
 }
 
 BatchItemResult BatchScheduler::ScheduleOne(const PlanTree& plan, int index) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchItemResult item = ScheduleOneImpl(plan, index);
+  item_hist_->Record(ElapsedMs(start));
+  items_counter_->Increment();
+  if (!item.status.ok()) errors_counter_->Increment();
+  return item;
+}
+
+BatchItemResult BatchScheduler::ScheduleOneImpl(const PlanTree& plan,
+                                                int index) {
   BatchItemResult item;
   item.index = index;
+  ScheduleTrace* trace = nullptr;
+  if (options_.collect_traces) {
+    item.trace = options_.trace_clock
+                     ? std::make_shared<ScheduleTrace>(options_.trace_clock)
+                     : std::make_shared<ScheduleTrace>();
+    item.trace->set_label(StrFormat("query-%d", index));
+    trace = item.trace.get();
+  }
 
+  SpanTimer expand_span(trace, "expand");
   auto op_tree = OperatorTree::FromPlan(plan);
   if (!op_tree.ok()) {
     item.status = op_tree.status();
@@ -82,17 +114,25 @@ BatchItemResult BatchScheduler::ScheduleOne(const PlanTree& plan, int index) {
     item.status = task_tree.status();
     return item;
   }
+  if (expand_span.active()) {
+    expand_span.AttrInt("ops", ops.num_ops());
+    expand_span.AttrInt("phases", task_tree->num_phases());
+  }
+  expand_span.End();
 
+  SpanTimer cost_span(trace, "cost_model");
   const CostModel model(params_, machine_.dims, options_.num_disks);
   auto costs = model.CostAll(ops);
   if (!costs.ok()) {
     item.status = costs.status();
     return item;
   }
+  cost_span.End();
 
   const OverlapUsageModel usage(options_.overlap_eps);
   TreeScheduleOptions tree_options = options_.tree;
   tree_options.cache = options_.use_cost_cache ? &cache_ : nullptr;
+  tree_options.trace = trace;
   auto result = TreeSchedule(ops, *task_tree, costs.value(), params_,
                              machine_, usage, tree_options);
   if (!result.ok()) {
@@ -111,7 +151,9 @@ BatchOutput BatchScheduler::ScheduleAll(
   const uint64_t misses_before = cache_.counter().misses();
 
   for (size_t i = 0; i < plans.size(); ++i) {
-    pool_.Submit([this, &output, &plans, i] {
+    const auto submitted = std::chrono::steady_clock::now();
+    pool_.Submit([this, &output, &plans, i, submitted] {
+      queue_wait_hist_->Record(ElapsedMs(submitted));
       const PlanTree* plan = plans[i];
       if (plan == nullptr) {
         output.items[i].index = static_cast<int>(i);
@@ -137,7 +179,9 @@ BatchOutput BatchScheduler::ScheduleGenerated(const WorkloadParams& workload,
   const uint64_t misses_before = cache_.counter().misses();
 
   for (int i = 0; i < count; ++i) {
-    pool_.Submit([this, &output, &workload, seed, i] {
+    const auto submitted = std::chrono::steady_clock::now();
+    pool_.Submit([this, &output, &workload, seed, i, submitted] {
+      queue_wait_hist_->Record(ElapsedMs(submitted));
       Rng rng(ItemSeed(seed, i));
       auto query = GenerateQuery(workload, &rng);
       if (!query.ok()) {

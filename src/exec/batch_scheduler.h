@@ -2,14 +2,17 @@
 #define MRS_EXEC_BATCH_SCHEDULER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/tree_schedule.h"
 #include "cost/cost_params.h"
 #include "cost/parallelize_cache.h"
+#include "exec/trace.h"
 #include "plan/plan_tree.h"
 #include "resource/machine.h"
 #include "workload/generator.h"
@@ -30,6 +33,20 @@ struct BatchSchedulerOptions {
   /// is semantically invisible (entries are pure functions of operator
   /// signatures); disable only to measure its effect.
   bool use_cost_cache = true;
+  /// When true every item records a per-query ScheduleTrace (expansion,
+  /// costing, and the TREESCHEDULE stage spans) published on
+  /// BatchItemResult::trace. Off by default: tracing allocates per item.
+  bool collect_traces = false;
+  /// Clock for the per-item traces; null = wall time since each trace's
+  /// construction. Tests inject ScheduleTrace::CountingClock() for
+  /// deterministic timestamps (shared across items, so batch-mode stamps
+  /// interleave but stay monotone within each item's trace).
+  ScheduleTrace::ClockFn trace_clock;
+  /// Registry the engine's process metrics ("batch.items", "batch.errors",
+  /// "batch.item_ms", "pool.queue_wait_ms", and the parallelize cache's
+  /// hit/miss counters) report into; null = MetricsRegistry::Global().
+  /// Not owned; must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of one batch item, in input order.
@@ -38,6 +55,9 @@ struct BatchItemResult {
   Status status = Status::OK();
   /// Meaningful iff status.ok().
   TreeScheduleResult schedule;
+  /// Per-query trace; non-null iff BatchSchedulerOptions::collect_traces.
+  /// Shared so results stay copyable.
+  std::shared_ptr<ScheduleTrace> trace;
 };
 
 /// Outcome of one batch run.
@@ -98,14 +118,23 @@ class BatchScheduler {
   const HitMissCounter& cache_counter() const { return cache_.counter(); }
 
  private:
-  /// Runs the pipeline for one plan (cost → parallelize → TreeSchedule).
+  /// Runs the pipeline for one plan (cost → parallelize → TreeSchedule),
+  /// wrapped with item-latency and error accounting.
   BatchItemResult ScheduleOne(const PlanTree& plan, int index);
+  BatchItemResult ScheduleOneImpl(const PlanTree& plan, int index);
 
   CostParams params_;
   MachineConfig machine_;
   BatchSchedulerOptions options_;
   ParallelizeCache cache_;
   ThreadPool pool_;
+  /// Engine metrics, resolved once (handles stay valid for the registry's
+  /// lifetime, so the hot path records without locking).
+  MetricsRegistry* metrics_ = nullptr;
+  Histogram* item_hist_ = nullptr;
+  Histogram* queue_wait_hist_ = nullptr;
+  Counter* items_counter_ = nullptr;
+  Counter* errors_counter_ = nullptr;
 };
 
 }  // namespace mrs

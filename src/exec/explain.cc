@@ -7,63 +7,67 @@
 
 namespace mrs {
 
+PhaseExplanation ExplainPhase(const PhaseSchedule& phase) {
+  PhaseExplanation exp;
+  exp.phase = phase.phase;
+  exp.makespan = phase.makespan;
+  const Schedule& s = phase.schedule;
+
+  // Critical site: the eq. (3) argmax.
+  for (int j = 0; j < s.num_sites(); ++j) {
+    if (exp.critical_site < 0 ||
+        s.SiteTime(j) > s.SiteTime(exp.critical_site)) {
+      exp.critical_site = j;
+    }
+  }
+  if (exp.critical_site >= 0) {
+    const WorkVector& load = s.SiteLoad(exp.critical_site);
+    double max_t_seq = 0.0;
+    for (int p : s.SitePlacements(exp.critical_site)) {
+      max_t_seq = std::max(
+          max_t_seq, s.placements()[static_cast<size_t>(p)].t_seq);
+    }
+    exp.load_bound = load.Length() >= max_t_seq;
+    for (size_t i = 0; i < load.dim(); ++i) {
+      if (exp.critical_resource < 0 ||
+          load[i] > load[static_cast<size_t>(exp.critical_resource)]) {
+        exp.critical_resource = static_cast<int>(i);
+      }
+    }
+    // Heaviest operator at the critical site by total assigned work.
+    std::unordered_map<int, double> per_op;
+    for (int p : s.SitePlacements(exp.critical_site)) {
+      const ClonePlacement& c = s.placements()[static_cast<size_t>(p)];
+      per_op[c.op_id] += c.work.Total();
+    }
+    double best = -1.0;
+    for (const auto& [op, work] : per_op) {
+      if (work > best) {
+        best = work;
+        exp.heaviest_op = op;
+      }
+    }
+  }
+
+  // Machine-wide utilization per resource.
+  if (s.num_sites() > 0 && phase.makespan > 0) {
+    WorkVector total(static_cast<size_t>(s.dims()));
+    for (int j = 0; j < s.num_sites(); ++j) total += s.SiteLoad(j);
+    exp.utilization.resize(static_cast<size_t>(s.dims()));
+    for (int i = 0; i < s.dims(); ++i) {
+      exp.utilization[static_cast<size_t>(i)] =
+          total[static_cast<size_t>(i)] /
+          (static_cast<double>(s.num_sites()) * phase.makespan);
+    }
+  }
+  return exp;
+}
+
 ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result) {
   ScheduleExplanation out;
   out.response_time = result.response_time;
   for (const auto& phase : result.phases) {
-    PhaseExplanation exp;
-    exp.phase = phase.phase;
-    exp.makespan = phase.makespan;
-    const Schedule& s = phase.schedule;
-
-    // Critical site: the eq. (3) argmax.
-    for (int j = 0; j < s.num_sites(); ++j) {
-      if (exp.critical_site < 0 ||
-          s.SiteTime(j) > s.SiteTime(exp.critical_site)) {
-        exp.critical_site = j;
-      }
-    }
-    if (exp.critical_site >= 0) {
-      const WorkVector& load = s.SiteLoad(exp.critical_site);
-      double max_t_seq = 0.0;
-      for (int p : s.SitePlacements(exp.critical_site)) {
-        max_t_seq = std::max(
-            max_t_seq, s.placements()[static_cast<size_t>(p)].t_seq);
-      }
-      exp.load_bound = load.Length() >= max_t_seq;
-      for (size_t i = 0; i < load.dim(); ++i) {
-        if (exp.critical_resource < 0 ||
-            load[i] > load[static_cast<size_t>(exp.critical_resource)]) {
-          exp.critical_resource = static_cast<int>(i);
-        }
-      }
-      // Heaviest operator at the critical site by total assigned work.
-      std::unordered_map<int, double> per_op;
-      for (int p : s.SitePlacements(exp.critical_site)) {
-        const ClonePlacement& c = s.placements()[static_cast<size_t>(p)];
-        per_op[c.op_id] += c.work.Total();
-      }
-      double best = -1.0;
-      for (const auto& [op, work] : per_op) {
-        if (work > best) {
-          best = work;
-          exp.heaviest_op = op;
-        }
-      }
-    }
-
-    // Machine-wide utilization per resource.
-    if (s.num_sites() > 0 && phase.makespan > 0) {
-      WorkVector total(static_cast<size_t>(s.dims()));
-      for (int j = 0; j < s.num_sites(); ++j) total += s.SiteLoad(j);
-      exp.utilization.resize(static_cast<size_t>(s.dims()));
-      for (int i = 0; i < s.dims(); ++i) {
-        exp.utilization[static_cast<size_t>(i)] =
-            total[static_cast<size_t>(i)] /
-            (static_cast<double>(s.num_sites()) * phase.makespan);
-      }
-    }
-    out.phases.push_back(std::move(exp));
+    out.phases.push_back(ExplainPhase(phase));
   }
   return out;
 }

@@ -37,9 +37,13 @@ struct ScheduleExplanation {
   std::string ToString(const MachineConfig& machine) const;
 };
 
-/// Analyzes a phased schedule: per phase, the critical site, the binding
-/// eq. (3) term, per-resource utilization, and the heaviest operator on
-/// the critical site. Pure analysis — no scheduling state is modified.
+/// Analyzes one phase: the critical site, the binding eq. (3) term,
+/// per-resource utilization, and the heaviest operator on the critical
+/// site. Pure analysis — no scheduling state is modified. Also used by the
+/// tracing layer to annotate OPERATORSCHEDULE spans.
+PhaseExplanation ExplainPhase(const PhaseSchedule& phase);
+
+/// Analyzes a phased schedule: ExplainPhase over every phase.
 ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result);
 
 }  // namespace mrs

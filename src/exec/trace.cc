@@ -1,0 +1,114 @@
+#include "exec/trace.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+const std::string* TraceSpan::FindAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string TraceSpan::ToString() const {
+  std::string out = name;
+  if (phase >= 0) out += StrFormat("[phase %d]", phase);
+  out += StrFormat(" %.3f..%.3fms", start_ms, end_ms);
+  if (!attrs.empty()) {
+    out += " {";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += attrs[i].first + "=" + attrs[i].second;
+    }
+    out += "}";
+  }
+  return out;
+}
+
+SpanTimer::SpanTimer(TraceSink* sink, const char* name, int phase)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  span_.name = name;
+  span_.phase = phase;
+  span_.start_ms = sink_->NowMs();
+}
+
+SpanTimer::~SpanTimer() { End(); }
+
+void SpanTimer::Attr(const std::string& key, std::string value) {
+  if (sink_ == nullptr || ended_) return;
+  span_.attrs.emplace_back(key, std::move(value));
+}
+
+void SpanTimer::AttrDouble(const std::string& key, double value) {
+  if (sink_ == nullptr || ended_) return;
+  span_.attrs.emplace_back(key, StrFormat("%.6g", value));
+}
+
+void SpanTimer::AttrInt(const std::string& key, int64_t value) {
+  if (sink_ == nullptr || ended_) return;
+  span_.attrs.emplace_back(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void SpanTimer::End() {
+  if (sink_ == nullptr || ended_) return;
+  ended_ = true;
+  span_.end_ms = sink_->NowMs();
+  sink_->AddSpan(std::move(span_));
+}
+
+ScheduleTrace::ScheduleTrace() {
+  const auto origin = std::chrono::steady_clock::now();
+  clock_ = [origin] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - origin)
+        .count();
+  };
+}
+
+ScheduleTrace::ScheduleTrace(ClockFn clock) : clock_(std::move(clock)) {}
+
+double ScheduleTrace::NowMs() { return clock_(); }
+
+void ScheduleTrace::AddSpan(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> ScheduleTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+bool ScheduleTrace::FindSpan(const std::string& name, TraceSpan* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) {
+      if (out != nullptr) *out = span;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ScheduleTrace::ToString() const {
+  std::string out =
+      label_.empty() ? "trace:\n" : StrFormat("trace %s:\n", label_.c_str());
+  for (const TraceSpan& span : spans()) {
+    out += "  " + span.ToString() + "\n";
+  }
+  return out;
+}
+
+ScheduleTrace::ClockFn ScheduleTrace::CountingClock() {
+  auto ticks = std::make_shared<std::atomic<int64_t>>(0);
+  return [ticks] {
+    return static_cast<double>(ticks->fetch_add(1, std::memory_order_relaxed));
+  };
+}
+
+}  // namespace mrs

@@ -1,0 +1,132 @@
+#ifndef MRS_EXEC_TRACE_H_
+#define MRS_EXEC_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrs {
+
+/// Per-query scheduler tracing: a ScheduleTrace records one timestamped
+/// span per pipeline stage (parse → operator-tree expansion → costing →
+/// parallelize → OPERATORSCHEDULE per phase → malleable adjustment →
+/// TREESCHEDULE assembly), each annotated with what the paper's analysis
+/// needs to audit the schedule: the binding eq. (3) term of a phase, the
+/// chosen degree vs. N_max(op, f) per floating operator, parallelize-cache
+/// hits/misses per stage, and pool queue-wait times in the batch engine.
+///
+/// Producers accept a nullable `TraceSink*`; every instrumentation site is
+/// a branch on that pointer, so a null sink costs one predictable branch
+/// and no allocation (the <2% claim is pinned by
+/// bench/micro_trace_overhead). Aggregate, label-keyed process metrics
+/// live in common/metrics.h — traces answer "where did *this* query's
+/// time go", the registry answers "how is the process doing".
+
+/// One timestamped stage of a query's scheduling pipeline.
+struct TraceSpan {
+  /// Stage name ("parse", "parallelize", "operator_schedule", ...).
+  std::string name;
+  /// Task-tree phase index the stage belongs to; -1 for whole-query
+  /// stages.
+  int phase = -1;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  /// Ordered key/value annotations (insertion order preserved).
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  double DurationMs() const { return end_ms - start_ms; }
+
+  /// Value of an attribute by key; nullptr if absent.
+  const std::string* FindAttr(const std::string& key) const;
+
+  /// "parallelize[phase 0] 0.00..1.00ms {op3.degree=4, ...}"
+  std::string ToString() const;
+};
+
+/// Receiver of trace spans. Instrumented code takes `TraceSink*` and must
+/// treat nullptr as "tracing disabled".
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Current time in milliseconds on the sink's clock. Called once at span
+  /// start and once at span end; implementations may use wall time or any
+  /// deterministic stand-in.
+  virtual double NowMs() = 0;
+
+  virtual void AddSpan(TraceSpan span) = 0;
+};
+
+/// Scoped recorder of one span. Every method is a no-op when constructed
+/// with a null sink — instrumentation sites pay one branch, no strings,
+/// no clock reads. The span is emitted on End() (or destruction).
+class SpanTimer {
+ public:
+  SpanTimer(TraceSink* sink, const char* name, int phase = -1);
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// True when a sink is attached; use to guard expensive annotation
+  /// computations at the call site.
+  bool active() const { return sink_ != nullptr; }
+
+  void Attr(const std::string& key, std::string value);
+  void AttrDouble(const std::string& key, double value);  // %.6g
+  void AttrInt(const std::string& key, int64_t value);
+
+  /// Stamps end_ms and emits the span to the sink. Idempotent.
+  void End();
+
+ private:
+  TraceSink* sink_;
+  TraceSpan span_;
+  bool ended_ = false;
+};
+
+/// The standard TraceSink: an in-memory, thread-safe span log for one
+/// query (or one batch item). The clock is injectable so tests and golden
+/// files get byte-deterministic traces; the default clock is wall time
+/// (steady_clock) in ms since construction.
+class ScheduleTrace : public TraceSink {
+ public:
+  using ClockFn = std::function<double()>;
+
+  ScheduleTrace();
+  explicit ScheduleTrace(ClockFn clock);
+
+  double NowMs() override;
+  void AddSpan(TraceSpan span) override;
+
+  /// Copy of the recorded spans, in emission order.
+  std::vector<TraceSpan> spans() const;
+
+  /// First recorded span with this name; nullopt-like: empty-name span if
+  /// absent is awkward, so callers get a copy via found flag.
+  bool FindSpan(const std::string& name, TraceSpan* out) const;
+
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+
+  /// A deterministic clock for tests and goldens: successive calls return
+  /// 0, 1, 2, ... (ms). Thread-safe.
+  static ClockFn CountingClock();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  ClockFn clock_;
+  std::string label_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_EXEC_TRACE_H_

@@ -1,0 +1,35 @@
+#ifndef MRS_IO_TRACE_EXPORT_H_
+#define MRS_IO_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "exec/trace.h"
+
+namespace mrs {
+
+/// Schema version of the trace report JSON. Bump on any change to the
+/// shape below; consumers key on it. Version 1:
+///   {"version":1,
+///    "traces":[{"label":"query-0",
+///               "spans":[{"name":"parallelize","phase":0,
+///                         "start_ms":0.000000,"end_ms":1.000000,
+///                         "attrs":{"op3.degree":"4/nmax=7",...}}, ...]},
+///              ...],
+///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+inline constexpr int kTraceExportVersion = 1;
+
+/// One trace as a JSON object: {"label":...,"spans":[...]}. Spans keep
+/// emission order; attributes keep insertion order.
+std::string TraceToJson(const ScheduleTrace& trace);
+
+/// The full versioned report: every trace plus a registry snapshot. Null
+/// trace pointers are skipped. Output is deterministic for deterministic
+/// inputs (fixed clock, fixed metric values) — the golden tests pin it.
+std::string ExportTraceReport(const std::vector<const ScheduleTrace*>& traces,
+                              const MetricsSnapshot& metrics);
+
+}  // namespace mrs
+
+#endif  // MRS_IO_TRACE_EXPORT_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "cost/parallelize.h"
 
 namespace mrs {
@@ -152,6 +153,50 @@ TEST(ParallelizeCacheTest, DistinctSignaturesDoNotCollide) {
   EXPECT_EQ(cache.counter().misses(), 3u);
   EXPECT_EQ(cache.counter().hits(), 0u);
   EXPECT_EQ(cache.NumEntries(), 3u);
+}
+
+/// The cache keeps exactly one accounting path: its per-instance
+/// HitMissCounter, published read-through into the metrics registry. The
+/// registry totals must track the instance counters exactly, at every
+/// point in time, and across multiple instances they must sum.
+TEST(ParallelizeCacheTest, RegistryTotalsMatchInstanceCounters) {
+  MetricsRegistry registry;
+  ParallelizeCache cache(CostParams{}, 0.5, 0.7, 16, &registry);
+  const OperatorCost cost = MakeCost(0, 800.0, 500.0, 0.0, 40000.0);
+
+  EXPECT_EQ(registry.Snapshot().CounterValue("parallelize_cache.hits"), 0u);
+  EXPECT_EQ(registry.Snapshot().CounterValue("parallelize_cache.misses"), 0u);
+
+  ASSERT_TRUE(cache.Floating(cost).ok());  // miss
+  ASSERT_TRUE(cache.Floating(cost).ok());  // hit
+  ASSERT_TRUE(cache.AtDegree(cost, 4).ok());  // miss
+  {
+    MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.hits"), cache.counter().hits());
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.misses"),
+              cache.counter().misses());
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.hits"), 1u);
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.misses"), 2u);
+  }
+
+  // A second cache on the same registry contributes to the same totals
+  // without perturbing per-instance counts.
+  {
+    ParallelizeCache other(CostParams{}, 0.5, 0.7, 16, &registry);
+    ASSERT_TRUE(other.Floating(cost).ok());  // miss in the new cache
+    MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.hits"),
+              cache.counter().hits() + other.counter().hits());
+    EXPECT_EQ(snap.CounterValue("parallelize_cache.misses"),
+              cache.counter().misses() + other.counter().misses());
+    EXPECT_EQ(cache.counter().lookups(), 3u);
+    EXPECT_EQ(other.counter().lookups(), 1u);
+  }
+
+  // Destroying a cache unregisters its callback; the survivor still reports.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("parallelize_cache.hits"), 1u);
+  EXPECT_EQ(snap.CounterValue("parallelize_cache.misses"), 2u);
 }
 
 /// Hammer one cache from many threads over a small signature space: every

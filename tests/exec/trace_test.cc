@@ -1,0 +1,248 @@
+#include "exec/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_schedule.h"
+#include "cost/parallelize_cache.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::PlanFixture;
+
+TEST(SpanTimerTest, NullSinkIsANoOp) {
+  SpanTimer span(nullptr, "stage");
+  EXPECT_FALSE(span.active());
+  span.Attr("k", "v");
+  span.AttrDouble("d", 1.0);
+  span.AttrInt("i", 2);
+  span.End();  // must not crash
+}
+
+TEST(SpanTimerTest, RecordsSpanWithAttrs) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  {
+    SpanTimer span(&trace, "stage", 3);
+    EXPECT_TRUE(span.active());
+    span.Attr("k", "v");
+    span.AttrDouble("d", 0.5);
+    span.AttrInt("i", -7);
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "stage");
+  EXPECT_EQ(spans[0].phase, 3);
+  EXPECT_EQ(spans[0].start_ms, 0.0);
+  EXPECT_EQ(spans[0].end_ms, 1.0);
+  EXPECT_EQ(spans[0].DurationMs(), 1.0);
+  ASSERT_NE(spans[0].FindAttr("k"), nullptr);
+  EXPECT_EQ(*spans[0].FindAttr("k"), "v");
+  EXPECT_EQ(*spans[0].FindAttr("d"), "0.5");
+  EXPECT_EQ(*spans[0].FindAttr("i"), "-7");
+  EXPECT_EQ(spans[0].FindAttr("absent"), nullptr);
+}
+
+TEST(SpanTimerTest, EndIsIdempotent) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  SpanTimer span(&trace, "once");
+  span.End();
+  span.Attr("late", "ignored");
+  span.End();
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].FindAttr("late"), nullptr);
+}
+
+TEST(ScheduleTraceTest, CountingClockIsDeterministic) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  EXPECT_EQ(trace.NowMs(), 0.0);
+  EXPECT_EQ(trace.NowMs(), 1.0);
+  EXPECT_EQ(trace.NowMs(), 2.0);
+}
+
+TEST(ScheduleTraceTest, DefaultClockIsMonotone) {
+  ScheduleTrace trace;
+  const double a = trace.NowMs();
+  const double b = trace.NowMs();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ScheduleTraceTest, FindSpanAndLabel) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("q1");
+  EXPECT_EQ(trace.label(), "q1");
+  { SpanTimer span(&trace, "a"); }
+  { SpanTimer span(&trace, "b", 2); }
+  TraceSpan out;
+  EXPECT_TRUE(trace.FindSpan("b", &out));
+  EXPECT_EQ(out.phase, 2);
+  EXPECT_FALSE(trace.FindSpan("missing", nullptr));
+}
+
+TEST(ScheduleTraceTest, ToStringListsSpans) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("demo");
+  {
+    SpanTimer span(&trace, "stage", 1);
+    span.Attr("k", "v");
+  }
+  const std::string s = trace.ToString();
+  EXPECT_NE(s.find("trace demo:"), std::string::npos) << s;
+  EXPECT_NE(s.find("stage[phase 1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("k=v"), std::string::npos) << s;
+}
+
+class TreeScheduleTraceTest : public ::testing::Test {
+ protected:
+  TreeScheduleTraceTest() : fx_(BushyFourWayFixture()) {}
+
+  Result<TreeScheduleResult> Run(const TreeScheduleOptions& options) {
+    return TreeSchedule(fx_.op_tree, fx_.task_tree, fx_.costs, CostParams{},
+                        machine_, usage_, options);
+  }
+
+  PlanFixture fx_;
+  MachineConfig machine_;
+  OverlapUsageModel usage_{0.5};
+};
+
+TEST_F(TreeScheduleTraceTest, RecordsEveryStage) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  TreeScheduleOptions options;
+  options.trace = &trace;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+
+  // One parallelize + one operator_schedule span per phase, plus the
+  // whole-call span last.
+  const int phases = static_cast<int>(result->phases.size());
+  int parallelize = 0;
+  int operator_schedule = 0;
+  const auto spans = trace.spans();
+  for (const TraceSpan& span : spans) {
+    if (span.name == "parallelize") ++parallelize;
+    if (span.name == "operator_schedule") ++operator_schedule;
+  }
+  EXPECT_EQ(parallelize, phases);
+  EXPECT_EQ(operator_schedule, phases);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().name, "tree_schedule");
+
+  TraceSpan call;
+  ASSERT_TRUE(trace.FindSpan("tree_schedule", &call));
+  ASSERT_NE(call.FindAttr("phases"), nullptr);
+  EXPECT_EQ(*call.FindAttr("phases"), std::to_string(phases));
+  EXPECT_NE(call.FindAttr("response_time_ms"), nullptr);
+  // No cache configured: no cache attrs on the call span.
+  EXPECT_EQ(call.FindAttr("cache.hits"), nullptr);
+}
+
+TEST_F(TreeScheduleTraceTest, AnnotatesDegreesAndBindingTerm) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  TreeScheduleOptions options;
+  options.trace = &trace;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "parallelize") {
+      // Every op of the phase carries a degree attr: "N/nmax=M" for
+      // floating (coarse-grain) ops, "N:rooted" for rooted ones.
+      int degree_attrs = 0;
+      for (const auto& [key, value] : span.attrs) {
+        if (key.rfind("op", 0) == 0 &&
+            key.find(".degree") != std::string::npos) {
+          ++degree_attrs;
+          EXPECT_TRUE(value.find("/nmax=") != std::string::npos ||
+                      value.find(":rooted") != std::string::npos)
+              << key << "=" << value;
+        }
+      }
+      const size_t phase_ops =
+          result->phases[static_cast<size_t>(span.phase)].ops.size();
+      EXPECT_EQ(static_cast<size_t>(degree_attrs), phase_ops);
+    } else if (span.name == "operator_schedule") {
+      ASSERT_NE(span.FindAttr("eq3_binding"), nullptr);
+      const std::string& binding = *span.FindAttr("eq3_binding");
+      EXPECT_TRUE(binding == "t_seq" ||
+                  binding.rfind("congestion:", 0) == 0)
+          << binding;
+      EXPECT_NE(span.FindAttr("critical_site"), nullptr);
+      EXPECT_NE(span.FindAttr("makespan_ms"), nullptr);
+    }
+  }
+}
+
+TEST_F(TreeScheduleTraceTest, MalleablePolicyRecordsSelectionSpan) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  TreeScheduleOptions options;
+  options.trace = &trace;
+  options.policy = ParallelizationPolicy::kMalleable;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+
+  TraceSpan span;
+  ASSERT_TRUE(trace.FindSpan("malleable_select", &span));
+  EXPECT_NE(span.FindAttr("lower_bound_ms"), nullptr);
+  EXPECT_NE(span.FindAttr("floating_ops"), nullptr);
+  // Degrees are tagged with the policy that chose them.
+  TraceSpan par;
+  ASSERT_TRUE(trace.FindSpan("parallelize", &par));
+  bool saw_malleable = false;
+  for (const auto& [key, value] : par.attrs) {
+    if (value.find(":malleable") != std::string::npos) saw_malleable = true;
+  }
+  EXPECT_TRUE(saw_malleable);
+}
+
+TEST_F(TreeScheduleTraceTest, CacheCountsPerStage) {
+  MetricsRegistry registry;
+  ParallelizeCache cache(CostParams{}, usage_.epsilon(), 0.7,
+                         machine_.num_sites, &registry);
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  TreeScheduleOptions options;
+  options.trace = &trace;
+  options.cache = &cache;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+
+  // Per-phase and whole-call cache deltas must agree with the cache's own
+  // counters (single accounting path).
+  uint64_t phase_hits = 0;
+  uint64_t phase_misses = 0;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name != "parallelize") continue;
+    ASSERT_NE(span.FindAttr("cache.hits"), nullptr);
+    ASSERT_NE(span.FindAttr("cache.misses"), nullptr);
+    phase_hits += std::stoull(*span.FindAttr("cache.hits"));
+    phase_misses += std::stoull(*span.FindAttr("cache.misses"));
+  }
+  TraceSpan call;
+  ASSERT_TRUE(trace.FindSpan("tree_schedule", &call));
+  EXPECT_EQ(std::stoull(*call.FindAttr("cache.hits")), cache.counter().hits());
+  EXPECT_EQ(std::stoull(*call.FindAttr("cache.misses")),
+            cache.counter().misses());
+  EXPECT_EQ(phase_hits, cache.counter().hits());
+  EXPECT_EQ(phase_misses, cache.counter().misses());
+}
+
+TEST_F(TreeScheduleTraceTest, TracingDoesNotChangeTheSchedule) {
+  TreeScheduleOptions options;
+  auto base = Run(options);
+  ASSERT_TRUE(base.ok());
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  options.trace = &trace;
+  auto traced = Run(options);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(base->response_time, traced->response_time);
+  ASSERT_EQ(base->phases.size(), traced->phases.size());
+  for (size_t k = 0; k < base->phases.size(); ++k) {
+    EXPECT_EQ(base->phases[k].makespan, traced->phases[k].makespan);
+  }
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,199 @@
+// Golden-file tests: every human- or machine-readable rendering the repo
+// ships (ExplainSchedule::ToString, the ASCII/SVG gantt charts, the
+// schedule JSON/CSV exports, and the versioned trace report) is pinned
+// byte-for-byte against a checked-in corpus under tests/golden/. The
+// inputs are fully deterministic (fixed fixtures, CountingClock traces,
+// hand-fed metrics), so any byte change is a deliberate format change —
+// regenerate with
+//
+//   mrs_golden_tests --update-golden        (or MRS_UPDATE_GOLDEN=1)
+//
+// and review the corpus diff like any other code change.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cost/parallelize_cache.h"
+#include "exec/explain.h"
+#include "exec/gantt.h"
+#include "exec/trace.h"
+#include "io/schedule_export.h"
+#include "io/trace_export.h"
+#include "test_util.h"
+
+namespace mrs {
+
+// Set from main (not in the anonymous namespace so main can reach it).
+bool g_update_golden = false;
+
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::PipelinedChainFixture;
+using testing_util::PlanFixture;
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MRS_GOLDEN_DIR) + "/" + name;
+}
+
+/// Byte-exact comparison against tests/golden/<name>; in update mode the
+/// file is (re)written instead. Failure messages point at the first
+/// differing line so format drift is easy to review.
+void CompareOrUpdate(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with mrs_golden_tests "
+                            "--update-golden";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+
+  // Locate the first differing line for the failure message.
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line;
+  std::string got_line;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool more_want = static_cast<bool>(std::getline(want, want_line));
+    const bool more_got = static_cast<bool>(std::getline(got, got_line));
+    if (!more_want && !more_got) break;
+    if (!more_want || !more_got || want_line != got_line) {
+      FAIL() << name << " drifted at line " << line << "\n  golden: "
+             << (more_want ? want_line : "<eof>") << "\n  actual: "
+             << (more_got ? got_line : "<eof>")
+             << "\nif intended, regenerate with --update-golden";
+    }
+  }
+  FAIL() << name << " differs only in line endings or trailing bytes";
+}
+
+/// The corpus driver: one deterministic schedule per fixture/policy pair.
+struct GoldenSchedule {
+  PlanFixture fx;
+  MachineConfig machine;
+  TreeScheduleResult result;
+};
+
+GoldenSchedule MakeGoldenSchedule(PlanFixture fx,
+                                  ParallelizationPolicy policy,
+                                  TraceSink* trace = nullptr,
+                                  ParallelizeCache* cache = nullptr) {
+  GoldenSchedule g;
+  g.fx = std::move(fx);
+  OverlapUsageModel usage(0.5);
+  TreeScheduleOptions options;
+  options.policy = policy;
+  options.trace = trace;
+  options.cache = cache;
+  auto result = TreeSchedule(g.fx.op_tree, g.fx.task_tree, g.fx.costs,
+                             CostParams{}, g.machine, usage, options);
+  if (!result.ok()) std::abort();
+  g.result = std::move(result).value();
+  return g;
+}
+
+TEST(GoldenTest, ExplainBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("explain_bushy.txt",
+                  ExplainSchedule(g.result).ToString(g.machine));
+}
+
+TEST(GoldenTest, ExplainMalleableChain) {
+  GoldenSchedule g = MakeGoldenSchedule(PipelinedChainFixture(6),
+                                        ParallelizationPolicy::kMalleable);
+  CompareOrUpdate("explain_malleable_chain.txt",
+                  ExplainSchedule(g.result).ToString(g.machine));
+}
+
+TEST(GoldenTest, GanttBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("gantt_bushy.txt", RenderTreeGantt(g.result));
+}
+
+TEST(GoldenTest, GanttPhaseBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("gantt_phase0_bushy.txt",
+                  RenderPhaseGantt(g.result.phases[0].schedule));
+}
+
+TEST(GoldenTest, GanttSvgBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("gantt_bushy.svg", RenderTreeGanttSvg(g.result));
+}
+
+TEST(GoldenTest, ScheduleJsonBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("schedule_bushy.json", TreeScheduleToJson(g.result));
+}
+
+TEST(GoldenTest, ScheduleCsvBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  CompareOrUpdate("schedule_bushy.csv", TreeScheduleToCsv(g.result));
+}
+
+/// Pins the versioned trace-report schema end to end: a CountingClock
+/// trace through the full TREESCHEDULE pipeline (with a cache, so the
+/// per-stage hit/miss attrs appear) plus a hand-fed metrics registry.
+TEST(GoldenTest, TraceReportSchema) {
+  MetricsRegistry registry;
+  ParallelizeCache cache(CostParams{}, 0.5, 0.7, MachineConfig{}.num_sites,
+                         &registry);
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("golden-query");
+  GoldenSchedule g =
+      MakeGoldenSchedule(BushyFourWayFixture(),
+                         ParallelizationPolicy::kCoarseGrain, &trace, &cache);
+  (void)g;
+  registry.GetGauge("example.load")->Set(0.25);
+  Histogram* hist = registry.GetHistogram("example.latency_ms");
+  for (int i = 1; i <= 4; ++i) hist->Record(0.5 * i);
+  CompareOrUpdate("trace_report.json",
+                  ExportTraceReport({&trace}, registry.Snapshot()));
+}
+
+TEST(GoldenTest, TraceToStringBushy) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("golden-query");
+  GoldenSchedule g = MakeGoldenSchedule(
+      BushyFourWayFixture(), ParallelizationPolicy::kCoarseGrain, &trace);
+  (void)g;
+  CompareOrUpdate("trace_bushy.txt", trace.ToString());
+}
+
+}  // namespace
+}  // namespace mrs
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      mrs::g_update_golden = true;
+    }
+  }
+  const char* env = std::getenv("MRS_UPDATE_GOLDEN");
+  if (env != nullptr && *env != '\0' && std::string(env) != "0") {
+    mrs::g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -5,12 +5,22 @@
 // bounds property suite uses: Schedule::Validate (constraints A and rooted
 // placement) and testing_util::ListScheduleLowerBound (the analytic LB of
 // the 2d+1 theorem).
+//
+// Replayability: every check runs under a SCOPED_TRACE carrying the full
+// (seed, eps, f, P, threads, joins) tuple, so a failure names the exact
+// case. Set MRS_FUZZ_SEED=<seed> to re-root the random sweep at a failing
+// seed, and see tests/data/fuzz_corpus.txt for pinned known-interesting
+// tuples that run on every ctest invocation.
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/str_util.h"
 #include "exec/batch_scheduler.h"
 #include "plan/operator_tree.h"
 #include "test_util.h"
@@ -21,68 +31,142 @@ namespace {
 
 using testing_util::ListScheduleLowerBound;
 
+/// One fully pinned fuzz case: everything needed to rebuild the batch.
+struct FuzzCase {
+  uint64_t seed = 0;  ///< batch seed handed to ScheduleGenerated
+  double eps = 0.5;
+  double f = 0.7;
+  int sites = 16;
+  int threads = 2;
+  int joins = 6;
+  double sort_probability = 0.0;
+  double aggregate_probability = 0.0;
+
+  std::string ToString() const {
+    return StrFormat("(seed=%llu eps=%g f=%g P=%d threads=%d joins=%d "
+                     "sortp=%g aggp=%g)",
+                     static_cast<unsigned long long>(seed), eps, f, sites,
+                     threads, joins, sort_probability,
+                     aggregate_probability);
+  }
+};
+
+/// Runs one batch for `c` and checks every schedule against constraint A,
+/// rooted placement, the Theorem 5.1(a) bound, and response-time
+/// additivity. All assertions inherit the case's replay tuple via
+/// SCOPED_TRACE.
+void CheckCase(const FuzzCase& c) {
+  SCOPED_TRACE("fuzz case " + c.ToString() +
+               " — replay via MRS_FUZZ_SEED or tests/data/fuzz_corpus.txt");
+  WorkloadParams workload;
+  workload.num_joins = c.joins;
+  workload.sort_probability = c.sort_probability;
+  workload.aggregate_probability = c.aggregate_probability;
+  MachineConfig machine;
+  machine.num_sites = c.sites;
+  const CostParams params;
+
+  BatchSchedulerOptions options;
+  options.num_threads = c.threads;
+  options.overlap_eps = c.eps;
+  options.tree.granularity = c.f;
+  BatchScheduler engine(params, machine, options);
+
+  const int count = 8;
+  BatchOutput output = engine.ScheduleGenerated(workload, c.seed, count);
+  ASSERT_EQ(output.items.size(), static_cast<size_t>(count));
+
+  for (const BatchItemResult& item : output.items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+    const TreeScheduleResult& result = item.schedule;
+    ASSERT_FALSE(result.phases.empty());
+    double phase_sum = 0.0;
+    for (const PhaseSchedule& phase : result.phases) {
+      // Constraint A + rooted placement, via the schedule validator.
+      ASSERT_TRUE(phase.schedule.Validate(phase.ops).ok())
+          << "phase " << phase.phase;
+      // Theorem 5.1(a): the phase's list schedule stays within (2d+1)
+      // of the analytic lower bound for its parallelization.
+      const double lb = ListScheduleLowerBound(phase.ops, machine.num_sites);
+      EXPECT_LE(phase.makespan, (2.0 * machine.dims + 1.0) * lb + 1e-6)
+          << "phase " << phase.phase;
+      phase_sum += phase.makespan;
+      // Every rooted op in this phase sits exactly at its declared home.
+      for (const ParallelizedOp& op : phase.ops) {
+        if (op.rooted) {
+          EXPECT_EQ(phase.schedule.HomeOf(op.op_id), op.home);
+        }
+      }
+    }
+    EXPECT_NEAR(result.response_time, phase_sum, 1e-9);
+  }
+}
+
+/// Draws one random case from `rng` over the sweep's parameter ranges.
+FuzzCase DrawCase(Rng* rng) {
+  FuzzCase c;
+  c.joins = 2 + static_cast<int>(rng->Index(10));
+  c.sort_probability = rng->Bernoulli(0.3) ? 0.2 : 0.0;
+  c.aggregate_probability = rng->Bernoulli(0.3) ? 0.2 : 0.0;
+  c.eps = rng->UniformDouble();
+  c.f = rng->UniformDouble(0.3, 0.9);
+  c.sites = 4 + static_cast<int>(rng->Index(60));
+  c.threads = 1 << rng->Index(4);  // 1, 2, 4, or 8
+  c.seed = rng->Next();
+  return c;
+}
+
 class BatchFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BatchFuzzTest, SchedulesSatisfyConstraintsAndTheoremBound) {
-  Rng rng(GetParam());
+  // MRS_FUZZ_SEED re-roots the sweep so a failing tuple printed by
+  // SCOPED_TRACE can be regenerated exactly.
+  const uint64_t sweep_seed = testing_util::FuzzSeed(GetParam());
+  Rng rng(sweep_seed);
   for (int round = 0; round < 6; ++round) {
-    // Random scheduling context.
-    WorkloadParams workload;
-    workload.num_joins = 2 + static_cast<int>(rng.Index(10));
-    workload.sort_probability = rng.Bernoulli(0.3) ? 0.2 : 0.0;
-    workload.aggregate_probability = rng.Bernoulli(0.3) ? 0.2 : 0.0;
-    const double eps = rng.UniformDouble();
-    const double f = rng.UniformDouble(0.3, 0.9);
-    MachineConfig machine;
-    machine.num_sites = 4 + static_cast<int>(rng.Index(60));
-    const int threads = 1 << rng.Index(4);  // 1, 2, 4, or 8
-    const CostParams params;
-
-    BatchSchedulerOptions options;
-    options.num_threads = threads;
-    options.overlap_eps = eps;
-    options.tree.granularity = f;
-    BatchScheduler engine(params, machine, options);
-
-    const uint64_t batch_seed = rng.Next();
-    const int count = 8;
-    BatchOutput output =
-        engine.ScheduleGenerated(workload, batch_seed, count);
-    ASSERT_EQ(output.items.size(), static_cast<size_t>(count));
-
-    for (const BatchItemResult& item : output.items) {
-      ASSERT_TRUE(item.status.ok())
-          << "round " << round << ": " << item.status.ToString();
-      const TreeScheduleResult& result = item.schedule;
-      ASSERT_FALSE(result.phases.empty());
-      double phase_sum = 0.0;
-      for (const PhaseSchedule& phase : result.phases) {
-        // Constraint A + rooted placement, via the schedule validator.
-        ASSERT_TRUE(phase.schedule.Validate(phase.ops).ok())
-            << "round " << round << " phase " << phase.phase;
-        // Theorem 5.1(a): the phase's list schedule stays within (2d+1)
-        // of the analytic lower bound for its parallelization.
-        const double lb =
-            ListScheduleLowerBound(phase.ops, machine.num_sites);
-        EXPECT_LE(phase.makespan,
-                  (2.0 * machine.dims + 1.0) * lb + 1e-6)
-            << "round " << round << " phase " << phase.phase
-            << " eps=" << eps << " f=" << f << " P=" << machine.num_sites;
-        phase_sum += phase.makespan;
-        // Every rooted op in this phase sits exactly at its declared home.
-        for (const ParallelizedOp& op : phase.ops) {
-          if (op.rooted) {
-            EXPECT_EQ(phase.schedule.HomeOf(op.op_id), op.home);
-          }
-        }
-      }
-      EXPECT_NEAR(result.response_time, phase_sum, 1e-9);
-    }
+    SCOPED_TRACE(::testing::Message() << "sweep seed " << sweep_seed
+                                      << " round " << round);
+    CheckCase(DrawCase(&rng));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BatchFuzzTest,
                          ::testing::Values(1001u, 2002u, 3003u, 4004u));
+
+/// Pinned corpus: tuples that exercised interesting corners when first
+/// found (congestion-bound phases, single-site-adjacent machines, deep
+/// unary chains). Checked into tests/data/fuzz_corpus.txt, one
+/// `seed eps f sites threads joins sortp aggp` line each, so regressions
+/// replay without any randomness.
+TEST(BatchFuzzCorpusTest, PinnedTuplesStillHold) {
+  const std::string path = std::string(MRS_TEST_DATA_DIR) +
+                           "/fuzz_corpus.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing corpus file: " << path;
+  std::string line;
+  int cases = 0;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    FuzzCase c;
+    if (!(ls >> c.seed >> c.eps >> c.f >> c.sites >> c.threads >> c.joins >>
+          c.sort_probability >> c.aggregate_probability)) {
+      std::istringstream check(line);
+      std::string stray;
+      ASSERT_FALSE(static_cast<bool>(check >> stray))
+          << "malformed corpus line " << line_no << ": " << line;
+      continue;  // blank / comment-only line
+    }
+    SCOPED_TRACE(::testing::Message()
+                 << "corpus line " << line_no << " of " << path);
+    CheckCase(c);
+    ++cases;
+  }
+  EXPECT_GE(cases, 3) << "corpus should pin at least three tuples";
+}
 
 /// Direct constraint-B check on one deterministic batch: rebuild the
 /// operator tree for each generated plan and verify each blocked op's home

@@ -49,7 +49,11 @@ class ExactRatioPropertyTest
     : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
 
 TEST_P(ExactRatioPropertyTest, ListWithinTwoDPlusOneOfExactOptimum) {
-  const auto [dims, eps, seed] = GetParam();
+  const auto [dims, eps, param_seed] = GetParam();
+  const uint64_t seed = testing_util::FuzzSeed(param_seed);
+  SCOPED_TRACE(::testing::Message()
+               << "replay with MRS_FUZZ_SEED=" << seed << " (dims=" << dims
+               << " eps=" << eps << ")");
   OverlapUsageModel usage(eps);
   Rng rng(seed);
   const int p = 3;
@@ -82,7 +86,11 @@ class AnalyticBoundPropertyTest
     : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
 
 TEST_P(AnalyticBoundPropertyTest, ListWithinTwoDPlusOneOfLB) {
-  const auto [dims, p, seed] = GetParam();
+  const auto [dims, p, param_seed] = GetParam();
+  const uint64_t seed = testing_util::FuzzSeed(param_seed);
+  SCOPED_TRACE(::testing::Message()
+               << "replay with MRS_FUZZ_SEED=" << seed << " (dims=" << dims
+               << " P=" << p << ")");
   OverlapUsageModel usage(0.5);
   Rng rng(seed);
   std::vector<ParallelizedOp> ops = RandomInstance(
@@ -107,7 +115,11 @@ class MalleableBoundPropertyTest
     : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
 
 TEST_P(MalleableBoundPropertyTest, WithinTwoDPlusOne) {
-  const auto [eps, seed] = GetParam();
+  const auto [eps, param_seed] = GetParam();
+  const uint64_t seed = testing_util::FuzzSeed(param_seed);
+  SCOPED_TRACE(::testing::Message()
+               << "replay with MRS_FUZZ_SEED=" << seed << " (eps=" << eps
+               << ")");
   const int dims = 3;
   OverlapUsageModel usage(eps);
   CostParams params;

@@ -1,0 +1,157 @@
+// Round-trip fuzz for the plan text format: ~500 random catalogs/plans
+// (random shape, sizes, sort/agg wrappers, build-side rule) must survive
+// WritePlanText -> ParsePlanText with the plan tree and relation set
+// reproduced exactly, and the text itself must be a byte fixpoint. The
+// seed is printed on failure and can be replayed with MRS_FUZZ_SEED.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/plan_text.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+/// Structural equality of two plan trees, node by node from the roots:
+/// kind, scanned relation (by name and cardinality), group fractions, and
+/// output cardinalities must all agree.
+::testing::AssertionResult SameTree(const PlanTree& a, int a_id,
+                                    const PlanTree& b, int b_id) {
+  const PlanNode& na = a.node(a_id);
+  const PlanNode& nb = b.node(b_id);
+  if (na.kind != nb.kind) {
+    return ::testing::AssertionFailure()
+           << "kind mismatch at (" << a_id << "," << b_id << "): "
+           << PlanNodeKindToString(na.kind) << " vs "
+           << PlanNodeKindToString(nb.kind);
+  }
+  if (na.output.num_tuples != nb.output.num_tuples) {
+    return ::testing::AssertionFailure()
+           << "output cardinality mismatch at (" << a_id << "," << b_id
+           << "): " << na.output.num_tuples << " vs " << nb.output.num_tuples;
+  }
+  switch (na.kind) {
+    case PlanNodeKind::kLeaf: {
+      // GetRelation returns by value — copy the names out rather than
+      // binding references into the temporaries.
+      const std::string name_a =
+          a.catalog().GetRelation(na.relation_id)->name;
+      const std::string name_b =
+          b.catalog().GetRelation(nb.relation_id)->name;
+      if (name_a != name_b) {
+        return ::testing::AssertionFailure()
+               << "leaf relation mismatch: " << name_a << " vs " << name_b;
+      }
+      return ::testing::AssertionSuccess();
+    }
+    case PlanNodeKind::kJoin: {
+      auto outer = SameTree(a, na.outer_child, b, nb.outer_child);
+      if (!outer) return outer;
+      return SameTree(a, na.inner_child, b, nb.inner_child);
+    }
+    case PlanNodeKind::kSort:
+      return SameTree(a, na.unary_child, b, nb.unary_child);
+    case PlanNodeKind::kAggregate:
+      if (std::abs(na.group_fraction - nb.group_fraction) > 1e-12) {
+        return ::testing::AssertionFailure()
+               << "group fraction mismatch: " << na.group_fraction << " vs "
+               << nb.group_fraction;
+      }
+      return SameTree(a, na.unary_child, b, nb.unary_child);
+  }
+  return ::testing::AssertionFailure() << "unreachable node kind";
+}
+
+TEST(PlanTextRoundTripFuzzTest, FiveHundredRandomPlansRoundTripExactly) {
+  const uint64_t master_seed = testing_util::FuzzSeed(77001);
+  Rng master(master_seed);
+  constexpr int kCases = 500;
+  for (int i = 0; i < kCases; ++i) {
+    WorkloadParams params;
+    params.num_joins = 1 + static_cast<int>(master.Index(12));
+    params.sizing = master.Bernoulli(0.5) ? RelationSizing::kUniform
+                                          : RelationSizing::kLogUniform;
+    params.build_side = master.Bernoulli(0.5) ? BuildSideRule::kSmaller
+                                              : BuildSideRule::kRandom;
+    params.sort_probability = master.Bernoulli(0.5) ? 0.25 : 0.0;
+    params.aggregate_probability = master.Bernoulli(0.5) ? 0.25 : 0.0;
+    const uint64_t case_seed = master.Next();
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << i << " of " << kCases << ", replay with "
+                 << "MRS_FUZZ_SEED=" << master_seed
+                 << " (case seed " << case_seed
+                 << ", joins=" << params.num_joins << ")");
+
+    Rng rng(case_seed);
+    auto q = GenerateQuery(params, &rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+    auto text = WritePlanText(*q->catalog, *q->plan);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto reparsed = ParsePlanText(text.value());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                               << text.value();
+
+    // Relation set: same count, names, and cardinalities, in order.
+    ASSERT_EQ(reparsed->catalog->num_relations(),
+              q->catalog->num_relations());
+    for (int r = 0; r < q->catalog->num_relations(); ++r) {
+      EXPECT_EQ(reparsed->catalog->GetRelation(r)->name,
+                q->catalog->GetRelation(r)->name);
+      EXPECT_EQ(reparsed->catalog->GetRelation(r)->num_tuples,
+                q->catalog->GetRelation(r)->num_tuples);
+    }
+
+    // Plan tree reproduced exactly.
+    ASSERT_EQ(reparsed->plan->num_nodes(), q->plan->num_nodes());
+    EXPECT_EQ(reparsed->plan->num_joins(), q->plan->num_joins());
+    EXPECT_EQ(reparsed->plan->num_unary(), q->plan->num_unary());
+    EXPECT_TRUE(SameTree(*q->plan, q->plan->root(), *reparsed->plan,
+                         reparsed->plan->root()))
+        << text.value();
+
+    // Byte fixpoint: writing the reparsed plan reproduces the text.
+    auto text2 = WritePlanText(*reparsed->catalog, *reparsed->plan);
+    ASSERT_TRUE(text2.ok());
+    EXPECT_EQ(text.value(), text2.value());
+  }
+}
+
+/// Malformed inputs are rejected with the documented line number — one
+/// probe per error class of the parser.
+TEST(PlanTextRoundTripFuzzTest, RejectionsCarryDocumentedLineNumbers) {
+  const struct {
+    const char* text;
+    const char* want;  // substring the error message must contain
+  } kCases[] = {
+      {"relation r\nplan r\n", "line 1"},
+      {"relation a 1\nrelation a 2\nplan a\n", "line 2"},
+      {"relation a 1\n\n# comment\ntable b 2\nplan a\n", "line 4"},
+      {"relation a 1\nplan a\nrelation b 2\n", "line 3"},
+      {"relation a 1\nplan a\nplan a\n", "line 3"},
+      {"relation a 1\nrelation b 2\nplan (join a ghost)\n", "line 3"},
+      {"relation a 1\nplan (join a a)\n", "line 2"},
+      {"relation a 1\nrelation b 2\nplan (join a b\n", "line 3"},
+      {"relation a 1\nrelation b 2\nplan (cross a b)\n", "line 3"},
+      {"relation a 1\nrelation b 2\nplan (join a b) extra\n", "line 3"},
+      {"relation a 1\nplan\n", "line 2"},
+      {"relation a 1\nplan (agg x a)\n", "line 2"},
+      {"relation r 5 junk\nplan r\n", "line 1"},
+  };
+  for (const auto& test_case : kCases) {
+    auto result = ParsePlanText(test_case.text);
+    ASSERT_FALSE(result.ok()) << "accepted:\n" << test_case.text;
+    EXPECT_NE(result.status().message().find(test_case.want),
+              std::string::npos)
+        << "input:\n"
+        << test_case.text << "error: " << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,270 @@
+#include "io/trace_export.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exec/batch_scheduler.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::PlanFixture;
+
+/// Minimal recursive-descent JSON syntax checker — enough to guarantee the
+/// exports parse (objects, arrays, strings with escapes, numbers, the
+/// literals). Returns true iff `text` is exactly one valid JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_]))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e2],"b":"x\n","c":null})").Valid());
+  EXPECT_TRUE(JsonChecker("[]").Valid());
+  EXPECT_FALSE(JsonChecker("{").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,})").Valid());
+  EXPECT_FALSE(JsonChecker("{} trailing").Valid());
+}
+
+TEST(TraceExportTest, EmptyReportIsValidVersionedJson) {
+  MetricsRegistry registry;
+  const std::string json = ExportTraceReport({}, registry.Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"traces\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST(TraceExportTest, EscapesLabelsAndAttrs) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("quo\"te\\back\nline");
+  {
+    SpanTimer span(&trace, "stage");
+    span.Attr("key\"x", "val\tue");
+  }
+  const std::string json = TraceToJson(trace);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("quo\\\"te\\\\back\\nline"), std::string::npos) << json;
+  EXPECT_NE(json.find("val\\tue"), std::string::npos) << json;
+}
+
+TEST(TraceExportTest, SkipsNullTraces) {
+  MetricsRegistry registry;
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("only");
+  const std::string json =
+      ExportTraceReport({nullptr, &trace, nullptr}, registry.Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"label\":\"only\""), std::string::npos);
+  EXPECT_EQ(json.find("null"), std::string::npos);
+}
+
+TEST(TraceExportTest, DeterministicUnderCountingClock) {
+  auto render = [] {
+    MetricsRegistry registry;
+    registry.GetCounter("fixed")->Increment(3);
+    ScheduleTrace trace(ScheduleTrace::CountingClock());
+    trace.set_label("q");
+    {
+      SpanTimer span(&trace, "a", 0);
+      span.AttrInt("n", 1);
+    }
+    { SpanTimer span(&trace, "b", 1); }
+    return ExportTraceReport({&trace}, registry.Snapshot());
+  };
+  const std::string first = render();
+  EXPECT_EQ(first, render());
+  EXPECT_TRUE(JsonChecker(first).Valid()) << first;
+  EXPECT_NE(first.find("\"start_ms\":0.000000"), std::string::npos) << first;
+}
+
+TEST(TraceExportTest, BatchEngineTracesExportValidJson) {
+  PlanFixture fx = BushyFourWayFixture();
+  MetricsRegistry registry;
+  BatchSchedulerOptions options;
+  options.num_threads = 2;
+  options.collect_traces = true;
+  options.metrics = &registry;
+  CostParams params;
+  MachineConfig machine;
+  BatchScheduler engine(params, machine, options);
+  std::vector<const PlanTree*> plans(8, fx.plan.get());
+  BatchOutput output = engine.ScheduleAll(plans);
+
+  std::vector<const ScheduleTrace*> traces;
+  for (const auto& item : output.items) {
+    ASSERT_TRUE(item.status.ok());
+    ASSERT_NE(item.trace, nullptr);
+    traces.push_back(item.trace.get());
+  }
+  const std::string json = ExportTraceReport(traces, registry.Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  // Every pipeline stage shows up, and the engine's process metrics ride
+  // along in the same report.
+  for (const char* stage :
+       {"expand", "cost_model", "parallelize", "operator_schedule",
+        "tree_schedule"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + stage + "\""),
+              std::string::npos)
+        << stage;
+  }
+  EXPECT_NE(json.find("\"batch.items\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"batch.item_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.queue_wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallelize_cache.hits\""), std::string::npos);
+}
+
+TEST(TraceExportTest, BatchTracesOffByDefault) {
+  PlanFixture fx = BushyFourWayFixture();
+  BatchSchedulerOptions options;
+  CostParams params;
+  MachineConfig machine;
+  BatchScheduler engine(params, machine, options);
+  BatchOutput output = engine.ScheduleAll({fx.plan.get()});
+  ASSERT_EQ(output.items.size(), 1u);
+  EXPECT_EQ(output.items[0].trace, nullptr);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -127,6 +127,15 @@ inline PlanFixture BushyFourWayFixture(
   });
 }
 
+/// Seed for randomized/fuzz tests: the `MRS_FUZZ_SEED` environment
+/// variable overrides `fallback`, so a failure printed as
+/// `MRS_FUZZ_SEED=<seed> ctest -R <test>` replays exactly.
+inline uint64_t FuzzSeed(uint64_t fallback) {
+  const char* env = std::getenv("MRS_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
 /// A fully pipelined chain of `joins` joins (2 phases).
 inline PlanFixture PipelinedChainFixture(int joins, int64_t tuples = 3000) {
   std::vector<int64_t> sizes(static_cast<size_t>(joins + 1), tuples);
