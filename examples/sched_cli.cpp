@@ -7,6 +7,12 @@
 //   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
 //             [--algorithm tree|malleable|sync] [--format text|gantt|svg|json|csv]
 //             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
+//             [--connect HOST:PORT]
+//
+// With --connect HOST:PORT the plan file (including any @arrival/@timeout
+// directive lines, see src/server/sched_service.h) is sent verbatim to a
+// running sched_server and the JSON response is printed; all other
+// scheduling flags are ignored — the server's configuration applies.
 //
 // With --batch N the plan is scheduled N times through the batch
 // scheduling engine on K worker threads (a serving-loop smoke test:
@@ -42,6 +48,7 @@
 #include "io/plan_text.h"
 #include "io/schedule_export.h"
 #include "io/trace_export.h"
+#include "server/sched_client.h"
 #include "workload/experiment.h"
 
 namespace {
@@ -52,7 +59,8 @@ int Usage(const char* argv0) {
                "          [--algorithm tree|malleable|sync]\n"
                "          [--format text|gantt|svg|json|csv]\n"
                "          [--batch N] [--threads K]\n"
-               "          [--metrics] [--trace-json=FILE]\n",
+               "          [--metrics] [--trace-json=FILE]\n"
+               "          [--connect HOST:PORT]\n",
                argv0);
   return 2;
 }
@@ -87,6 +95,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool print_metrics = false;
   std::string trace_json_path;
+  std::string connect;
   for (int i = 2; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -109,6 +118,8 @@ int main(int argc, char** argv) {
       batch = std::atoi(need_value("--batch"));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      connect = need_value("--connect");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       print_metrics = true;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
@@ -150,6 +161,35 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+
+  if (!connect.empty()) {
+    // Client mode: ship the plan text to a sched_server, print the JSON
+    // response. The request may carry @arrival/@timeout directive lines.
+    const size_t colon = connect.rfind(':');
+    const int port =
+        colon == std::string::npos ? 0 : std::atoi(connect.c_str() + colon + 1);
+    if (colon == std::string::npos || port <= 0) {
+      std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                   connect.c_str());
+      return 2;
+    }
+    auto client = SchedClient::ConnectTcp(connect.substr(0, colon), port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    auto response = client.value().Call(buffer.str());
+    if (!response.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response.value().c_str());
+    client.value().Close();
+    return 0;
+  }
+
   SpanTimer parse_span(trace, "parse");
   auto parsed = ParsePlanText(buffer.str());
   if (!parsed.ok()) {

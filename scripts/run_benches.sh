@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the benchmark suite, collecting machine-readable results
+# under bench_results/ (override with OUT_DIR):
+#
+#   BENCH_online.json  one JSON object per line from micro_online_throughput
+#                      (three load points: light, saturating, overloaded)
+#   BENCH_micro.json   google-benchmark JSON from micro_scheduler_runtime
+#   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
+#
+# Usage: scripts/run_benches.sh
+#   BUILD_DIR=...  build tree to use (default: <repo>/build)
+#   OUT_DIR=...    where to write results (default: <repo>/bench_results)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+out_dir="${OUT_DIR:-${repo_root}/bench_results}"
+
+if [ ! -d "${build_dir}" ]; then
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" \
+  --target micro_online_throughput micro_scheduler_runtime micro_trace_overhead
+mkdir -p "${out_dir}"
+
+echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
+: > "${out_dir}/BENCH_online.json"
+# Three operating points: arrivals slower than service, near saturation,
+# and overloaded (queueing + timeouts kick in).
+"${build_dir}/bench/micro_online_throughput" 60 60 4 >> "${out_dir}/BENCH_online.json"
+"${build_dir}/bench/micro_online_throughput" 60 30 4 >> "${out_dir}/BENCH_online.json"
+"${build_dir}/bench/micro_online_throughput" 60 10 2 >> "${out_dir}/BENCH_online.json"
+cat "${out_dir}/BENCH_online.json"
+
+echo "=== scheduler microbenchmarks -> ${out_dir}/BENCH_micro.json ==="
+"${build_dir}/bench/micro_scheduler_runtime" \
+  --benchmark_format=json > "${out_dir}/BENCH_micro.json"
+
+echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
+"${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"
+
+echo "bench results written to ${out_dir}"

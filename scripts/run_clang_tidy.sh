@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks configured in .clang-tidy: bugprone-*,
+# performance-*, concurrency-*) over the library, benches, and examples
+# using the compile database from the main build tree.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI recipes
+# can call it unconditionally.
+#
+# Usage: scripts/run_clang_tidy.sh [clang-tidy args...]
+#   BUILD_DIR=... build tree with compile_commands.json (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found; skipping lint (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t files < <(find "${repo_root}/src" "${repo_root}/bench" \
+  "${repo_root}/examples" -name '*.cc' -o -name '*.cpp' | sort)
+
+clang-tidy -p "${build_dir}" "$@" "${files[@]}"

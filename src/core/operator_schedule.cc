@@ -25,6 +25,23 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
   if (num_sites < 1) {
     return Status::InvalidArgument("num_sites must be >= 1");
   }
+  if (options.base_load != nullptr) {
+    if (static_cast<int>(options.base_load->size()) != num_sites) {
+      return Status::InvalidArgument(
+          StrFormat("base_load has %zu sites, schedule has %d",
+                    options.base_load->size(), num_sites));
+    }
+    for (const WorkVector& base : *options.base_load) {
+      if (static_cast<int>(base.dim()) != dims) {
+        return Status::InvalidArgument(
+            StrFormat("base_load vector has %zu dims, schedule has %d",
+                      base.dim(), dims));
+      }
+      if (!base.IsNonNegative()) {
+        return Status::InvalidArgument("base_load has a negative component");
+      }
+    }
+  }
   Schedule schedule(num_sites, dims);
 
   // Degrees must fit: constraint (A) caps an operator's parallelism at P.
@@ -82,9 +99,21 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
   // Step 3: place each clone on the least-filled allowable site.
   // Cache l(work(s)) per site (a placement only changes one site's value)
   // and per-floating-op site occupancy (constraint A lookups in O(1)).
+  // With a residual base the cached value is l(base[s] + work(s)): the
+  // union load of resident and new clones drives site selection.
+  std::vector<WorkVector> combined;
   std::vector<double> load_length(static_cast<size_t>(num_sites), 0.0);
-  for (int j = 0; j < num_sites; ++j) {
-    load_length[static_cast<size_t>(j)] = schedule.SiteLoadLength(j);
+  if (options.base_load != nullptr) {
+    combined = *options.base_load;
+    for (int j = 0; j < num_sites; ++j) {
+      combined[static_cast<size_t>(j)] += schedule.SiteLoad(j);
+      load_length[static_cast<size_t>(j)] =
+          combined[static_cast<size_t>(j)].Length();
+    }
+  } else {
+    for (int j = 0; j < num_sites; ++j) {
+      load_length[static_cast<size_t>(j)] = schedule.SiteLoadLength(j);
+    }
   }
   std::vector<std::vector<char>> used(
       ops.size(), std::vector<char>(static_cast<size_t>(num_sites), 0));
@@ -109,7 +138,15 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
         << " — degree should have been capped at P";
     MRS_RETURN_IF_ERROR(schedule.Place(op, clone.clone_idx, chosen));
     op_used[static_cast<size_t>(chosen)] = 1;
-    load_length[static_cast<size_t>(chosen)] = schedule.SiteLoadLength(chosen);
+    if (options.base_load != nullptr) {
+      combined[static_cast<size_t>(chosen)] +=
+          op.clones[static_cast<size_t>(clone.clone_idx)];
+      load_length[static_cast<size_t>(chosen)] =
+          combined[static_cast<size_t>(chosen)].Length();
+    } else {
+      load_length[static_cast<size_t>(chosen)] =
+          schedule.SiteLoadLength(chosen);
+    }
   }
   return schedule;
 }

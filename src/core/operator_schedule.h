@@ -31,6 +31,15 @@ struct OperatorScheduleOptions {
   SiteChoice site_choice = SiteChoice::kLeastLoaded;
   /// Seed for ListOrder::kRandom.
   uint64_t shuffle_seed = 0;
+  /// Residual per-site load from clones of *other* in-flight queries (the
+  /// online scheduler's incremental variant: eq. (2)/(3) evaluated over
+  /// the union of resident and new clones). When non-null it must hold
+  /// exactly `num_sites` work vectors of dimensionality `dims`;
+  /// least-loaded site selection then minimizes l(base[s] + work(s)).
+  /// The returned Schedule still contains only the clones of `ops` —
+  /// the base only biases placement. Null (the default) reproduces the
+  /// paper's offline behavior exactly (an all-zero base is equivalent).
+  const std::vector<WorkVector>* base_load = nullptr;
 };
 
 /// The paper's OPERATORSCHEDULE list scheduling heuristic (§5.3, Figure 3)

@@ -1,7 +1,7 @@
 #include "core/tree_schedule.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -55,13 +55,13 @@ std::string TreeScheduleResult::ToString() const {
   return out;
 }
 
-Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
-                                        const TaskTree& task_tree,
-                                        const std::vector<OperatorCost>& costs,
-                                        const CostParams& params,
-                                        const MachineConfig& machine,
-                                        const OverlapUsageModel& usage,
-                                        const TreeScheduleOptions& options) {
+Result<PhasePlanner> PhasePlanner::Create(const OperatorTree& op_tree,
+                                          const TaskTree& task_tree,
+                                          const std::vector<OperatorCost>& costs,
+                                          const CostParams& params,
+                                          const MachineConfig& machine,
+                                          const OverlapUsageModel& usage,
+                                          const TreeScheduleOptions& options) {
   if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
     return Status::InvalidArgument(
         StrFormat("costs size %zu != %d operators", costs.size(),
@@ -77,6 +77,201 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
     return Status::InvalidArgument(
         "parallelize cache was built for a different scheduling context");
   }
+  return PhasePlanner(op_tree, task_tree, costs, params, std::move(config),
+                      usage, options);
+}
+
+PhasePlanner::PhasePlanner(const OperatorTree& op_tree,
+                           const TaskTree& task_tree,
+                           const std::vector<OperatorCost>& costs,
+                           const CostParams& params, MachineConfig config,
+                           const OverlapUsageModel& usage,
+                           const TreeScheduleOptions& options)
+    : op_tree_(&op_tree),
+      task_tree_(&task_tree),
+      costs_(&costs),
+      params_(params),
+      config_(std::move(config)),
+      usage_(usage),
+      options_(options) {
+  for (const auto& op : op_tree_->ops()) {
+    if (op.blocking_input >= 0) {
+      dependent_of_[op.blocking_input] = op.id;
+    }
+  }
+}
+
+int PhasePlanner::num_phases() const { return task_tree_->num_phases(); }
+
+OperatorCost PhasePlanner::SizingCost(int oid) const {
+  const OperatorCost& own = (*costs_)[static_cast<size_t>(oid)];
+  if (options_.build_degree == BuildDegreePolicy::kJoinAware) {
+    auto it = dependent_of_.find(oid);
+    if (it != dependent_of_.end()) {
+      OperatorCost joint = own;
+      const OperatorCost& dep = (*costs_)[static_cast<size_t>(it->second)];
+      joint.processing += dep.processing;
+      joint.data_bytes += dep.data_bytes;
+      return joint;
+    }
+  }
+  return own;
+}
+
+Result<PhaseSchedule> PhasePlanner::NextPhase(
+    const std::vector<WorkVector>* base_load) {
+  if (done()) {
+    return Status::FailedPrecondition(
+        StrFormat("all %d phases already scheduled", num_phases()));
+  }
+  const int k = next_;
+  TraceSink* const trace = options_.trace;
+
+  // Parallelization entry points, memoized when a cache is supplied.
+  auto par_rooted = [&](const OperatorCost& cost, std::vector<int> home) {
+    return options_.cache != nullptr
+               ? options_.cache->Rooted(cost, std::move(home))
+               : ParallelizeRooted(cost, params_, usage_, std::move(home),
+                                   config_.num_sites);
+  };
+  auto par_floating = [&](const OperatorCost& cost) {
+    return options_.cache != nullptr
+               ? options_.cache->Floating(cost)
+               : ParallelizeFloating(cost, params_, usage_,
+                                     options_.granularity, config_.num_sites);
+  };
+  auto par_at_degree = [&](const OperatorCost& cost, int degree) {
+    return options_.cache != nullptr
+               ? options_.cache->AtDegree(cost, degree)
+               : ParallelizeAtDegree(cost, params_, usage_, degree,
+                                     config_.num_sites);
+  };
+
+  SpanTimer par_span(trace, "parallelize", k);
+  uint64_t phase_hits0 = 0;
+  uint64_t phase_misses0 = 0;
+  if (par_span.active() && options_.cache != nullptr) {
+    phase_hits0 = options_.cache->counter().hits();
+    phase_misses0 = options_.cache->counter().misses();
+  }
+  std::vector<int> op_ids = task_tree_->PhaseOps(k);
+  std::vector<ParallelizedOp> ops;
+  std::vector<int> floating_ids;
+  ops.reserve(op_ids.size());
+  for (int oid : op_ids) {
+    const PhysicalOp& op = op_tree_->op(oid);
+    const OperatorCost& cost = (*costs_)[static_cast<size_t>(oid)];
+    if (op.blocking_input >= 0) {
+      // Constraint B: the op executes where its blocking producer
+      // materialized its state (hash table / sorted runs / group
+      // table); that producer always ran in an earlier phase.
+      auto home_it = home_of_.find(op.blocking_input);
+      if (home_it == home_of_.end() || home_it->second.empty()) {
+        return Status::Internal(
+            StrFormat("blocking producer op%d of op%d not scheduled in "
+                      "an earlier phase",
+                      op.blocking_input, oid));
+      }
+      auto rooted = par_rooted(cost, home_it->second);
+      if (!rooted.ok()) return rooted.status();
+      ops.push_back(std::move(rooted).value());
+      if (par_span.active()) {
+        par_span.Attr(StrFormat("op%d.degree", oid),
+                      StrFormat("%d:rooted", ops.back().degree));
+      }
+    } else {
+      floating_ids.push_back(oid);
+    }
+  }
+
+  // Fix the parallelization of the floating operators. The *degree* is
+  // derived from the sizing cost (join-aware for builds); the clones are
+  // split from the operator's own cost.
+  if (options_.policy == ParallelizationPolicy::kMalleable) {
+    std::vector<OperatorCost> sizing;
+    sizing.reserve(floating_ids.size());
+    for (int oid : floating_ids) sizing.push_back(SizingCost(oid));
+    SpanTimer malleable_span(trace, "malleable_select", k);
+    auto selection = SelectMalleableParallelization(sizing, ops, params_,
+                                                    usage_, config_.num_sites);
+    if (!selection.ok()) return selection.status();
+    if (malleable_span.active()) {
+      malleable_span.AttrInt("floating_ops",
+                             static_cast<int64_t>(floating_ids.size()));
+      malleable_span.AttrDouble("lower_bound_ms", selection->lower_bound);
+    }
+    malleable_span.End();
+    for (size_t i = 0; i < floating_ids.size(); ++i) {
+      auto op = par_at_degree((*costs_)[static_cast<size_t>(floating_ids[i])],
+                              selection->degrees[i]);
+      if (!op.ok()) return op.status();
+      ops.push_back(std::move(op).value());
+      if (par_span.active()) {
+        par_span.Attr(StrFormat("op%d.degree", floating_ids[i]),
+                      StrFormat("%d:malleable", selection->degrees[i]));
+      }
+    }
+  } else {
+    for (int oid : floating_ids) {
+      auto sized = par_floating(SizingCost(oid));
+      if (!sized.ok()) return sized.status();
+      auto op = par_at_degree((*costs_)[static_cast<size_t>(oid)],
+                              sized->degree);
+      if (!op.ok()) return op.status();
+      ops.push_back(std::move(op).value());
+      if (par_span.active()) {
+        // Chosen degree vs. the Prop. 4.1 cap the CG_f rule derived it
+        // from (on the sizing cost: join-aware for builds).
+        const OperatorCost sc = SizingCost(oid);
+        const int n_max = MaxCoarseGrainDegree(
+            sc.ProcessingArea(), sc.data_bytes, params_, options_.granularity);
+        par_span.Attr(StrFormat("op%d.degree", oid),
+                      StrFormat("%d/nmax=%d", sized->degree, n_max));
+      }
+    }
+  }
+  if (par_span.active() && options_.cache != nullptr) {
+    par_span.AttrInt(
+        "cache.hits",
+        static_cast<int64_t>(options_.cache->counter().hits() - phase_hits0));
+    par_span.AttrInt("cache.misses",
+                     static_cast<int64_t>(options_.cache->counter().misses() -
+                                          phase_misses0));
+  }
+  par_span.End();
+
+  SpanTimer sched_span(trace, "operator_schedule", k);
+  OperatorScheduleOptions list_options = options_.list_options;
+  list_options.base_load = base_load;
+  auto schedule = OperatorSchedule(ops, config_.num_sites, config_.dims,
+                                   list_options);
+  if (!schedule.ok()) return schedule.status();
+  PhaseSchedule phase{k, std::move(ops), std::move(schedule).value(), 0.0};
+  phase.makespan = phase.schedule.Makespan();
+  if (sched_span.active()) {
+    AnnotateOperatorScheduleSpan(&sched_span, phase, config_);
+  }
+  sched_span.End();
+
+  // Record homes for constraint B lookups in later phases.
+  for (const auto& op : phase.ops) {
+    home_of_[op.op_id] = phase.schedule.HomeOf(op.op_id);
+  }
+  ++next_;
+  return phase;
+}
+
+Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
+                                        const TaskTree& task_tree,
+                                        const std::vector<OperatorCost>& costs,
+                                        const CostParams& params,
+                                        const MachineConfig& machine,
+                                        const OverlapUsageModel& usage,
+                                        const TreeScheduleOptions& options) {
+  auto planner = PhasePlanner::Create(op_tree, task_tree, costs, params,
+                                      machine, usage, options);
+  if (!planner.ok()) return planner.status();
+
   TraceSink* const trace = options.trace;
   SpanTimer call_span(trace, "tree_schedule");
   uint64_t call_hits0 = 0;
@@ -86,163 +281,13 @@ Result<TreeScheduleResult> TreeSchedule(const OperatorTree& op_tree,
     call_misses0 = options.cache->counter().misses();
   }
 
-  // Parallelization entry points, memoized when a cache is supplied.
-  auto par_rooted = [&](const OperatorCost& cost, std::vector<int> home) {
-    return options.cache != nullptr
-               ? options.cache->Rooted(cost, std::move(home))
-               : ParallelizeRooted(cost, params, usage, std::move(home),
-                                   config.num_sites);
-  };
-  auto par_floating = [&](const OperatorCost& cost) {
-    return options.cache != nullptr
-               ? options.cache->Floating(cost)
-               : ParallelizeFloating(cost, params, usage,
-                                     options.granularity, config.num_sites);
-  };
-  auto par_at_degree = [&](const OperatorCost& cost, int degree) {
-    return options.cache != nullptr
-               ? options.cache->AtDegree(cost, degree)
-               : ParallelizeAtDegree(cost, params, usage, degree,
-                                     config.num_sites);
-  };
-
   TreeScheduleResult result;
   result.phases.reserve(static_cast<size_t>(task_tree.num_phases()));
-
-  // The blocking dependent of each state-materializing operator (probe of
-  // a build, merge of a sort run, emit of an aggregate), for join-aware
-  // parallelization.
-  std::unordered_map<int, int> dependent_of;
-  for (const auto& op : op_tree.ops()) {
-    if (op.blocking_input >= 0) {
-      dependent_of[op.blocking_input] = op.id;
-    }
-  }
-  // The cost an operator's degree of parallelism is derived from: under
-  // kJoinAware a first-half operator (build / sort run / agg accumulate)
-  // uses the combined cost of itself and its blocking dependent, since
-  // the dependent will execute at its home (constraint B).
-  auto sizing_cost = [&](int oid) {
-    const OperatorCost& own = costs[static_cast<size_t>(oid)];
-    if (options.build_degree == BuildDegreePolicy::kJoinAware) {
-      auto it = dependent_of.find(oid);
-      if (it != dependent_of.end()) {
-        OperatorCost joint = own;
-        const OperatorCost& dep = costs[static_cast<size_t>(it->second)];
-        joint.processing += dep.processing;
-        joint.data_bytes += dep.data_bytes;
-        return joint;
-      }
-    }
-    return own;
-  };
-
-  for (int k = 0; k < task_tree.num_phases(); ++k) {
-    SpanTimer par_span(trace, "parallelize", k);
-    uint64_t phase_hits0 = 0;
-    uint64_t phase_misses0 = 0;
-    if (par_span.active() && options.cache != nullptr) {
-      phase_hits0 = options.cache->counter().hits();
-      phase_misses0 = options.cache->counter().misses();
-    }
-    std::vector<int> op_ids = task_tree.PhaseOps(k);
-    std::vector<ParallelizedOp> ops;
-    std::vector<int> floating_ids;
-    ops.reserve(op_ids.size());
-    for (int oid : op_ids) {
-      const PhysicalOp& op = op_tree.op(oid);
-      const OperatorCost& cost = costs[static_cast<size_t>(oid)];
-      if (op.blocking_input >= 0) {
-        // Constraint B: the op executes where its blocking producer
-        // materialized its state (hash table / sorted runs / group
-        // table); that producer always ran in an earlier phase.
-        std::vector<int> home = result.HomeOf(op.blocking_input);
-        if (home.empty()) {
-          return Status::Internal(
-              StrFormat("blocking producer op%d of op%d not scheduled in "
-                        "an earlier phase",
-                        op.blocking_input, oid));
-        }
-        auto rooted = par_rooted(cost, std::move(home));
-        if (!rooted.ok()) return rooted.status();
-        ops.push_back(std::move(rooted).value());
-        if (par_span.active()) {
-          par_span.Attr(StrFormat("op%d.degree", oid),
-                        StrFormat("%d:rooted", ops.back().degree));
-        }
-      } else {
-        floating_ids.push_back(oid);
-      }
-    }
-
-    // Fix the parallelization of the floating operators. The *degree* is
-    // derived from the sizing cost (join-aware for builds); the clones are
-    // split from the operator's own cost.
-    if (options.policy == ParallelizationPolicy::kMalleable) {
-      std::vector<OperatorCost> sizing;
-      sizing.reserve(floating_ids.size());
-      for (int oid : floating_ids) sizing.push_back(sizing_cost(oid));
-      SpanTimer malleable_span(trace, "malleable_select", k);
-      auto selection = SelectMalleableParallelization(sizing, ops, params,
-                                                      usage, config.num_sites);
-      if (!selection.ok()) return selection.status();
-      if (malleable_span.active()) {
-        malleable_span.AttrInt("floating_ops",
-                               static_cast<int64_t>(floating_ids.size()));
-        malleable_span.AttrDouble("lower_bound_ms", selection->lower_bound);
-      }
-      malleable_span.End();
-      for (size_t i = 0; i < floating_ids.size(); ++i) {
-        auto op = par_at_degree(costs[static_cast<size_t>(floating_ids[i])],
-                                selection->degrees[i]);
-        if (!op.ok()) return op.status();
-        ops.push_back(std::move(op).value());
-        if (par_span.active()) {
-          par_span.Attr(StrFormat("op%d.degree", floating_ids[i]),
-                        StrFormat("%d:malleable", selection->degrees[i]));
-        }
-      }
-    } else {
-      for (int oid : floating_ids) {
-        auto sized = par_floating(sizing_cost(oid));
-        if (!sized.ok()) return sized.status();
-        auto op = par_at_degree(costs[static_cast<size_t>(oid)],
-                                sized->degree);
-        if (!op.ok()) return op.status();
-        ops.push_back(std::move(op).value());
-        if (par_span.active()) {
-          // Chosen degree vs. the Prop. 4.1 cap the CG_f rule derived it
-          // from (on the sizing cost: join-aware for builds).
-          const OperatorCost sc = sizing_cost(oid);
-          const int n_max = MaxCoarseGrainDegree(
-              sc.ProcessingArea(), sc.data_bytes, params, options.granularity);
-          par_span.Attr(StrFormat("op%d.degree", oid),
-                        StrFormat("%d/nmax=%d", sized->degree, n_max));
-        }
-      }
-    }
-    if (par_span.active() && options.cache != nullptr) {
-      par_span.AttrInt(
-          "cache.hits",
-          static_cast<int64_t>(options.cache->counter().hits() - phase_hits0));
-      par_span.AttrInt("cache.misses",
-                       static_cast<int64_t>(options.cache->counter().misses() -
-                                            phase_misses0));
-    }
-    par_span.End();
-
-    SpanTimer sched_span(trace, "operator_schedule", k);
-    auto schedule = OperatorSchedule(ops, config.num_sites, config.dims,
-                                     options.list_options);
-    if (!schedule.ok()) return schedule.status();
-    PhaseSchedule phase{k, std::move(ops), std::move(schedule).value(), 0.0};
-    phase.makespan = phase.schedule.Makespan();
-    if (sched_span.active()) {
-      AnnotateOperatorScheduleSpan(&sched_span, phase, config);
-    }
-    sched_span.End();
-    result.response_time += phase.makespan;
-    result.phases.push_back(std::move(phase));
+  while (!planner->done()) {
+    auto phase = planner->NextPhase();
+    if (!phase.ok()) return phase.status();
+    result.response_time += phase->makespan;
+    result.phases.push_back(std::move(phase).value());
   }
   if (call_span.active()) {
     call_span.AttrInt("phases", static_cast<int64_t>(result.phases.size()));

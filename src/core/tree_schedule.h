@@ -2,6 +2,7 @@
 #define MRS_CORE_TREE_SCHEDULE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -87,6 +88,77 @@ struct TreeScheduleResult {
   std::vector<int> HomeOf(int op_id) const;
 
   std::string ToString() const;
+};
+
+/// Incremental per-phase driver of TREESCHEDULE: parallelizes and
+/// list-schedules one task-tree phase at a time, so a caller can
+/// interleave the phases of a query with external events. TreeSchedule()
+/// itself is a loop over NextPhase(); the online scheduler places phase
+/// k+1 of a query only when phase k completes on the virtual clock and
+/// passes the residual site load (remaining work of co-resident queries)
+/// observed at that instant, turning OPERATORSCHEDULE into the
+/// residual-capacity incremental variant of the multi-query follow-up.
+///
+/// Data placement constraints propagate across the planner's own phases
+/// exactly as in TreeSchedule (a probe is rooted at the home of its
+/// build). All referenced inputs must outlive the planner; the planner is
+/// movable but not copyable.
+class PhasePlanner {
+ public:
+  /// Validates the inputs (cost vector size, cost params, machine config,
+  /// cache compatibility) exactly like TreeSchedule.
+  static Result<PhasePlanner> Create(const OperatorTree& op_tree,
+                                     const TaskTree& task_tree,
+                                     const std::vector<OperatorCost>& costs,
+                                     const CostParams& params,
+                                     const MachineConfig& machine,
+                                     const OverlapUsageModel& usage,
+                                     const TreeScheduleOptions& options = {});
+
+  PhasePlanner(PhasePlanner&&) = default;
+  PhasePlanner& operator=(PhasePlanner&&) = default;
+  PhasePlanner(const PhasePlanner&) = delete;
+  PhasePlanner& operator=(const PhasePlanner&) = delete;
+
+  int num_phases() const;
+  /// Index of the phase the next NextPhase call schedules.
+  int next_phase() const { return next_; }
+  bool done() const { return next_ >= num_phases(); }
+
+  /// Parallelizes and list-schedules the next phase. `base_load`, when
+  /// non-null, is forwarded to OperatorSchedule as the residual site load
+  /// of co-resident queries (see OperatorScheduleOptions::base_load); the
+  /// returned PhaseSchedule::makespan is the *uncontended* eq. (3) value
+  /// of the phase's own clones. Fails with FailedPrecondition once done().
+  Result<PhaseSchedule> NextPhase(
+      const std::vector<WorkVector>* base_load = nullptr);
+
+  const MachineConfig& machine() const { return config_; }
+
+ private:
+  PhasePlanner(const OperatorTree& op_tree, const TaskTree& task_tree,
+               const std::vector<OperatorCost>& costs,
+               const CostParams& params, MachineConfig config,
+               const OverlapUsageModel& usage,
+               const TreeScheduleOptions& options);
+
+  /// The cost an operator's degree of parallelism is derived from (see
+  /// BuildDegreePolicy::kJoinAware).
+  OperatorCost SizingCost(int oid) const;
+
+  const OperatorTree* op_tree_;
+  const TaskTree* task_tree_;
+  const std::vector<OperatorCost>* costs_;
+  CostParams params_;
+  MachineConfig config_;
+  OverlapUsageModel usage_;
+  TreeScheduleOptions options_;
+  /// The blocking dependent of each state-materializing operator (probe
+  /// of a build, merge of a sort run, emit of an aggregate).
+  std::unordered_map<int, int> dependent_of_;
+  /// Homes of operators scheduled in earlier phases (constraint B).
+  std::unordered_map<int, std::vector<int>> home_of_;
+  int next_ = 0;
 };
 
 /// The paper's TREESCHEDULE algorithm (§5.4, Figure 4): split the query

@@ -1,0 +1,103 @@
+#include "server/framing.h"
+
+#include <cstdint>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4;
+
+uint32_t DecodeLength(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+Status FrameParser::Append(const char* data, size_t n) {
+  if (!status_.ok()) return status_;
+  buffer_.append(data, n);
+  while (buffer_.size() >= kHeaderBytes) {
+    const size_t len = DecodeLength(buffer_.data());
+    if (len > kMaxFrameBytes) {
+      status_ = Status::InvalidArgument(
+          StrFormat("frame length %zu exceeds the %zu-byte cap", len,
+                    kMaxFrameBytes));
+      return status_;
+    }
+    if (buffer_.size() < kHeaderBytes + len) break;
+    ready_.push_back(buffer_.substr(kHeaderBytes, len));
+    buffer_.erase(0, kHeaderBytes + len);
+  }
+  return Status::OK();
+}
+
+bool FrameParser::Next(std::string* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+Status SendFrame(Connection* conn, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  if (!conn->Write(frame.data(), static_cast<int>(frame.size()))) {
+    return Status::Unavailable("connection dropped while sending a frame");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFrame(Connection* conn) {
+  const auto read_exact = [conn](char* buf, size_t n,
+                                 size_t* got) -> Status {
+    *got = 0;
+    while (*got < n) {
+      const int r = conn->Read(buf + *got, static_cast<int>(n - *got));
+      if (r < 0) return Status::Unavailable("connection read error");
+      if (r == 0) return Status::OK();  // end of stream
+      *got += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  };
+
+  char header[kHeaderBytes];
+  size_t got = 0;
+  MRS_RETURN_IF_ERROR(read_exact(header, kHeaderBytes, &got));
+  if (got == 0) return Status::NotFound("end of stream");
+  if (got < kHeaderBytes) {
+    return Status::InvalidArgument("stream truncated inside a frame header");
+  }
+  const size_t len = DecodeLength(header);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame length %zu exceeds the %zu-byte cap", len,
+                  kMaxFrameBytes));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    MRS_RETURN_IF_ERROR(read_exact(payload.data(), len, &got));
+    if (got < len) {
+      return Status::InvalidArgument("stream truncated inside a frame");
+    }
+  }
+  return payload;
+}
+
+}  // namespace mrs

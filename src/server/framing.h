@@ -1,0 +1,57 @@
+#ifndef MRS_SERVER_FRAMING_H_
+#define MRS_SERVER_FRAMING_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "server/transport.h"
+
+namespace mrs {
+
+/// Wire format of the scheduling service: each message is one frame — a
+/// 4-byte big-endian payload length followed by the payload bytes.
+/// Requests carry plan text (plus optional @directives), responses carry
+/// JSON; the framing layer itself is content-agnostic.
+
+/// Upper bound on a frame payload; larger lengths are treated as protocol
+/// corruption, not as an allocation request.
+inline constexpr size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// The frame for `payload`: length prefix + payload bytes.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental decoder for a byte stream of frames. Feed arbitrary chunks
+/// with Append; Next pops complete payloads in order.
+class FrameParser {
+ public:
+  /// Consumes `n` bytes. Fails (sticky) when a frame length exceeds
+  /// kMaxFrameBytes.
+  Status Append(const char* data, size_t n);
+
+  /// Moves the next complete payload into `out`; false when no complete
+  /// frame is buffered yet.
+  bool Next(std::string* out);
+
+  /// True when the stream ends mid-frame (truncation detector).
+  bool MidFrame() const { return !buffer_.empty(); }
+
+ private:
+  Status status_;
+  std::string buffer_;
+  std::deque<std::string> ready_;
+};
+
+/// Writes one frame; Unavailable when the connection drops.
+Status SendFrame(Connection* conn, std::string_view payload);
+
+/// Reads exactly one frame. NotFound on clean end-of-stream at a frame
+/// boundary (the peer is done), InvalidArgument on protocol corruption
+/// (oversized length or truncated frame), Unavailable on a read error.
+Result<std::string> ReadFrame(Connection* conn);
+
+}  // namespace mrs
+
+#endif  // MRS_SERVER_FRAMING_H_

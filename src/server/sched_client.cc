@@ -1,0 +1,26 @@
+#include "server/sched_client.h"
+
+#include "server/framing.h"
+
+namespace mrs {
+
+Result<SchedClient> SchedClient::ConnectTcp(const std::string& host,
+                                            int port) {
+  auto conn = ::mrs::ConnectTcp(host, port);
+  if (!conn.ok()) return conn.status();
+  return SchedClient(std::move(conn).value());
+}
+
+Result<std::string> SchedClient::Call(const std::string& request) {
+  if (conn_ == nullptr) {
+    return Status::FailedPrecondition("client is closed");
+  }
+  MRS_RETURN_IF_ERROR(SendFrame(conn_.get(), request));
+  auto response = ReadFrame(conn_.get());
+  if (!response.ok() && response.status().code() == StatusCode::kNotFound) {
+    return Status::Unavailable("server closed the connection");
+  }
+  return response;
+}
+
+}  // namespace mrs

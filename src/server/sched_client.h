@@ -1,0 +1,39 @@
+#ifndef MRS_SERVER_SCHED_CLIENT_H_
+#define MRS_SERVER_SCHED_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "server/transport.h"
+
+namespace mrs {
+
+/// Blocking request/response client of the scheduling service: one frame
+/// out, one frame back. Works over any Connection (TCP or an in-process
+/// pipe endpoint). Not thread-safe; use one client per thread.
+class SchedClient {
+ public:
+  explicit SchedClient(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Connects to a SchedServer over TCP.
+  static Result<SchedClient> ConnectTcp(const std::string& host, int port);
+
+  /// One round trip: sends `request`, returns the response payload.
+  Result<std::string> Call(const std::string& request);
+
+  void Close() {
+    if (conn_ != nullptr) conn_->Close();
+  }
+
+  Connection* connection() { return conn_.get(); }
+
+ private:
+  std::unique_ptr<Connection> conn_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_SERVER_SCHED_CLIENT_H_

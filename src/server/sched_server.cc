@@ -1,0 +1,86 @@
+#include "server/sched_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "server/framing.h"
+
+namespace mrs {
+
+SchedServer::SchedServer(SchedService* service) : service_(service) {}
+
+SchedServer::~SchedServer() { Shutdown(); }
+
+Status SchedServer::Start(const std::string& host, int port) {
+  if (started_) return Status::FailedPrecondition("server already started");
+  MRS_RETURN_IF_ERROR(listener_.Listen(host, port));
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int SchedServer::port() const { return listener_.port(); }
+
+void SchedServer::AcceptLoop() {
+  while (!shutting_down()) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) break;  // listener closed (shutdown) or fatal
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down()) break;  // drop the late arrival
+    Connection* raw = conn->get();
+    owned_.push_back(std::move(conn).value());
+    conn_threads_.emplace_back([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void SchedServer::Register(Connection* conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.push_back(conn);
+  if (shutting_down()) conn->ShutdownRead();
+}
+
+void SchedServer::Unregister(Connection* conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(std::remove(live_.begin(), live_.end(), conn), live_.end());
+  idle_cv_.notify_all();
+}
+
+void SchedServer::ServeConnection(Connection* conn) {
+  Register(conn);
+  while (true) {
+    auto request = ReadFrame(conn);
+    if (!request.ok()) break;  // peer done, shutdown, or protocol error
+    // A request fully received before shutdown is always answered —
+    // that is the drain guarantee; only the read side was closed.
+    const std::string response = service_->Handle(request.value());
+    if (!SendFrame(conn, response).ok()) break;
+  }
+  Unregister(conn);
+}
+
+void SchedServer::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) {
+    // Second caller: the first one is (or was) draining; just fall
+    // through to the joins below only if we own them — they are joined
+    // exactly once by the first caller, so return.
+    return;
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (Connection* conn : live_) conn->ShutdownRead();
+    idle_cv_.wait(lock, [this] { return live_.empty(); });
+    to_join.swap(conn_threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& conn : owned_) conn->Close();
+  owned_.clear();
+}
+
+}  // namespace mrs

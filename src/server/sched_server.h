@@ -1,0 +1,78 @@
+#ifndef MRS_SERVER_SCHED_SERVER_H_
+#define MRS_SERVER_SCHED_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/sched_service.h"
+#include "server/transport.h"
+
+namespace mrs {
+
+/// Front-end of the scheduling service: accepts connections (TCP via
+/// Start, or any Connection via ServeConnection) and runs the one-frame-
+/// request / one-frame-response loop against a SchedService.
+///
+/// Shutdown drains: it stops accepting, half-closes the read side of
+/// every live connection, waits for in-flight requests to finish and
+/// their responses to be written, then joins all serving threads. A
+/// request that was fully received before Shutdown always gets its
+/// response.
+class SchedServer {
+ public:
+  /// `service` is not owned and must outlive the server.
+  explicit SchedServer(SchedService* service);
+  ~SchedServer();
+
+  SchedServer(const SchedServer&) = delete;
+  SchedServer& operator=(const SchedServer&) = delete;
+
+  /// Binds a TCP listener (port 0 = ephemeral; see port()) and starts the
+  /// accept thread.
+  Status Start(const std::string& host = "127.0.0.1", int port = 0);
+
+  /// Bound TCP port; 0 when Start was not called.
+  int port() const;
+
+  /// Serves one connection on the caller's thread until the peer closes
+  /// or the server shuts down. Used directly with an in-process pipe
+  /// endpoint for deterministic tests and benches; Start's accept loop
+  /// uses it too. Does not close `conn` (the caller owns it).
+  void ServeConnection(Connection* conn);
+
+  /// Drain-and-stop; idempotent, safe without Start.
+  void Shutdown();
+
+  bool shutting_down() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void AcceptLoop();
+  void Register(Connection* conn);
+  void Unregister(Connection* conn);
+
+  SchedService* service_;
+  SocketListener listener_;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  /// Connections currently inside ServeConnection (any thread).
+  std::vector<Connection*> live_;
+  /// Accept-loop connections and their serving threads (owned).
+  std::vector<std::unique_ptr<Connection>> owned_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_SERVER_SCHED_SERVER_H_

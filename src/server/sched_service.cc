@@ -1,0 +1,135 @@
+#include "server/sched_service.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "io/plan_text.h"
+#include "io/schedule_export.h"
+
+namespace mrs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ErrorResponse(const char* status, const Status& why) {
+  return StrFormat(
+      "{\"status\":\"%s\",\"code\":\"%s\",\"message\":\"%s\"}", status,
+      std::string(StatusCodeToString(why.code())).c_str(),
+      EscapeJson(why.message()).c_str());
+}
+
+struct ParsedRequest {
+  double arrival_ms = -1.0;
+  double timeout_ms = -1.0;
+  std::string plan_text;
+};
+
+Result<ParsedRequest> ParseRequest(const std::string& request) {
+  ParsedRequest out;
+  size_t pos = 0;
+  while (pos < request.size() && request[pos] == '@') {
+    size_t eol = request.find('\n', pos);
+    if (eol == std::string::npos) eol = request.size();
+    const std::string line = request.substr(pos, eol - pos);
+    char* end = nullptr;
+    const char* arg = line.c_str() + 8;
+    if (line.rfind("@arrival", 0) == 0) {
+      out.arrival_ms = std::strtod(arg, &end);
+    } else if (line.rfind("@timeout", 0) == 0) {
+      out.timeout_ms = std::strtod(arg, &end);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown directive: %s", line.c_str()));
+    }
+    const bool converted = end != nullptr && end != arg;
+    while (end != nullptr && *end == ' ') ++end;
+    if (!converted || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("malformed directive: %s", line.c_str()));
+    }
+    pos = eol < request.size() ? eol + 1 : eol;
+  }
+  out.plan_text = request.substr(pos);
+  return out;
+}
+
+}  // namespace
+
+SchedService::SchedService(const SchedServiceOptions& options)
+    : scheduler_(options.params, options.machine, options.online) {}
+
+std::string SchedService::Handle(const std::string& request) {
+  auto parsed_request = ParseRequest(request);
+  if (!parsed_request.ok()) {
+    return ErrorResponse("error", parsed_request.status());
+  }
+  auto parsed_plan = ParsePlanText(parsed_request->plan_text);
+  if (!parsed_plan.ok()) {
+    return ErrorResponse("error", parsed_plan.status());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = scheduler_.Submit(*parsed_plan->plan,
+                                        parsed_request->arrival_ms,
+                                        parsed_request->timeout_ms);
+  const Status resolved = scheduler_.ResolveQuery(id);
+  if (!resolved.ok()) {
+    return ErrorResponse("error", resolved);
+  }
+  const OnlineQueryResult* result = scheduler_.result(id);
+  if (result == nullptr) {
+    return ErrorResponse("error", Status::Internal("query result vanished"));
+  }
+  switch (result->state) {
+    case OnlineQueryState::kRejected:
+      return ErrorResponse("rejected", result->status);
+    case OnlineQueryState::kTimedOut:
+      return ErrorResponse("timeout", result->status);
+    case OnlineQueryState::kQueued:
+      return ErrorResponse("error",
+                           Status::Internal("query resolved while queued"));
+    case OnlineQueryState::kRunning:
+    case OnlineQueryState::kDone:
+      break;
+  }
+  return StrFormat(
+      "{\"status\":\"ok\",\"id\":%llu,\"arrival_ms\":%.6f,"
+      "\"admit_ms\":%.6f,\"queue_wait_ms\":%.6f,\"finish_ms\":%.6f,"
+      "\"response_ms\":%.6f,\"schedule\":%s}",
+      static_cast<unsigned long long>(result->id), result->arrival_ms,
+      result->admit_ms, result->QueueWaitMs(), result->ProjectedFinishMs(),
+      result->schedule.response_time,
+      TreeScheduleToJson(result->schedule).c_str());
+}
+
+}  // namespace mrs

@@ -1,0 +1,61 @@
+#ifndef MRS_SERVER_SCHED_SERVICE_H_
+#define MRS_SERVER_SCHED_SERVICE_H_
+
+#include <mutex>
+#include <string>
+
+#include "cost/cost_params.h"
+#include "online/online_scheduler.h"
+#include "resource/machine.h"
+
+namespace mrs {
+
+struct SchedServiceOptions {
+  CostParams params;
+  MachineConfig machine;
+  OnlineSchedulerOptions online;
+};
+
+/// The request/response core of the scheduling server, transport-free so
+/// in-process tests and the socket front-end share one code path.
+///
+/// Request payload: optional leading directive lines, then plan text
+/// (io/plan_text.h):
+///
+///   @arrival 120.5      # virtual arrival time in ms (default: now)
+///   @timeout 50         # queue-wait budget in ms (default: admission's)
+///   relation customer 30000
+///   ...
+///
+/// Response payload: one JSON object.
+///   admitted:  {"status":"ok","id":N,"arrival_ms":...,"admit_ms":...,
+///               "queue_wait_ms":...,"finish_ms":...,"response_ms":...,
+///               "schedule":<TreeScheduleToJson>}
+///   rejected:  {"status":"rejected","code":"Unavailable","message":...}
+///   timed out: {"status":"timeout","code":"DeadlineExceeded","message":...}
+///   bad input: {"status":"error","code":...,"message":...}
+///
+/// Handle() serializes requests on an internal mutex (the scheduler is
+/// single-threaded by design), so concurrent connections are safe; on an
+/// otherwise idle system the embedded "schedule" JSON is byte-identical
+/// to the offline TreeScheduleToJson output for the same plan.
+class SchedService {
+ public:
+  explicit SchedService(const SchedServiceOptions& options = {});
+
+  /// Processes one request payload into one response payload. Never
+  /// throws; malformed input yields an "error" response.
+  std::string Handle(const std::string& request);
+
+  /// The underlying scheduler. Callers must not touch it while another
+  /// thread may be inside Handle (test/diagnostic aid).
+  OnlineScheduler* scheduler() { return &scheduler_; }
+
+ private:
+  std::mutex mu_;
+  OnlineScheduler scheduler_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_SERVER_SCHED_SERVICE_H_

@@ -39,6 +39,18 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+}
+
+TEST(StatusTest, ServingCodesCarryMessages) {
+  Status busy = Status::Unavailable("queue full");
+  EXPECT_EQ(busy.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(busy.message(), "queue full");
+  Status late = Status::DeadlineExceeded("waited too long");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(late.ok());
 }
 
 Status FailIfNegative(int x) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/operator_schedule.h"
 #include "core/tree_schedule.h"
 #include "test_util.h"
@@ -142,6 +146,60 @@ TEST(FluidSimulatorTest, FullPlanSimulationMatchesTreeSchedule) {
   for (size_t r = 0; r < result->average_utilization.dim(); ++r) {
     EXPECT_GE(result->average_utilization[r], 0.0);
     EXPECT_LE(result->average_utilization[r], 1.0 + 1e-9);
+  }
+}
+
+TEST(FluidSimulatorTest, DisjointResidentQueriesKeepTheirOwnMakespans) {
+  // Two queries resident in the same simulated phase, but on disjoint
+  // sites: interleaving their completions must reproduce each query's
+  // standalone makespan and per-clone finish times exactly.
+  OverlapUsageModel usage(0.4);
+  FluidSimulator sim(usage, SharingPolicy::kOptimalStretch);
+
+  // Query A occupies sites 0 and 1, query B sites 2 and 3.
+  const std::vector<std::pair<ParallelizedOp, int>> a_clones = {
+      {MakeUnitOp(0, {6.0, 2.0}, usage), 0},
+      {MakeUnitOp(1, {3.0, 5.0}, usage), 0},
+      {MakeUnitOp(2, {4.0, 4.0}, usage), 1},
+  };
+  const std::vector<std::pair<ParallelizedOp, int>> b_clones = {
+      {MakeUnitOp(3, {1.0, 2.0}, usage), 2},
+      {MakeUnitOp(4, {2.0, 1.5}, usage), 3},
+      {MakeUnitOp(5, {0.5, 0.5}, usage), 3},
+  };
+
+  Schedule only_a(4, 2);
+  Schedule only_b(4, 2);
+  Schedule both(4, 2);
+  for (const auto& [op, site] : a_clones) {
+    ASSERT_TRUE(only_a.Place(op, 0, site).ok());
+    ASSERT_TRUE(both.Place(op, 0, site).ok());
+  }
+  for (const auto& [op, site] : b_clones) {
+    ASSERT_TRUE(only_b.Place(op, 0, site).ok());
+    ASSERT_TRUE(both.Place(op, 0, site).ok());
+  }
+
+  auto sim_a = sim.SimulatePhase(only_a);
+  auto sim_b = sim.SimulatePhase(only_b);
+  auto sim_both = sim.SimulatePhase(both);
+  ASSERT_TRUE(sim_a.ok());
+  ASSERT_TRUE(sim_b.ok());
+  ASSERT_TRUE(sim_both.ok());
+
+  // B is strictly shorter than A, so completions genuinely interleave.
+  ASSERT_LT(sim_b->makespan, sim_a->makespan);
+  EXPECT_DOUBLE_EQ(sim_both->makespan,
+                   std::max(sim_a->makespan, sim_b->makespan));
+  ASSERT_EQ(sim_both->clone_finish.size(),
+            sim_a->clone_finish.size() + sim_b->clone_finish.size());
+  for (size_t i = 0; i < sim_a->clone_finish.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sim_both->clone_finish[i], sim_a->clone_finish[i]);
+  }
+  for (size_t i = 0; i < sim_b->clone_finish.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        sim_both->clone_finish[sim_a->clone_finish.size() + i],
+        sim_b->clone_finish[i]);
   }
 }
 

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "online/online_scheduler.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Residual load must stay component-wise non-negative, and every placed
+/// phase must run at least as long as its uncontended (eq. 3) makespan
+/// and at most as long as its fully-serialized bound.
+void CheckScheduler(const OnlineScheduler& sched) {
+  ASSERT_TRUE(sched.CheckInvariants().ok());
+  for (const WorkVector& w : sched.ResidualLoad()) {
+    for (size_t i = 0; i < w.dim(); ++i) {
+      ASSERT_GE(w[i], 0.0) << "negative residual in dim " << i;
+    }
+  }
+}
+
+void CheckTimings(const OnlineQueryResult& r) {
+  for (const OnlinePhaseTiming& t : r.timings) {
+    ASSERT_GE(t.DurationMs() + kTol, t.uncontended_ms)
+        << "phase " << t.phase << " of query " << r.id
+        << " finished below its uncontended makespan";
+    ASSERT_LE(t.DurationMs(), t.serial_bound_ms + kTol)
+        << "phase " << t.phase << " of query " << r.id
+        << " exceeded the serialized bound";
+    ASSERT_GE(t.start_ms, r.admit_ms - kTol);
+  }
+}
+
+TEST(OnlinePropertyTest, RandomWorkloadsKeepInvariants) {
+  const uint64_t base_seed = testing_util::FuzzSeed(20260806);
+  constexpr int kRounds = 12;
+  constexpr int kQueriesPerRound = 10;
+
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(base_seed + static_cast<uint64_t>(round) * 7919);
+    WorkloadParams wp;
+    wp.num_joins = static_cast<int>(rng.UniformInt(1, 5));
+    wp.min_tuples = 1'000;
+    wp.max_tuples = 40'000;
+    wp.sort_probability = round % 3 == 0 ? 0.3 : 0.0;
+    wp.aggregate_probability = round % 3 == 1 ? 0.3 : 0.0;
+
+    MetricsRegistry metrics;
+    OnlineSchedulerOptions options;
+    options.metrics = &metrics;
+    options.admission.max_in_flight = 1 + static_cast<int>(round % 4);
+    options.admission.max_queue_depth = static_cast<int>(round % 3);
+    if (round % 4 == 3) {
+      options.admission.policy = AdmissionPolicy::kShortestMakespanFirst;
+    }
+    MachineConfig machine;
+    machine.num_sites = 4 + static_cast<int>(rng.UniformInt(0, 12));
+    OnlineScheduler sched(CostParams{}, machine, options);
+
+    std::vector<std::unique_ptr<GeneratedQuery>> keep_alive;
+    std::vector<uint64_t> ids;
+    double arrival = 0.0;
+    for (int q = 0; q < kQueriesPerRound; ++q) {
+      auto gen = GenerateQuery(wp, &rng);
+      ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+      auto query = std::make_unique<GeneratedQuery>(std::move(gen).value());
+      // Exponential inter-arrivals around the scale of a query makespan.
+      arrival += -std::log(1.0 - rng.UniformDouble()) * 40.0;
+      const double timeout =
+          rng.UniformDouble() < 0.3 ? rng.UniformDouble(1.0, 80.0) : -1.0;
+      ids.push_back(sched.Submit(*query->plan, arrival, timeout));
+      keep_alive.push_back(std::move(query));
+      CheckScheduler(sched);
+    }
+    ASSERT_TRUE(sched.Drain().ok());
+    CheckScheduler(sched);
+
+    // After draining, the machine is exactly empty.
+    for (const WorkVector& w : sched.ResidualLoad()) {
+      for (size_t i = 0; i < w.dim(); ++i) ASSERT_EQ(w[i], 0.0);
+    }
+
+    // Conservation: every submitted query reached exactly one terminal
+    // state.
+    uint64_t done = 0, rejected = 0, timed_out = 0;
+    for (uint64_t id : ids) {
+      const OnlineQueryResult* r = sched.result(id);
+      ASSERT_NE(r, nullptr);
+      ASSERT_TRUE(r->terminal());
+      switch (r->state) {
+        case OnlineQueryState::kDone:
+          ++done;
+          CheckTimings(*r);
+          ASSERT_GE(r->admit_ms, r->arrival_ms - kTol);
+          ASSERT_GT(r->finish_ms, r->admit_ms - kTol);
+          for (const auto& phase : r->schedule.phases) {
+            ASSERT_GT(phase.schedule.num_placements(), 0);
+            ASSERT_GE(phase.makespan, 0.0);
+            for (const auto& placement : phase.schedule.placements()) {
+              ASSERT_TRUE(placement.work.IsNonNegative());
+              ASSERT_GE(placement.t_seq, 0.0);
+            }
+          }
+          break;
+        case OnlineQueryState::kRejected:
+          ++rejected;
+          ASSERT_FALSE(r->status.ok());
+          break;
+        case OnlineQueryState::kTimedOut:
+          ++timed_out;
+          ASSERT_EQ(r->status.code(), StatusCode::kDeadlineExceeded);
+          break;
+        default:
+          FAIL() << "non-terminal state after Drain";
+      }
+    }
+    const MetricsSnapshot snap = metrics.Snapshot();
+    ASSERT_EQ(snap.CounterValue("online.submitted"),
+              static_cast<uint64_t>(kQueriesPerRound));
+    ASSERT_EQ(snap.CounterValue("online.admitted"), done);
+    ASSERT_EQ(snap.CounterValue("online.rejected"), rejected);
+    ASSERT_EQ(snap.CounterValue("online.timeout"), timed_out);
+    ASSERT_EQ(done + rejected + timed_out,
+              static_cast<uint64_t>(kQueriesPerRound));
+  }
+}
+
+TEST(OnlinePropertyTest, InterleavedResolutionMatchesDrain) {
+  // Resolving queries one by one (as the server does) must reach the same
+  // terminal states as draining in bulk.
+  const uint64_t seed = testing_util::FuzzSeed(987654321);
+  Rng rng(seed);
+  WorkloadParams wp;
+  wp.num_joins = 3;
+  wp.max_tuples = 30'000;
+
+  MetricsRegistry m1, m2;
+  OnlineSchedulerOptions o1, o2;
+  o1.metrics = &m1;
+  o2.metrics = &m2;
+  o1.admission.max_in_flight = o2.admission.max_in_flight = 2;
+  OnlineScheduler resolve_each(CostParams{}, MachineConfig{}, o1);
+  OnlineScheduler drain_once(CostParams{}, MachineConfig{}, o2);
+
+  std::vector<std::unique_ptr<GeneratedQuery>> keep_alive;
+  std::vector<std::pair<uint64_t, uint64_t>> ids;
+  double arrival = 0.0;
+  for (int q = 0; q < 6; ++q) {
+    auto gen = GenerateQuery(wp, &rng);
+    ASSERT_TRUE(gen.ok());
+    auto query = std::make_unique<GeneratedQuery>(std::move(gen).value());
+    arrival += 25.0;
+    const uint64_t a = resolve_each.Submit(*query->plan, arrival);
+    const uint64_t b = drain_once.Submit(*query->plan, arrival);
+    ids.emplace_back(a, b);
+    keep_alive.push_back(std::move(query));
+  }
+  // Resolving out of order fires the same events in the same virtual-time
+  // order as a bulk drain, just with different stopping points.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    ASSERT_TRUE(resolve_each.ResolveQuery(it->first).ok());
+    ASSERT_TRUE(resolve_each.Resolved(it->first));
+  }
+  ASSERT_TRUE(resolve_each.Drain().ok());
+  ASSERT_TRUE(drain_once.Drain().ok());
+  for (const auto& [a, b] : ids) {
+    const OnlineQueryResult* ra = resolve_each.result(a);
+    const OnlineQueryResult* rb = drain_once.result(b);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(ra->state, rb->state);
+    if (ra->state == OnlineQueryState::kDone) {
+      EXPECT_DOUBLE_EQ(ra->finish_ms, rb->finish_ms);
+      EXPECT_DOUBLE_EQ(ra->schedule.response_time,
+                       rb->schedule.response_time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrs

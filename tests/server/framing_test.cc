@@ -1,0 +1,109 @@
+#include "server/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrs {
+namespace {
+
+TEST(FramingTest, EncodeProducesBigEndianPrefix) {
+  const std::string frame = EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[1]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[2]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(frame[3]), 3u);
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FramingTest, ParserRoundTripsMultipleFrames) {
+  std::string wire = EncodeFrame("first") + EncodeFrame("") +
+                     EncodeFrame(std::string(1000, 'x'));
+  FrameParser parser;
+  ASSERT_TRUE(parser.Append(wire.data(), wire.size()).ok());
+  std::string payload;
+  ASSERT_TRUE(parser.Next(&payload));
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(parser.Next(&payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(parser.Next(&payload));
+  EXPECT_EQ(payload, std::string(1000, 'x'));
+  EXPECT_FALSE(parser.Next(&payload));
+  EXPECT_FALSE(parser.MidFrame());
+}
+
+TEST(FramingTest, ParserHandlesByteAtATimeDelivery) {
+  const std::string wire = EncodeFrame("hello") + EncodeFrame("world");
+  FrameParser parser;
+  std::vector<std::string> got;
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Append(&c, 1).ok());
+    std::string payload;
+    while (parser.Next(&payload)) got.push_back(payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_EQ(got[1], "world");
+}
+
+TEST(FramingTest, OversizedLengthIsStickyError) {
+  // Length prefix far beyond kMaxFrameBytes.
+  const char bad[4] = {'\x7f', '\x00', '\x00', '\x00'};
+  FrameParser parser;
+  Status s = parser.Append(bad, 4);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Sticky: further appends keep failing rather than resyncing on garbage.
+  EXPECT_FALSE(parser.Append("x", 1).ok());
+}
+
+TEST(FramingTest, ReadFrameOverPipeRoundTrips) {
+  auto [client, server] = CreateInProcessPipe();
+  ASSERT_TRUE(SendFrame(client.get(), "ping").ok());
+  auto got = ReadFrame(server.get());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "ping");
+}
+
+TEST(FramingTest, ReadFrameReportsCleanEofAsNotFound) {
+  auto [client, server] = CreateInProcessPipe();
+  client->Close();
+  auto got = ReadFrame(server.get());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FramingTest, ReadFrameReportsTruncationAsCorruption) {
+  auto [client, server] = CreateInProcessPipe();
+  const std::string frame = EncodeFrame("truncated");
+  // Send the prefix plus half the payload, then hang up.
+  ASSERT_TRUE(client->Write(frame.data(), frame.size() - 4));
+  client->Close();
+  auto got = ReadFrame(server.get());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FramingTest, PipeBlocksUntilDataArrives) {
+  auto [client, server] = CreateInProcessPipe();
+  std::thread writer([conn = client.get()] {
+    ASSERT_TRUE(SendFrame(conn, "late").ok());
+  });
+  auto got = ReadFrame(server.get());
+  writer.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "late");
+}
+
+TEST(FramingTest, ShutdownReadUnblocksReader) {
+  auto [client, server] = CreateInProcessPipe();
+  std::thread reader([conn = server.get()] {
+    auto got = ReadFrame(conn);
+    EXPECT_FALSE(got.ok());
+  });
+  server->ShutdownRead();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace mrs
