@@ -6,6 +6,9 @@
 #                      (three load points: light, saturating, overloaded)
 #   BENCH_micro.json   google-benchmark JSON from micro_scheduler_runtime
 #   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
+#   BENCH_placement.json  one JSON object per line from
+#                      micro_placement_scale (indexed vs. linear clone
+#                      placement across machine sizes P)
 #
 # Usage: scripts/run_benches.sh
 #   BUILD_DIR=...  build tree to use (default: <repo>/build)
@@ -21,7 +24,8 @@ if [ ! -d "${build_dir}" ]; then
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${build_dir}" \
-  --target micro_online_throughput micro_scheduler_runtime micro_trace_overhead
+  --target micro_online_throughput micro_scheduler_runtime \
+  micro_trace_overhead micro_placement_scale
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -39,5 +43,9 @@ echo "=== scheduler microbenchmarks -> ${out_dir}/BENCH_micro.json ==="
 
 echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
 "${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"
+
+echo "=== clone placement scaling -> ${out_dir}/BENCH_placement.json ==="
+"${build_dir}/bench/micro_placement_scale" \
+  | tee "${out_dir}/BENCH_placement.json"
 
 echo "bench results written to ${out_dir}"

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "core/placement_index.h"
 
 namespace mrs {
 
@@ -115,29 +116,54 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
       load_length[static_cast<size_t>(j)] = schedule.SiteLoadLength(j);
     }
   }
-  std::vector<std::vector<char>> used(
-      ops.size(), std::vector<char>(static_cast<size_t>(num_sites), 0));
+  // Site selection runs in one of two modes with pinned-identical output:
+  // the indexed engine descends a tournament tree over load_length with
+  // the operator's already-used sites excluded (O(log P + degree) per
+  // clone, per-op sorted exclusion lists), while the reference linear
+  // scan walks all P sites (the differential-testing oracle, and the
+  // kFirstAllowable path, which stops within degree+1 steps regardless).
+  const bool indexed = options.placement_index &&
+                       options.site_choice == SiteChoice::kLeastLoaded;
+  PlacementIndex index;
+  std::vector<std::vector<int>> used_sorted;
+  std::vector<std::vector<char>> used;
+  if (indexed) {
+    index.Reset(load_length);
+    used_sorted.resize(ops.size());
+  } else {
+    used.assign(ops.size(),
+                std::vector<char>(static_cast<size_t>(num_sites), 0));
+  }
   for (const CloneRef& clone : list) {
     const ParallelizedOp& op = ops[clone.op_index];
-    std::vector<char>& op_used = used[clone.op_index];
     int chosen = -1;
-    double chosen_load = std::numeric_limits<double>::infinity();
-    for (int j = 0; j < num_sites; ++j) {
-      if (op_used[static_cast<size_t>(j)]) continue;
-      if (options.site_choice == SiteChoice::kFirstAllowable) {
-        chosen = j;
-        break;
-      }
-      if (load_length[static_cast<size_t>(j)] < chosen_load) {
-        chosen = j;
-        chosen_load = load_length[static_cast<size_t>(j)];
+    if (indexed) {
+      chosen = index.MinSiteExcluding(used_sorted[clone.op_index]);
+    } else {
+      std::vector<char>& op_used = used[clone.op_index];
+      double chosen_load = std::numeric_limits<double>::infinity();
+      for (int j = 0; j < num_sites; ++j) {
+        if (op_used[static_cast<size_t>(j)]) continue;
+        if (options.site_choice == SiteChoice::kFirstAllowable) {
+          chosen = j;
+          break;
+        }
+        if (load_length[static_cast<size_t>(j)] < chosen_load) {
+          chosen = j;
+          chosen_load = load_length[static_cast<size_t>(j)];
+        }
       }
     }
     MRS_CHECK(chosen >= 0)
         << "no allowable site for op" << op.op_id
         << " — degree should have been capped at P";
     MRS_RETURN_IF_ERROR(schedule.Place(op, clone.clone_idx, chosen));
-    op_used[static_cast<size_t>(chosen)] = 1;
+    if (indexed) {
+      std::vector<int>& ex = used_sorted[clone.op_index];
+      ex.insert(std::upper_bound(ex.begin(), ex.end(), chosen), chosen);
+    } else {
+      used[clone.op_index][static_cast<size_t>(chosen)] = 1;
+    }
     if (options.base_load != nullptr) {
       combined[static_cast<size_t>(chosen)] +=
           op.clones[static_cast<size_t>(clone.clone_idx)];
@@ -147,6 +173,7 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
       load_length[static_cast<size_t>(chosen)] =
           schedule.SiteLoadLength(chosen);
     }
+    if (indexed) index.Update(chosen, load_length[static_cast<size_t>(chosen)]);
   }
   return schedule;
 }

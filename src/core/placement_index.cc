@@ -1,0 +1,67 @@
+#include "core/placement_index.h"
+
+#include <algorithm>
+
+namespace mrs {
+
+void PlacementIndex::Reset(const std::vector<double>& loads) {
+  num_sites_ = static_cast<int>(loads.size());
+  load_ = loads;
+  if (num_sites_ == 0) {
+    size_ = 0;
+    win_.clear();
+    return;
+  }
+  size_ = 1;
+  while (size_ < num_sites_) size_ <<= 1;
+  win_.assign(static_cast<size_t>(2 * size_), -1);
+  for (int s = 0; s < num_sites_; ++s) {
+    win_[static_cast<size_t>(size_ + s)] = s;
+  }
+  for (int i = size_ - 1; i >= 1; --i) {
+    win_[static_cast<size_t>(i)] = Winner(win_[static_cast<size_t>(2 * i)],
+                                          win_[static_cast<size_t>(2 * i + 1)]);
+  }
+}
+
+int PlacementIndex::Winner(int left, int right) const {
+  if (left < 0) return right;
+  if (right < 0) return left;
+  // <= keeps the left (lower-index) site on equal loads — the same site
+  // the reference scan's strict-< update would have stopped at first.
+  return load_[static_cast<size_t>(left)] <= load_[static_cast<size_t>(right)]
+             ? left
+             : right;
+}
+
+void PlacementIndex::Update(int site, double load) {
+  load_[static_cast<size_t>(site)] = load;
+  for (int i = (size_ + site) >> 1; i >= 1; i >>= 1) {
+    win_[static_cast<size_t>(i)] = Winner(win_[static_cast<size_t>(2 * i)],
+                                          win_[static_cast<size_t>(2 * i + 1)]);
+  }
+}
+
+int PlacementIndex::MinSiteExcluding(const std::vector<int>& excluded) const {
+  if (win_.empty()) return -1;
+  if (excluded.empty()) return win_[1];
+  return Descend(1, 0, size_, excluded.data(),
+                 excluded.data() + excluded.size());
+}
+
+int PlacementIndex::Descend(int node, int lo, int hi, const int* ex_begin,
+                            const int* ex_end) const {
+  if (ex_begin == ex_end) return win_[static_cast<size_t>(node)];
+  if (hi - lo == 1) return -1;  // a single excluded site
+  const int mid = lo + (hi - lo) / 2;
+  const int* split = std::lower_bound(ex_begin, ex_end, mid);
+  const int left = split == ex_begin
+                       ? win_[static_cast<size_t>(2 * node)]
+                       : Descend(2 * node, lo, mid, ex_begin, split);
+  const int right = split == ex_end
+                        ? win_[static_cast<size_t>(2 * node + 1)]
+                        : Descend(2 * node + 1, mid, hi, split, ex_end);
+  return Winner(left, right);
+}
+
+}  // namespace mrs

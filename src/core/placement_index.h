@@ -1,0 +1,82 @@
+#ifndef MRS_CORE_PLACEMENT_INDEX_H_
+#define MRS_CORE_PLACEMENT_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mrs {
+
+/// Tournament (min-segment) tree over the per-site load lengths
+/// l(work(s)) — the site-selection kernel of OPERATORSCHEDULE.
+///
+/// The list scheduler asks one question per floating clone: "which site
+/// has the minimal load among the sites that do not already host a clone
+/// of this operator (constraint A)?". The reference implementation scans
+/// all P sites per clone; this index answers it by exclusion-aware
+/// descent over a complete binary tournament tree:
+///
+///   * MinSite()                    — global argmin, O(1)
+///   * MinSiteExcluding(excluded)   — argmin over sites outside a small
+///                                    sorted exclusion set (the < degree
+///                                    sites already used by the operator);
+///                                    subtrees containing no excluded site
+///                                    are pruned to their precomputed
+///                                    winner, so a query costs
+///                                    O(log P + k) for k exclusions
+///                                    clustered in one region and
+///                                    O((1 + k) log P) worst case
+///   * Update(site, load)           — O(log P)
+///
+/// Tie-breaking is pinned to lowest-index-among-minima: an internal node
+/// keeps its *left* child's winner on equal loads, and left subtrees hold
+/// strictly lower site indices, so by induction the winner of any subtree
+/// is the lowest-index minimum of that subtree. This is bit-for-bit the
+/// site the reference linear scan (strict `<` update, ascending order)
+/// selects on the same doubles — the property the differential placement
+/// test (tests/core/placement_index_test.cc) locks across machine sizes.
+class PlacementIndex {
+ public:
+  PlacementIndex() = default;
+  explicit PlacementIndex(const std::vector<double>& loads) { Reset(loads); }
+
+  /// Rebuilds the tree over `loads` (index = site), O(P).
+  void Reset(const std::vector<double>& loads);
+
+  /// Sets site's load and repairs the winners on its root path, O(log P).
+  void Update(int site, double load);
+
+  int num_sites() const { return num_sites_; }
+  double LoadOf(int site) const { return load_[static_cast<size_t>(site)]; }
+
+  /// Lowest-index site of minimal load; -1 for an empty index.
+  int MinSite() const { return win_.empty() ? -1 : win_[1]; }
+
+  /// Lowest-index minimal-load site outside `excluded`. `excluded` must be
+  /// sorted ascending, duplicate-free, and within [0, num_sites); returns
+  /// -1 when every site is excluded.
+  int MinSiteExcluding(const std::vector<int>& excluded) const;
+
+ private:
+  /// The better of two subtree winners (-1 = empty subtree); keeps `left`
+  /// on ties, which is the lower site index.
+  int Winner(int left, int right) const;
+
+  /// Winner of the node covering sites [lo, hi) with the excluded sites in
+  /// [ex_begin, ex_end); prunes exclusion-free subtrees to win_[node].
+  int Descend(int node, int lo, int hi, const int* ex_begin,
+              const int* ex_end) const;
+
+  int num_sites_ = 0;
+  /// Leaf count: smallest power of two >= num_sites_ (extra leaves are
+  /// empty, winner -1).
+  int size_ = 0;
+  std::vector<double> load_;
+  /// Heap-ordered winners: win_[1] is the root, node i has children 2i and
+  /// 2i+1, leaf for site s is size_ + s. Values are site indices (-1 =
+  /// subtree holds no site).
+  std::vector<int> win_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_CORE_PLACEMENT_INDEX_H_

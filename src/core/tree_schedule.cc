@@ -243,6 +243,16 @@ Result<PhaseSchedule> PhasePlanner::NextPhase(
   SpanTimer sched_span(trace, "operator_schedule", k);
   OperatorScheduleOptions list_options = options_.list_options;
   list_options.base_load = base_load;
+  if (sched_span.active()) {
+    // Which site-selection engine ran (see OperatorScheduleOptions::
+    // placement_index) — the schedules are pinned byte-identical, so this
+    // only matters for performance forensics.
+    sched_span.Attr("placement",
+                    list_options.placement_index &&
+                            list_options.site_choice == SiteChoice::kLeastLoaded
+                        ? "indexed"
+                        : "linear");
+  }
   auto schedule = OperatorSchedule(ops, config_.num_sites, config_.dims,
                                    list_options);
   if (!schedule.ok()) return schedule.status();

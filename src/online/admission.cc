@@ -1,6 +1,7 @@
 #include "online/admission.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -91,10 +92,24 @@ std::vector<AdmissionRequest> AdmissionController::ExpireDeadlines(
 bool AdmissionController::PopAdmissible(AdmissionRequest* out) {
   if (queue_.empty() || !HasSlot()) return false;
   if (options_.policy == AdmissionPolicy::kFifo) {
-    if (!MemoryFits(queue_.front().memory_bytes)) return false;
-    *out = queue_.front();
-    queue_.pop_front();
-    return true;
+    if (MemoryFits(queue_.front().memory_bytes)) {
+      *out = queue_.front();
+      queue_.pop_front();
+      return true;
+    }
+    // Head-of-line query does not fit memory. Strict FIFO (the default)
+    // blocks here — smaller fitting queries behind the head wait until
+    // running queries free its memory (see AdmissionOptions::
+    // allow_fifo_bypass for the trade). With bypass, admit the first
+    // fitting query in arrival order; the head keeps its place.
+    if (!options_.allow_fifo_bypass) return false;
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if (!MemoryFits(it->memory_bytes)) continue;
+      *out = *it;
+      queue_.erase(it);
+      return true;
+    }
+    return false;
   }
   // Shortest-expected-makespan-first among the entries that fit memory.
   auto best = queue_.end();

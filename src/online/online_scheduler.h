@@ -27,6 +27,12 @@ struct OnlineSchedulerOptions {
   int num_disks = 1;
   /// Per-query TREESCHEDULE knobs. `cache` and `trace` are managed by the
   /// scheduler itself (see use_cost_cache / collect_traces) and ignored.
+  /// `tree.list_options.placement_index` selects the indexed placement
+  /// engine for the residual-load OPERATORSCHEDULE path too (the
+  /// base_load branch re-run per phase of every admitted query) — with P
+  /// sites and MPL resident queries that path is the hot loop of the
+  /// service, and the indexed and linear engines are pinned to produce
+  /// byte-identical placements.
   TreeScheduleOptions tree;
   AdmissionOptions admission;
   /// Share one memoized parallelize cache across all queries.

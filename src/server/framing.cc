@@ -19,7 +19,16 @@ uint32_t DecodeLength(const char* p) {
 
 }  // namespace
 
-std::string EncodeFrame(std::string_view payload) {
+Result<std::string> EncodeFrame(std::string_view payload) {
+  // The check must precede the uint32_t narrowing: without it a > 4 GiB
+  // payload wraps the length prefix and the frame lies about its size
+  // (and anything in (kMaxFrameBytes, 4 GiB] is a frame our own parser
+  // rejects as corruption).
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("payload of %zu bytes exceeds the %zu-byte frame cap",
+                  payload.size(), kMaxFrameBytes));
+  }
   const uint32_t n = static_cast<uint32_t>(payload.size());
   std::string frame;
   frame.reserve(kHeaderBytes + payload.size());
@@ -34,17 +43,28 @@ std::string EncodeFrame(std::string_view payload) {
 Status FrameParser::Append(const char* data, size_t n) {
   if (!status_.ok()) return status_;
   buffer_.append(data, n);
-  while (buffer_.size() >= kHeaderBytes) {
-    const size_t len = DecodeLength(buffer_.data());
+  while (buffer_.size() - pos_ >= kHeaderBytes) {
+    const size_t len = DecodeLength(buffer_.data() + pos_);
     if (len > kMaxFrameBytes) {
       status_ = Status::InvalidArgument(
           StrFormat("frame length %zu exceeds the %zu-byte cap", len,
                     kMaxFrameBytes));
       return status_;
     }
-    if (buffer_.size() < kHeaderBytes + len) break;
-    ready_.push_back(buffer_.substr(kHeaderBytes, len));
-    buffer_.erase(0, kHeaderBytes + len);
+    if (buffer_.size() - pos_ < kHeaderBytes + len) break;
+    ready_.push_back(buffer_.substr(pos_ + kHeaderBytes, len));
+    pos_ += kHeaderBytes + len;
+  }
+  // Compact the consumed prefix only when it dominates the buffer and is
+  // big enough for the memmove to amortize — each byte is then moved O(1)
+  // times overall, vs. once per frame with erase(0, ...).
+  constexpr size_t kCompactBytes = 64 * 1024;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= kCompactBytes && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
   }
   return Status::OK();
 }
@@ -57,7 +77,8 @@ bool FrameParser::Next(std::string* out) {
 }
 
 Status SendFrame(Connection* conn, std::string_view payload) {
-  const std::string frame = EncodeFrame(payload);
+  std::string frame;
+  MRS_ASSIGN_OR_RETURN(frame, EncodeFrame(payload));
   if (!conn->Write(frame.data(), static_cast<int>(frame.size()))) {
     return Status::Unavailable("connection dropped while sending a frame");
   }

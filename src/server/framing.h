@@ -17,11 +17,15 @@ namespace mrs {
 /// JSON; the framing layer itself is content-agnostic.
 
 /// Upper bound on a frame payload; larger lengths are treated as protocol
-/// corruption, not as an allocation request.
+/// corruption, not as an allocation request. Enforced symmetrically: the
+/// sender refuses to emit what the parser would reject.
 inline constexpr size_t kMaxFrameBytes = 16 * 1024 * 1024;
 
-/// The frame for `payload`: length prefix + payload bytes.
-std::string EncodeFrame(std::string_view payload);
+/// The frame for `payload`: length prefix + payload bytes. Fails with
+/// InvalidArgument when the payload exceeds kMaxFrameBytes — previously a
+/// payload larger than 4 GiB was silently truncated through the uint32_t
+/// length cast, emitting a frame whose prefix lied about its size.
+Result<std::string> EncodeFrame(std::string_view payload);
 
 /// Incremental decoder for a byte stream of frames. Feed arbitrary chunks
 /// with Append; Next pops complete payloads in order.
@@ -36,15 +40,20 @@ class FrameParser {
   bool Next(std::string* out);
 
   /// True when the stream ends mid-frame (truncation detector).
-  bool MidFrame() const { return !buffer_.empty(); }
+  bool MidFrame() const { return buffer_.size() > pos_; }
 
  private:
   Status status_;
+  /// Consumed frames advance `pos_` instead of erasing the buffer prefix
+  /// (which is quadratic across a burst of pipelined frames landing in
+  /// one Append); the dead prefix is compacted away periodically.
   std::string buffer_;
+  size_t pos_ = 0;
   std::deque<std::string> ready_;
 };
 
-/// Writes one frame; Unavailable when the connection drops.
+/// Writes one frame; InvalidArgument for a payload over kMaxFrameBytes
+/// (nothing is written), Unavailable when the connection drops.
 Status SendFrame(Connection* conn, std::string_view payload);
 
 /// Reads exactly one frame. NotFound on clean end-of-stream at a frame

@@ -10,7 +10,7 @@ namespace mrs {
 namespace {
 
 TEST(FramingTest, EncodeProducesBigEndianPrefix) {
-  const std::string frame = EncodeFrame("abc");
+  const std::string frame = EncodeFrame("abc").value();
   ASSERT_EQ(frame.size(), 7u);
   EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0u);
   EXPECT_EQ(static_cast<unsigned char>(frame[1]), 0u);
@@ -20,8 +20,8 @@ TEST(FramingTest, EncodeProducesBigEndianPrefix) {
 }
 
 TEST(FramingTest, ParserRoundTripsMultipleFrames) {
-  std::string wire = EncodeFrame("first") + EncodeFrame("") +
-                     EncodeFrame(std::string(1000, 'x'));
+  std::string wire = EncodeFrame("first").value() + EncodeFrame("").value() +
+                     EncodeFrame(std::string(1000, 'x')).value();
   FrameParser parser;
   ASSERT_TRUE(parser.Append(wire.data(), wire.size()).ok());
   std::string payload;
@@ -36,7 +36,8 @@ TEST(FramingTest, ParserRoundTripsMultipleFrames) {
 }
 
 TEST(FramingTest, ParserHandlesByteAtATimeDelivery) {
-  const std::string wire = EncodeFrame("hello") + EncodeFrame("world");
+  const std::string wire =
+      EncodeFrame("hello").value() + EncodeFrame("world").value();
   FrameParser parser;
   std::vector<std::string> got;
   for (char c : wire) {
@@ -47,6 +48,75 @@ TEST(FramingTest, ParserHandlesByteAtATimeDelivery) {
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], "hello");
   EXPECT_EQ(got[1], "world");
+}
+
+TEST(FramingTest, EncodeRejectsOversizedPayload) {
+  // Regression: an over-cap payload used to be framed anyway (and a
+  // > 4 GiB one truncated through the uint32_t length cast), emitting
+  // frames the parser on the other side rejects. Now the sender errors.
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  auto frame = EncodeFrame(big);
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // At the cap is still fine.
+  auto ok = EncodeFrame(std::string_view(big.data(), kMaxFrameBytes));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), kMaxFrameBytes + 4);
+}
+
+TEST(FramingTest, SendFrameRejectsOversizedPayloadWithoutWriting) {
+  auto [client, server] = CreateInProcessPipe();
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_EQ(SendFrame(client.get(), big).code(),
+            StatusCode::kInvalidArgument);
+  // Nothing hit the wire: a good frame sent next is the first thing read.
+  ASSERT_TRUE(SendFrame(client.get(), "after").ok());
+  auto got = ReadFrame(server.get());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "after");
+}
+
+TEST(FramingTest, ManySmallPipelinedFramesInOneAppend) {
+  // A burst of pipelined frames landing in a single read: the parser must
+  // consume them with an offset cursor (erase(0, ...) per frame is
+  // quadratic in the burst size) and yield every payload in order.
+  constexpr int kFrames = 20000;
+  std::string wire;
+  for (int i = 0; i < kFrames; ++i) {
+    wire += EncodeFrame(std::to_string(i)).value();
+  }
+  FrameParser parser;
+  ASSERT_TRUE(parser.Append(wire.data(), wire.size()).ok());
+  std::string payload;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(parser.Next(&payload)) << "frame " << i;
+    EXPECT_EQ(payload, std::to_string(i));
+  }
+  EXPECT_FALSE(parser.Next(&payload));
+  EXPECT_FALSE(parser.MidFrame());
+}
+
+TEST(FramingTest, CursorCompactionPreservesPartialFrames) {
+  // A >= 64 KiB burst followed by a *partial* trailing frame in the same
+  // Append: the consumed prefix is compacted away while unconsumed bytes
+  // are still pending, which must not corrupt or lose them.
+  const std::string filler(8 * 1024, 'f');
+  std::string wire;
+  for (int i = 0; i < 20; ++i) wire += EncodeFrame(filler).value();
+  const std::string tail = EncodeFrame("tail").value();
+  wire.append(tail.data(), tail.size() - 2);
+  FrameParser parser;
+  ASSERT_TRUE(parser.Append(wire.data(), wire.size()).ok());
+  std::string payload;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(parser.Next(&payload)) << "frame " << i;
+    EXPECT_EQ(payload, filler);
+  }
+  EXPECT_FALSE(parser.Next(&payload));
+  EXPECT_TRUE(parser.MidFrame());
+  ASSERT_TRUE(parser.Append(tail.data() + tail.size() - 2, 2).ok());
+  ASSERT_TRUE(parser.Next(&payload));
+  EXPECT_EQ(payload, "tail");
+  EXPECT_FALSE(parser.MidFrame());
 }
 
 TEST(FramingTest, OversizedLengthIsStickyError) {
@@ -76,7 +146,7 @@ TEST(FramingTest, ReadFrameReportsCleanEofAsNotFound) {
 
 TEST(FramingTest, ReadFrameReportsTruncationAsCorruption) {
   auto [client, server] = CreateInProcessPipe();
-  const std::string frame = EncodeFrame("truncated");
+  const std::string frame = EncodeFrame("truncated").value();
   // Send the prefix plus half the payload, then hang up.
   ASSERT_TRUE(client->Write(frame.data(), frame.size() - 4));
   client->Close();
