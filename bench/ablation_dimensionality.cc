@@ -26,7 +26,8 @@ double ScalarPackedMakespan(const std::vector<mrs::ParallelizedOp>& ops,
   using namespace mrs;
   std::vector<ParallelizedOp> scalar = ops;
   for (auto& op : scalar) {
-    for (auto& w : op.clones) {
+    for (size_t k = 0; k < static_cast<size_t>(op.degree); ++k) {
+      WorkVector& w = op.clones.Mutable(k);
       const double total = w.Total();
       w = WorkVector(w.dim());
       w[0] = total;  // all mass on one axis: scalar view

@@ -62,7 +62,7 @@ double ScalarPackedMakespan(const std::vector<ParallelizedOp>& jobs,
   for (auto& job : scalar) {
     WorkVector w(3);
     w[0] = job.clones[0].Total();
-    job.clones[0] = w;
+    job.clones.Mutable(0) = w;
   }
   auto packed = OperatorSchedule(scalar, nodes, 3);
   if (!packed.ok()) return -1.0;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON result files.
+
+Usage:
+  scripts/compare_bench.py BASELINE.json CONTENDER.json [--filter REGEX]
+
+Matches benchmarks by name, prints per-benchmark wall-time deltas and the
+speedup factor (baseline_time / contender_time; > 1 means the contender is
+faster), and a geometric-mean speedup over the matched set. Exits nonzero
+on malformed inputs or when no benchmark names match, so it can gate CI.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read benchmark JSON {path!r}: {exc}")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); compare
+        # the raw iterations only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or "real_time" not in bench:
+            continue
+        out[name] = bench
+    if not out:
+        sys.exit(f"error: {path!r} contains no benchmark entries")
+    return out
+
+
+def fmt_time(value, unit):
+    return f"{value:,.0f} {unit}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline results (JSON)")
+    parser.add_argument("contender", help="new results (JSON)")
+    parser.add_argument(
+        "--filter", default=None, metavar="REGEX",
+        help="only compare benchmarks whose name matches REGEX")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cont = load_benchmarks(args.contender)
+    names = [n for n in base if n in cont]
+    if args.filter:
+        pattern = re.compile(args.filter)
+        names = [n for n in names if pattern.search(n)]
+    if not names:
+        sys.exit("error: no common benchmark names to compare")
+
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'contender':>14}  "
+          f"{'delta':>8}  {'speedup':>8}")
+    log_sum = 0.0
+    for name in names:
+        b, c = base[name], cont[name]
+        bt, ct = b["real_time"], c["real_time"]
+        unit = b.get("time_unit", "ns")
+        if c.get("time_unit", "ns") != unit:
+            sys.exit(f"error: time units differ for {name!r}")
+        speedup = bt / ct if ct > 0 else float("inf")
+        delta = (ct - bt) / bt * 100.0 if bt > 0 else float("inf")
+        log_sum += math.log(speedup)
+        print(f"{name:<{width}}  {fmt_time(bt, unit):>14}  "
+              f"{fmt_time(ct, unit):>14}  {delta:>+7.1f}%  {speedup:>7.2f}x")
+    geomean = math.exp(log_sum / len(names))
+    print(f"\n{len(names)} benchmark(s) compared; geometric-mean speedup "
+          f"{geomean:.2f}x (baseline/contender, >1 = contender faster)")
+
+
+if __name__ == "__main__":
+    main()

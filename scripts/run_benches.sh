@@ -5,6 +5,9 @@
 #   BENCH_online.json  one JSON object per line from micro_online_throughput
 #                      (three load points: light, saturating, overloaded)
 #   BENCH_micro.json   google-benchmark JSON from micro_scheduler_runtime
+#   BENCH_workvector.json  google-benchmark JSON from micro_workvector
+#                      (split/place/simulate across d and P; diff against
+#                      a saved baseline with scripts/compare_bench.py)
 #   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
 #   BENCH_placement.json  one JSON object per line from
 #                      micro_placement_scale (indexed vs. linear clone
@@ -25,7 +28,7 @@ if [ ! -d "${build_dir}" ]; then
 fi
 cmake --build "${build_dir}" \
   --target micro_online_throughput micro_scheduler_runtime \
-  micro_trace_overhead micro_placement_scale
+  micro_trace_overhead micro_placement_scale micro_workvector
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -40,6 +43,10 @@ cat "${out_dir}/BENCH_online.json"
 echo "=== scheduler microbenchmarks -> ${out_dir}/BENCH_micro.json ==="
 "${build_dir}/bench/micro_scheduler_runtime" \
   --benchmark_format=json > "${out_dir}/BENCH_micro.json"
+
+echo "=== work-vector core -> ${out_dir}/BENCH_workvector.json ==="
+"${build_dir}/bench/micro_workvector" \
+  --benchmark_format=json > "${out_dir}/BENCH_workvector.json"
 
 echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
 "${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"

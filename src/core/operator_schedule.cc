@@ -46,6 +46,7 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
   Schedule schedule(num_sites, dims);
 
   // Degrees must fit: constraint (A) caps an operator's parallelism at P.
+  size_t floating_clones = 0;
   for (const auto& op : ops) {
     if (op.degree > num_sites) {
       return Status::InvalidArgument(
@@ -57,7 +58,11 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
       return Status::InvalidArgument(
           StrFormat("op%d has inconsistent clone data", op.op_id));
     }
+    if (!op.rooted) floating_clones += static_cast<size_t>(op.degree);
   }
+  // All allocation happens up front; the placement loop below then runs
+  // heap-allocation-free (pinned by tests/core/alloc_free_test.cc).
+  schedule.ReserveFor(ops);
 
   // Step 1: rooted operators are pinned by data placement.
   for (const auto& op : ops) {
@@ -68,6 +73,7 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
 
   // Step 2: list the floating clones.
   std::vector<CloneRef> list;
+  list.reserve(floating_clones);
   for (size_t i = 0; i < ops.size(); ++i) {
     if (ops[i].rooted) continue;
     for (int k = 0; k < ops[i].degree; ++k) {
@@ -119,9 +125,11 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
   // Site selection runs in one of two modes with pinned-identical output:
   // the indexed engine descends a tournament tree over load_length with
   // the operator's already-used sites excluded (O(log P + degree) per
-  // clone, per-op sorted exclusion lists), while the reference linear
-  // scan walks all P sites (the differential-testing oracle, and the
-  // kFirstAllowable path, which stops within degree+1 steps regardless).
+  // clone, per-op sorted exclusion lists; below
+  // PlacementIndex::kLinearScanMaxSites it scans its leaves instead —
+  // see placement_index.h), while the reference linear scan walks all P
+  // sites (the differential-testing oracle, and the kFirstAllowable
+  // path, which stops within degree+1 steps regardless).
   const bool indexed = options.placement_index &&
                        options.site_choice == SiteChoice::kLeastLoaded;
   PlacementIndex index;
@@ -130,6 +138,11 @@ Result<Schedule> OperatorSchedule(const std::vector<ParallelizedOp>& ops,
   if (indexed) {
     index.Reset(load_length);
     used_sorted.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!ops[i].rooted) {
+        used_sorted[i].reserve(static_cast<size_t>(ops[i].degree));
+      }
+    }
   } else {
     used.assign(ops.size(),
                 std::vector<char>(static_cast<size_t>(num_sites), 0));

@@ -7,7 +7,8 @@ namespace mrs {
 void PlacementIndex::Reset(const std::vector<double>& loads) {
   num_sites_ = static_cast<int>(loads.size());
   load_ = loads;
-  if (num_sites_ == 0) {
+  if (num_sites_ <= kLinearScanMaxSites) {
+    // Leaf-scan mode: queries walk load_ directly, no tree to maintain.
     size_ = 0;
     win_.clear();
     return;
@@ -36,15 +37,51 @@ int PlacementIndex::Winner(int left, int right) const {
 
 void PlacementIndex::Update(int site, double load) {
   load_[static_cast<size_t>(site)] = load;
+  if (size_ == 0) return;  // leaf-scan mode: no winners to repair
   for (int i = (size_ + site) >> 1; i >= 1; i >>= 1) {
     win_[static_cast<size_t>(i)] = Winner(win_[static_cast<size_t>(2 * i)],
                                           win_[static_cast<size_t>(2 * i + 1)]);
   }
 }
 
+int PlacementIndex::MinSite() const {
+  if (num_sites_ == 0) return -1;
+  if (size_ == 0) return ScanExcluding(nullptr, nullptr);
+  return win_[1];
+}
+
+int PlacementIndex::ScanExcluding(const int* ex, const int* ex_end) const {
+  int best = -1;
+  double best_load = 0.0;
+  for (int s = 0; s < num_sites_; ++s) {
+    if (ex != ex_end && *ex == s) {
+      ++ex;
+      continue;
+    }
+    const double load = load_[static_cast<size_t>(s)];
+    // Strict <: ties keep the earlier (lower-index) site, like the
+    // reference scan and the tree's left-on-tie Winner.
+    if (best < 0 || load < best_load) {
+      best = s;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
 int PlacementIndex::MinSiteExcluding(const std::vector<int>& excluded) const {
-  if (win_.empty()) return -1;
+  if (num_sites_ == 0) return -1;
+  if (size_ == 0) {
+    return ScanExcluding(excluded.data(), excluded.data() + excluded.size());
+  }
   if (excluded.empty()) return win_[1];
+  // Dense exclusions (a high-degree operator on a modest machine) touch
+  // nearly every subtree, so the pruned descent visits ~all nodes; one
+  // pass over the leaves is cheaper from about 1/kDenseExclusionRatio of
+  // the sites on. load_ is always current, so the answer is the same.
+  if (static_cast<int>(excluded.size()) * kDenseExclusionRatio >= num_sites_) {
+    return ScanExcluding(excluded.data(), excluded.data() + excluded.size());
+  }
   return Descend(1, 0, size_, excluded.data(),
                  excluded.data() + excluded.size());
 }

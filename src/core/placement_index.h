@@ -34,8 +34,25 @@ namespace mrs {
 /// site the reference linear scan (strict `<` update, ascending order)
 /// selects on the same doubles — the property the differential placement
 /// test (tests/core/placement_index_test.cc) locks across machine sizes.
+///
+/// Below kLinearScanMaxSites the index skips the tree entirely and
+/// answers queries with an exclusion-aware scan over the leaf loads: at
+/// small P the operator degrees approach P, the exclusion set then covers
+/// most subtrees, and the pruned descent degenerates to visiting nearly
+/// every node — strictly worse than one cache-friendly pass over P
+/// doubles. The hybrid keeps every query bit-identical (same strict-<
+/// lowest-index tie-break); only the data structure behind it changes.
 class PlacementIndex {
  public:
+  /// Machine sizes up to this use the leaf-scan mode (no tournament
+  /// tree); measured crossover is between P=64 (scan ties the tree) and
+  /// P=256 (tree wins 1.5x, growing with P).
+  static constexpr int kLinearScanMaxSites = 64;
+  /// In tree mode, a query whose exclusion set covers at least
+  /// 1/kDenseExclusionRatio of the sites falls back to the leaf scan:
+  /// that many exclusions intersect nearly every subtree, degenerating
+  /// the pruned descent to a full (and costlier) tree walk.
+  static constexpr int kDenseExclusionRatio = 8;
   PlacementIndex() = default;
   explicit PlacementIndex(const std::vector<double>& loads) { Reset(loads); }
 
@@ -49,7 +66,7 @@ class PlacementIndex {
   double LoadOf(int site) const { return load_[static_cast<size_t>(site)]; }
 
   /// Lowest-index site of minimal load; -1 for an empty index.
-  int MinSite() const { return win_.empty() ? -1 : win_[1]; }
+  int MinSite() const;
 
   /// Lowest-index minimal-load site outside `excluded`. `excluded` must be
   /// sorted ascending, duplicate-free, and within [0, num_sites); returns
@@ -66,9 +83,14 @@ class PlacementIndex {
   int Descend(int node, int lo, int hi, const int* ex_begin,
               const int* ex_end) const;
 
+  /// Lowest-index minimal-load site outside the sorted range
+  /// [ex, ex_end) by one pass over load_ — the small-P mode.
+  int ScanExcluding(const int* ex, const int* ex_end) const;
+
   int num_sites_ = 0;
   /// Leaf count: smallest power of two >= num_sites_ (extra leaves are
-  /// empty, winner -1).
+  /// empty, winner -1). 0 in leaf-scan mode (num_sites_ <=
+  /// kLinearScanMaxSites), where no tree is maintained.
   int size_ = 0;
   std::vector<double> load_;
   /// Heap-ordered winners: win_[1] is the root, node i has children 2i and

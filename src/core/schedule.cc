@@ -10,12 +10,30 @@ namespace mrs {
 Schedule::Schedule(int num_sites, int dims)
     : num_sites_(num_sites),
       dims_(dims),
-      site_placements_(static_cast<size_t>(std::max(num_sites, 0))),
+      site_chain_(static_cast<size_t>(std::max(num_sites, 0))),
       site_load_(static_cast<size_t>(std::max(num_sites, 0)),
                  WorkVector(static_cast<size_t>(std::max(dims, 0)))),
       site_max_t_seq_(static_cast<size_t>(std::max(num_sites, 0)), 0.0) {
   MRS_CHECK(num_sites >= 1) << "schedule needs at least one site";
   MRS_CHECK(dims >= 1) << "schedule needs at least one resource dimension";
+}
+
+void Schedule::ReserveFor(const std::vector<ParallelizedOp>& ops) {
+  size_t total = placements_.size();
+  for (const auto& op : ops) {
+    if (op.degree > 0) total += static_cast<size_t>(op.degree);
+  }
+  placements_.reserve(total);
+  next_at_site_.reserve(total);
+  op_sites_.reserve(op_sites_.size() + ops.size());
+  for (const auto& op : ops) {
+    if (op.degree < 1) continue;
+    auto it = op_sites_.find(op.op_id);
+    if (it == op_sites_.end()) {
+      op_sites_.emplace(op.op_id,
+                        std::vector<int>(static_cast<size_t>(op.degree), -1));
+    }
+  }
 }
 
 Status Schedule::Place(const ParallelizedOp& op, int clone_idx, int site) {
@@ -35,11 +53,19 @@ Status Schedule::Place(const ParallelizedOp& op, int clone_idx, int site) {
                   op.op_id, op.clones[static_cast<size_t>(clone_idx)].dim(),
                   dims_));
   }
-  auto [it, inserted] = op_sites_.try_emplace(
-      op.op_id, std::vector<int>(static_cast<size_t>(op.degree), -1));
+  // find-then-emplace instead of try_emplace with a vector argument: the
+  // latter constructs (allocates) the vector before probing the map, even
+  // when the key is already present — i.e. on every placement after the
+  // operator's first.
+  auto it = op_sites_.find(op.op_id);
+  if (it == op_sites_.end()) {
+    it = op_sites_
+             .emplace(op.op_id,
+                      std::vector<int>(static_cast<size_t>(op.degree), -1))
+             .first;
+  }
   std::vector<int>& sites = it->second;
-  if (!inserted &&
-      static_cast<int>(sites.size()) != op.degree) {
+  if (static_cast<int>(sites.size()) != op.degree) {
     return Status::InvalidArgument(
         StrFormat("op%d placed with inconsistent degrees", op.op_id));
   }
@@ -60,13 +86,21 @@ Status Schedule::Place(const ParallelizedOp& op, int clone_idx, int site) {
   placement.work = op.clones[static_cast<size_t>(clone_idx)];
   placement.t_seq = op.t_seq[static_cast<size_t>(clone_idx)];
 
+  const int index = static_cast<int>(placements_.size());
   sites[static_cast<size_t>(clone_idx)] = site;
-  site_placements_[static_cast<size_t>(site)].push_back(
-      static_cast<int>(placements_.size()));
+  SiteChain& chain = site_chain_[static_cast<size_t>(site)];
+  if (chain.tail >= 0) {
+    next_at_site_[static_cast<size_t>(chain.tail)] = index;
+  } else {
+    chain.head = index;
+  }
+  chain.tail = index;
+  ++chain.count;
   site_load_[static_cast<size_t>(site)] += placement.work;
   site_max_t_seq_[static_cast<size_t>(site)] =
       std::max(site_max_t_seq_[static_cast<size_t>(site)], placement.t_seq);
   placements_.push_back(std::move(placement));
+  next_at_site_.push_back(-1);
   return Status::OK();
 }
 
@@ -86,9 +120,10 @@ Status Schedule::PlaceRooted(const ParallelizedOp& op) {
   return Status::OK();
 }
 
-const std::vector<int>& Schedule::SitePlacements(int site) const {
+Schedule::SitePlacementRange Schedule::SitePlacements(int site) const {
   MRS_CHECK(site >= 0 && site < num_sites_) << "site out of range";
-  return site_placements_[static_cast<size_t>(site)];
+  const SiteChain& chain = site_chain_[static_cast<size_t>(site)];
+  return SitePlacementRange(chain.head, chain.count, &next_at_site_);
 }
 
 const WorkVector& Schedule::SiteLoad(int site) const {
@@ -167,7 +202,7 @@ std::string Schedule::ToString() const {
                               num_sites_, Makespan());
   for (int j = 0; j < num_sites_; ++j) {
     std::vector<std::string> parts;
-    for (int p : site_placements_[static_cast<size_t>(j)]) {
+    for (int p : SitePlacements(j)) {
       const auto& c = placements_[static_cast<size_t>(p)];
       parts.push_back(StrFormat("op%d.%d", c.op_id, c.clone_idx));
     }

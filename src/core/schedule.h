@@ -1,6 +1,8 @@
 #ifndef MRS_CORE_SCHEDULE_H_
 #define MRS_CORE_SCHEDULE_H_
 
+#include <cstddef>
+#include <iterator>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,9 +32,21 @@ struct ClonePlacement {
 ///   T_site(s) = max( max_{clones at s} T_seq, l(work(s)) )
 /// and the schedule's makespan follows eq. (3): the max site time, i.e.
 /// the larger of the slowest operator and the most congested resource.
+///
+/// Per-site placement lists are stored as index chains threaded through
+/// the placement array (head/tail per site + one next link per placement)
+/// instead of P growable vectors, so a Place call after ReserveFor
+/// performs zero heap allocations — the property the steady-state
+/// OPERATORSCHEDULE loop relies on (DESIGN.md §4f).
 class Schedule {
  public:
   Schedule(int num_sites, int dims);
+
+  /// Pre-sizes the placement storage (and registers the operator ids) for
+  /// every clone of `ops`, so that the subsequent Place calls perform no
+  /// heap allocation (for work vectors with d <= WorkVector::kInlineDims).
+  /// Purely an optimization: placements and results are unchanged.
+  void ReserveFor(const std::vector<ParallelizedOp>& ops);
 
   /// Places clone `clone_idx` of `op` at `site`. Fails if the site is out
   /// of range, the clone index is invalid, the clone was already placed,
@@ -47,8 +61,53 @@ class Schedule {
   int num_placements() const { return static_cast<int>(placements_.size()); }
   const std::vector<ClonePlacement>& placements() const { return placements_; }
 
+  /// Forward range over the indices (into placements()) of the clones
+  /// placed at one site, in placement order.
+  class SitePlacementRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = int;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const int*;
+      using reference = int;
+
+      iterator(int cur, const std::vector<int>* next)
+          : cur_(cur), next_(next) {}
+      int operator*() const { return cur_; }
+      iterator& operator++() {
+        cur_ = (*next_)[static_cast<size_t>(cur_)];
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator prev = *this;
+        ++(*this);
+        return prev;
+      }
+      bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+      bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+     private:
+      int cur_;
+      const std::vector<int>* next_;
+    };
+
+    SitePlacementRange(int head, int count, const std::vector<int>* next)
+        : head_(head), count_(count), next_(next) {}
+    iterator begin() const { return iterator(head_, next_); }
+    iterator end() const { return iterator(-1, next_); }
+    size_t size() const { return static_cast<size_t>(count_); }
+    bool empty() const { return count_ == 0; }
+
+   private:
+    int head_;
+    int count_;
+    const std::vector<int>* next_;
+  };
+
   /// Clones placed at `site` (indices into placements()).
-  const std::vector<int>& SitePlacements(int site) const;
+  SitePlacementRange SitePlacements(int site) const;
 
   /// Aggregate work vector at `site` (the vector sum of its clones).
   const WorkVector& SiteLoad(int site) const;
@@ -67,7 +126,8 @@ class Schedule {
 
   /// The home of an operator: the sites of its clones, indexed by clone
   /// number (so home[0] is the coordinator's site). Entries are -1 for
-  /// unplaced clones; an unknown operator yields an empty vector.
+  /// unplaced clones; an operator never seen by Place/ReserveFor yields an
+  /// empty vector.
   std::vector<int> HomeOf(int op_id) const;
 
   /// Verifies that every clone of every operator in `ops` is placed
@@ -79,10 +139,20 @@ class Schedule {
   std::string ToString() const;
 
  private:
+  /// Placement-chain anchors of one site.
+  struct SiteChain {
+    int head = -1;
+    int tail = -1;
+    int count = 0;
+  };
+
   int num_sites_;
   int dims_;
   std::vector<ClonePlacement> placements_;
-  std::vector<std::vector<int>> site_placements_;
+  /// next_at_site_[p] = index of the next placement at the same site as
+  /// placements_[p], or -1 (parallel to placements_).
+  std::vector<int> next_at_site_;
+  std::vector<SiteChain> site_chain_;
   std::vector<WorkVector> site_load_;
   std::vector<double> site_max_t_seq_;
   // op_id -> site per clone index (-1 = unplaced).

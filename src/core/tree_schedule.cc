@@ -213,12 +213,26 @@ Result<PhaseSchedule> PhasePlanner::NextPhase(
     }
   } else {
     for (int oid : floating_ids) {
-      auto sized = par_floating(SizingCost(oid));
+      const OperatorCost& own = (*costs_)[static_cast<size_t>(oid)];
+      // Joint sizing only changes the cost for builds under kJoinAware;
+      // for every other floating op SizingCost returns `own` unchanged.
+      const bool joint_sizing =
+          options_.build_degree == BuildDegreePolicy::kJoinAware &&
+          dependent_of_.find(oid) != dependent_of_.end();
+      auto sized = par_floating(joint_sizing ? SizingCost(oid) : own);
       if (!sized.ok()) return sized.status();
-      auto op = par_at_degree((*costs_)[static_cast<size_t>(oid)],
-                              sized->degree);
-      if (!op.ok()) return op.status();
-      ops.push_back(std::move(op).value());
+      const int degree = sized->degree;
+      if (joint_sizing || options_.cache != nullptr) {
+        auto op = par_at_degree(own, degree);
+        if (!op.ok()) return op.status();
+        ops.push_back(std::move(op).value());
+      } else {
+        // Sizing cost == own cost and no cache: ParallelizeFloating
+        // already returned MakeParallelized(own, degree) — reusing it is
+        // bit-identical to re-splitting via ParallelizeAtDegree. (With a
+        // cache we still call AtDegree so memoization sees both keys.)
+        ops.push_back(std::move(sized).value());
+      }
       if (par_span.active()) {
         // Chosen degree vs. the Prop. 4.1 cap the CG_f rule derived it
         // from (on the sizing cost: join-aware for builds).
@@ -226,7 +240,7 @@ Result<PhaseSchedule> PhasePlanner::NextPhase(
         const int n_max = MaxCoarseGrainDegree(
             sc.ProcessingArea(), sc.data_bytes, params_, options_.granularity);
         par_span.Attr(StrFormat("op%d.degree", oid),
-                      StrFormat("%d/nmax=%d", sized->degree, n_max));
+                      StrFormat("%d/nmax=%d", degree, n_max));
       }
     }
   }

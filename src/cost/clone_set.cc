@@ -1,0 +1,49 @@
+#include "cost/clone_set.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mrs {
+
+CloneSet CloneSet::Uniform(WorkVector coordinator, WorkVector base,
+                           int degree) {
+  MRS_CHECK(degree >= 1) << "uniform clone set needs degree >= 1";
+  MRS_CHECK(coordinator.dim() == base.dim())
+      << "coordinator/base dimension mismatch";
+  CloneSet set;
+  set.uniform_degree_ = degree;
+  set.coordinator_ = std::move(coordinator);
+  set.base_ = std::move(base);
+  return set;
+}
+
+void CloneSet::Materialize() {
+  if (uniform_degree_ == 0) return;
+  distinct_.clear();
+  distinct_.reserve(static_cast<size_t>(uniform_degree_));
+  distinct_.push_back(coordinator_);
+  for (int k = 1; k < uniform_degree_; ++k) distinct_.push_back(base_);
+  uniform_degree_ = 0;
+  coordinator_ = WorkVector();
+  base_ = WorkVector();
+}
+
+WorkVector CloneSet::Sum() const {
+  const size_t n = size();
+  if (n == 0) return WorkVector();
+  WorkVector sum((*this)[0].dim());
+  for (size_t k = 0; k < n; ++k) sum += (*this)[k];
+  return sum;
+}
+
+bool CloneSet::operator==(const CloneSet& other) const {
+  const size_t n = size();
+  if (n != other.size()) return false;
+  for (size_t k = 0; k < n; ++k) {
+    if ((*this)[k] != other[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace mrs

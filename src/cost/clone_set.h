@@ -1,0 +1,129 @@
+#ifndef MRS_COST_CLONE_SET_H_
+#define MRS_COST_CLONE_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <vector>
+
+#include "resource/work_vector.h"
+
+namespace mrs {
+
+/// The work vectors of an operator's clones, stored in compressed form
+/// when they are uniform.
+///
+/// Under assumption EA1 (no execution skew), SplitIntoClones produces N
+/// near-identical vectors: every clone carries W/N of the operator's work
+/// and the coordinator (clone 0) additionally carries the serial startup
+/// alpha*N. Materializing those N vectors is the dominant allocation cost
+/// of parallelization at large P, so the uniform case stores just
+/// {coordinator, base, degree} — O(d) space and zero heap allocations for
+/// d <= WorkVector::kInlineDims — while exposing the same indexed-read
+/// API (operator[], size, iteration) as the expanded vector it replaces.
+///
+/// Mutation (the execution-skew path of workload/skew.cc, or hand-crafted
+/// test instances) expands the set to N distinct vectors on first write
+/// ("expand-on-write"); reads never expand.
+class CloneSet {
+ public:
+  CloneSet() = default;
+
+  /// An expanded set with explicitly distinct vectors.
+  CloneSet(std::vector<WorkVector> clones) : distinct_(std::move(clones)) {}
+  CloneSet(std::initializer_list<WorkVector> clones) : distinct_(clones) {}
+
+  /// The compressed EA1 form: clone 0 is `coordinator`, clones 1..degree-1
+  /// are `base`. Requires degree >= 1.
+  static CloneSet Uniform(WorkVector coordinator, WorkVector base, int degree);
+
+  size_t size() const {
+    return uniform_degree_ > 0 ? static_cast<size_t>(uniform_degree_)
+                               : distinct_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// True while the set is stored in compressed uniform form.
+  bool uniform() const { return uniform_degree_ > 0; }
+
+  const WorkVector& operator[](size_t k) const {
+    if (uniform_degree_ > 0) return k == 0 ? coordinator_ : base_;
+    return distinct_[k];
+  }
+  const WorkVector& front() const { return (*this)[0]; }
+
+  /// Mutable access to one clone vector; expands a uniform set first.
+  WorkVector& Mutable(size_t k) {
+    Materialize();
+    return distinct_[k];
+  }
+
+  /// Appends a clone vector; expands a uniform set first.
+  void push_back(WorkVector w) {
+    Materialize();
+    distinct_.push_back(std::move(w));
+  }
+
+  /// The distinct per-clone vectors, expanding a uniform set first. The
+  /// returned reference stays valid until the next mutation.
+  std::vector<WorkVector>& Materialized() {
+    Materialize();
+    return distinct_;
+  }
+
+  /// Expands the compressed form to size() distinct vectors (no-op when
+  /// already expanded).
+  void Materialize();
+
+  /// Componentwise sum of the clone vectors, accumulated in index order
+  /// (bit-identical to summing the expanded set).
+  WorkVector Sum() const;
+
+  /// Read-only forward iteration in clone-index order.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = WorkVector;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const WorkVector*;
+    using reference = const WorkVector&;
+
+    const_iterator(const CloneSet* set, size_t i) : set_(set), i_(i) {}
+    reference operator*() const { return (*set_)[i_]; }
+    pointer operator->() const { return &(*set_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator prev = *this;
+      ++i_;
+      return prev;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const CloneSet* set_;
+    size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// Value equality over the expanded view (a uniform set equals its
+  /// materialized counterpart).
+  bool operator==(const CloneSet& other) const;
+  bool operator!=(const CloneSet& other) const { return !(*this == other); }
+
+ private:
+  /// > 0 iff compressed: clone 0 = coordinator_, clones 1.. = base_.
+  int uniform_degree_ = 0;
+  WorkVector coordinator_;
+  WorkVector base_;
+  std::vector<WorkVector> distinct_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_COST_CLONE_SET_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -10,7 +11,7 @@
 
 namespace mrs {
 
-WorkVector ParallelizedOp::TotalWork() const { return SumVectors(clones); }
+WorkVector ParallelizedOp::TotalWork() const { return clones.Sum(); }
 
 std::string ParallelizedOp::ToString() const {
   return StrFormat("par(op%d %s N=%d t_par=%.2fms%s)", op_id,
@@ -21,25 +22,43 @@ std::string ParallelizedOp::ToString() const {
 int MaxCoarseGrainDegree(double processing_area_ms, double data_bytes,
                          const CostParams& params, double f) {
   const double numer = f * processing_area_ms - params.TransferMs(data_bytes);
+  if (params.startup_ms_per_site <= 0.0) {
+    // alpha = 0: the startup term never binds, so the CG_f condition is
+    // purely a communication budget — unbounded when it admits any
+    // parallelism, 1 otherwise (the alpha -> 0+ limit).
+    return numer > 0.0 ? std::numeric_limits<int>::max() : 1;
+  }
   const double n = std::floor(numer / params.startup_ms_per_site);
-  return std::max(static_cast<int>(n), 1);
+  // Clamp before the int cast: a strongly negative numerator (beta*D >
+  // f*W_p at scale) or a huge budget would otherwise cast out of range.
+  if (n < 1.0) return 1;
+  if (n >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
+  return static_cast<int>(n);
 }
 
-std::vector<WorkVector> SplitIntoClones(const OperatorCost& cost, int n,
-                                        const CostParams& params) {
+CloneSet SplitIntoCloneSet(const OperatorCost& cost, int n,
+                           const CostParams& params) {
   MRS_CHECK(n >= 1) << "degree must be >= 1";
   const double share = 1.0 / static_cast<double>(n);
   WorkVector base = cost.processing * share;
   MRS_CHECK(base.dim() > kNetDim) << "cost vectors must have a net dimension";
   base[kNetDim] += params.TransferMs(cost.data_bytes) * share;
 
-  std::vector<WorkVector> clones(static_cast<size_t>(n), base);
   // EA1: the serial startup alpha*N is incurred at the coordinator (clone
   // 0), half on its CPU and half on its network interface.
+  WorkVector coordinator = base;
   const double startup = params.startup_ms_per_site * static_cast<double>(n);
-  clones[0][kCpuDim] += startup / 2.0;
-  clones[0][kNetDim] += startup / 2.0;
-  return clones;
+  coordinator[kCpuDim] += startup / 2.0;
+  coordinator[kNetDim] += startup / 2.0;
+  return CloneSet::Uniform(std::move(coordinator), std::move(base), n);
+}
+
+std::vector<WorkVector> SplitIntoClones(const OperatorCost& cost, int n,
+                                        const CostParams& params) {
+  CloneSet set = SplitIntoCloneSet(cost, n, params);
+  return std::move(set.Materialized());
 }
 
 double ParallelTime(const OperatorCost& cost, int n, const CostParams& params,
@@ -82,14 +101,15 @@ ParallelizedOp MakeParallelized(const OperatorCost& cost, int degree,
   op.op_id = cost.op_id;
   op.kind = cost.kind;
   op.degree = degree;
-  op.clones = SplitIntoClones(cost, degree, params);
-  op.t_seq.reserve(op.clones.size());
-  op.t_par = 0.0;
-  for (const auto& w : op.clones) {
-    const double t = usage.SequentialTime(w);
-    op.t_seq.push_back(t);
-    op.t_par = std::max(op.t_par, t);
-  }
+  op.clones = SplitIntoCloneSet(cost, degree, params);
+  // Uniform split: one SequentialTime evaluation covers clones 1..N-1
+  // (same base vector, same time) instead of N near-identical passes.
+  const double t_coord = usage.SequentialTime(op.clones[0]);
+  const double t_base =
+      degree > 1 ? usage.SequentialTime(op.clones[1]) : t_coord;
+  op.t_seq.assign(static_cast<size_t>(degree), t_base);
+  op.t_seq[0] = t_coord;
+  op.t_par = std::max(t_coord, t_base);
   return op;
 }
 

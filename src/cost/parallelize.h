@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "cost/clone_set.h"
 #include "cost/cost_model.h"
 #include "cost/cost_params.h"
 #include "resource/usage_model.h"
@@ -25,7 +26,9 @@ struct ParallelizedOp {
   int op_id = -1;
   OperatorKind kind = OperatorKind::kScan;
   int degree = 1;
-  std::vector<WorkVector> clones;
+  /// Uniform EA1 splits stay in compressed {coordinator, base, degree}
+  /// form (no per-clone heap vectors); the skew path expands on write.
+  CloneSet clones;
   std::vector<double> t_seq;
   double t_par = 0.0;
 
@@ -42,14 +45,25 @@ struct ParallelizedOp {
 };
 
 /// Maximum degree of partitioned parallelism admitting a CG_f execution
-/// (paper Prop. 4.1): max(floor((f*W_p - beta*D) / alpha), 1).
+/// (paper Prop. 4.1): max(floor((f*W_p - beta*D) / alpha), 1), clamped to
+/// [1, INT_MAX] (callers cap at P). alpha = 0 makes startup never bind:
+/// the degree is communication-unbounded (INT_MAX) whenever the
+/// communication budget admits any parallelism (f*W_p - beta*D > 0) and 1
+/// otherwise — the alpha -> 0+ limit of the formula, instead of the
+/// floor(+-inf) int cast the division would produce.
 int MaxCoarseGrainDegree(double processing_area_ms, double data_bytes,
                          const CostParams& params, double f);
 
-/// Work vectors of the N clones of `cost` under EA1 (no execution skew):
-/// processing work and the beta*D transfer work are split evenly; the
-/// coordinator (clone 0) additionally carries alpha*N/2 on CPU and
-/// alpha*N/2 on the network interface. Requires n >= 1.
+/// Work vectors of the N clones of `cost` under EA1 (no execution skew),
+/// in compressed uniform form: processing work and the beta*D transfer
+/// work are split evenly; the coordinator (clone 0) additionally carries
+/// alpha*N/2 on CPU and alpha*N/2 on the network interface. Requires
+/// n >= 1. O(d) time and space regardless of n.
+CloneSet SplitIntoCloneSet(const OperatorCost& cost, int n,
+                           const CostParams& params);
+
+/// Expanded-form convenience wrapper around SplitIntoCloneSet (tests and
+/// diagnostics; the scheduling path keeps the compressed form).
 std::vector<WorkVector> SplitIntoClones(const OperatorCost& cost, int n,
                                         const CostParams& params);
 

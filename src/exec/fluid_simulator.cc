@@ -32,9 +32,10 @@ void SimulateSiteOptimal(std::vector<ActiveClone>* clones,
                          SiteUtilization* util,
                          std::vector<double>* finish_times) {
   double now = 0.0;
+  WorkVector load(util->busy.dim());  // hoisted per-event accumulator
   while (!clones->empty()) {
     double longest_own = 0.0;
-    WorkVector load(util->busy.dim());
+    load.SetZero();
     for (const auto& c : *clones) {
       longest_own = std::max(longest_own, c.remaining_own);
       load += c.remaining;
@@ -59,12 +60,15 @@ void SimulateSiteUniform(std::vector<ActiveClone>* clones,
                          SiteUtilization* util,
                          std::vector<double>* finish_times) {
   double now = 0.0;
+  WorkVector rate_sum(util->busy.dim());  // hoisted per-event accumulator
   while (!clones->empty()) {
     // Rates r_c[i] = W_c[i] / T_seq_c are constant over a clone's life
     // (uniform usage, A3); remaining work = r * remaining_own.
-    WorkVector rate_sum(util->busy.dim());
+    rate_sum.SetZero();
     for (const auto& c : *clones) {
       if (c.remaining_own <= kTimeTol) continue;
+      // Division, not reciprocal-multiply: keeps the event series (and the
+      // golden schedules derived from it) bit-identical.
       for (size_t i = 0; i < rate_sum.dim(); ++i) {
         rate_sum[i] += c.remaining[i] / c.remaining_own;
       }
@@ -79,14 +83,18 @@ void SimulateSiteUniform(std::vector<ActiveClone>* clones,
     }
     const double dt = min_own / sigma;
 
-    // Advance all clones by dt wall time (sigma*dt own time).
+    // Advance all clones by dt wall time (sigma*dt own time). The
+    // consumed = remaining * fraction temporary is fused into two
+    // in-place scaled adds: busy[i] += r[i]*f and r[i] += r[i]*(-f) are
+    // bit-identical to the add/subtract of the materialized temporary
+    // (IEEE sign flip is exact).
     for (auto& c : *clones) {
       const double own_progress = sigma * dt;
       const double fraction =
           c.remaining_own > 0 ? own_progress / c.remaining_own : 1.0;
-      WorkVector consumed = c.remaining * std::min(fraction, 1.0);
-      util->busy += consumed;
-      c.remaining -= consumed;
+      const double f = std::min(fraction, 1.0);
+      util->busy.AddScaled(c.remaining, f);
+      c.remaining.AddScaled(c.remaining, -f);
       c.remaining_own -= own_progress;
     }
     now += dt;
@@ -114,6 +122,7 @@ Result<PhaseSimulation> FluidSimulator::SimulatePhase(
 
   for (int j = 0; j < schedule.num_sites(); ++j) {
     std::vector<ActiveClone> clones;
+    clones.reserve(schedule.SitePlacements(j).size());
     for (int p : schedule.SitePlacements(j)) {
       const ClonePlacement& placement =
           schedule.placements()[static_cast<size_t>(p)];
@@ -143,6 +152,12 @@ Result<PhaseSimulation> FluidSimulator::SimulatePhase(
 
 Result<SimulationResult> FluidSimulator::Simulate(
     const TreeScheduleResult& plan) const {
+  if (plan.phases.empty()) {
+    // A zero-phase plan carries no machine description at all (no site
+    // count, no resource dimensionality), so any result we fabricated
+    // here would have made-up dimensions.
+    return Status::InvalidArgument("plan has no phases to simulate");
+  }
   SimulationResult result;
   int dims = 1;
   int num_sites = 1;

@@ -103,15 +103,16 @@ std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
       }
       // Stack the site's clones vertically within the lane, each drawn
       // for the site's full duration (fluid sharing has no sub-intervals).
-      const auto& placements = phase.schedule.SitePlacements(j);
+      const auto placements = phase.schedule.SitePlacements(j);
       const double site_ms = phase.schedule.SiteTime(j);
       if (placements.empty() || site_ms <= 0) continue;
       const double slot =
           static_cast<double>(lane_height) /
           static_cast<double>(placements.size());
-      for (size_t p = 0; p < placements.size(); ++p) {
+      size_t p = 0;
+      for (int placement_index : placements) {
         const ClonePlacement& clone =
-            phase.schedule.placements()[static_cast<size_t>(placements[p])];
+            phase.schedule.placements()[static_cast<size_t>(placement_index)];
         svg += StrFormat(
             "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
             "fill=\"%s\" fill-opacity=\"0.85\"><title>op%d.%d t_seq=%s"
@@ -120,6 +121,7 @@ std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
             std::max(slot - 0.5, 0.5),
             kColors[static_cast<size_t>(clone.op_id) % 10], clone.op_id,
             clone.clone_idx, FormatMillis(clone.t_seq).c_str());
+        ++p;
       }
     }
     phase_start_ms += phase.makespan;

@@ -595,8 +595,8 @@ std::vector<WorkVector> OnlineScheduler::ResidualLoadAt(double t_ms) const {
   for (int s = 0; s < machine_.num_sites; ++s) {
     for (const ResidentClone& c : resident_[static_cast<size_t>(s)]) {
       if (c.finish <= t_ms + kTimeTol) continue;
-      load[static_cast<size_t>(s)] +=
-          c.work * RemainingFraction(c.start, c.finish, t_ms);
+      load[static_cast<size_t>(s)].AddScaled(
+          c.work, RemainingFraction(c.start, c.finish, t_ms));
     }
   }
   return load;

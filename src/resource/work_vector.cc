@@ -7,55 +7,115 @@
 
 namespace mrs {
 
+WorkVector::WorkVector(size_t dim) : dim_(dim) {
+  if (dim_ <= kInlineDims) {
+    std::fill(inline_.begin(), inline_.begin() + dim_, 0.0);
+  } else {
+    heap_.assign(dim_, 0.0);
+  }
+}
+
+WorkVector::WorkVector(std::initializer_list<double> values)
+    : dim_(values.size()) {
+  if (dim_ <= kInlineDims) {
+    std::copy(values.begin(), values.end(), inline_.begin());
+  } else {
+    heap_.assign(values.begin(), values.end());
+  }
+}
+
+WorkVector::WorkVector(const std::vector<double>& values)
+    : dim_(values.size()) {
+  if (dim_ <= kInlineDims) {
+    std::copy(values.begin(), values.end(), inline_.begin());
+  } else {
+    heap_ = values;
+  }
+}
+
 double WorkVector::Length() const {
   double m = 0.0;
-  for (double v : w_) m = std::max(m, v);
+  const double* w = data();
+  for (size_t i = 0; i < dim_; ++i) m = std::max(m, w[i]);
   return m;
 }
 
 double WorkVector::Total() const {
   double t = 0.0;
-  for (double v : w_) t += v;
+  const double* w = data();
+  for (size_t i = 0; i < dim_; ++i) t += w[i];
   return t;
 }
 
 bool WorkVector::IsNonNegative() const {
-  for (double v : w_) {
-    if (v < 0.0) return false;
+  const double* w = data();
+  for (size_t i = 0; i < dim_; ++i) {
+    if (w[i] < 0.0) return false;
   }
   return true;
 }
 
 bool WorkVector::DominatedBy(const WorkVector& other) const {
   MRS_CHECK(dim() == other.dim()) << "dimension mismatch in DominatedBy";
-  for (size_t i = 0; i < w_.size(); ++i) {
-    if (w_[i] > other.w_[i]) return false;
+  const double* a = data();
+  const double* b = other.data();
+  for (size_t i = 0; i < dim_; ++i) {
+    if (a[i] > b[i]) return false;
   }
   return true;
 }
 
 WorkVector& WorkVector::operator+=(const WorkVector& other) {
   MRS_CHECK(dim() == other.dim()) << "dimension mismatch in operator+=";
-  for (size_t i = 0; i < w_.size(); ++i) w_[i] += other.w_[i];
+  double* a = data();
+  const double* b = other.data();
+  for (size_t i = 0; i < dim_; ++i) a[i] += b[i];
   return *this;
 }
 
 WorkVector& WorkVector::operator-=(const WorkVector& other) {
   MRS_CHECK(dim() == other.dim()) << "dimension mismatch in operator-=";
-  for (size_t i = 0; i < w_.size(); ++i) w_[i] -= other.w_[i];
+  double* a = data();
+  const double* b = other.data();
+  for (size_t i = 0; i < dim_; ++i) a[i] -= b[i];
   return *this;
 }
 
 WorkVector& WorkVector::operator*=(double s) {
-  for (double& v : w_) v *= s;
+  double* a = data();
+  for (size_t i = 0; i < dim_; ++i) a[i] *= s;
   return *this;
+}
+
+WorkVector& WorkVector::AddScaled(const WorkVector& v, double s) {
+  MRS_CHECK(dim() == v.dim()) << "dimension mismatch in AddScaled";
+  double* a = data();
+  const double* b = v.data();
+  for (size_t i = 0; i < dim_; ++i) a[i] += b[i] * s;
+  return *this;
+}
+
+void WorkVector::SetZero() {
+  double* a = data();
+  for (size_t i = 0; i < dim_; ++i) a[i] = 0.0;
+}
+
+bool WorkVector::operator==(const WorkVector& other) const {
+  if (dim_ != other.dim_) return false;
+  const double* a = data();
+  const double* b = other.data();
+  for (size_t i = 0; i < dim_; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
 std::string WorkVector::ToString() const {
   std::string out = "[";
-  for (size_t i = 0; i < w_.size(); ++i) {
+  const double* w = data();
+  for (size_t i = 0; i < dim_; ++i) {
     if (i > 0) out += ", ";
-    out += StrFormat("%.3f", w_[i]);
+    out += StrFormat("%.3f", w[i]);
   }
   out += "]";
   return out;

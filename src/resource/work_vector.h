@@ -1,7 +1,9 @@
 #ifndef MRS_RESOURCE_WORK_VECTOR_H_
 #define MRS_RESOURCE_WORK_VECTOR_H_
 
+#include <array>
 #include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -14,22 +16,42 @@ namespace mrs {
 ///
 /// The length of a vector, l(W) = max_i W[i], and the length of a set of
 /// vectors, l(S) = max_i sum_{W in S} W[i], follow the paper's Table 1.
+///
+/// Storage is inline (small-buffer) for d <= kInlineDims, which covers the
+/// paper's experimental instantiation (d = 3: CPU/disk/net, §4.1/EA2) and
+/// the multi-disk layouts up to six disks. Copying such a vector is a
+/// plain memcpy-sized stack copy — no heap traffic — which is what keeps
+/// the steady-state scheduling loops allocation-free (DESIGN.md §4f).
+/// Dimensionalities above kInlineDims fall back to heap storage.
 class WorkVector {
  public:
+  static constexpr size_t kInlineDims = 8;
+
   WorkVector() = default;
 
   /// A zero vector of dimensionality `dim`.
-  explicit WorkVector(size_t dim) : w_(dim, 0.0) {}
+  explicit WorkVector(size_t dim);
 
   /// From explicit components.
-  WorkVector(std::initializer_list<double> values) : w_(values) {}
-  explicit WorkVector(std::vector<double> values) : w_(std::move(values)) {}
+  WorkVector(std::initializer_list<double> values);
+  explicit WorkVector(const std::vector<double>& values);
 
-  size_t dim() const { return w_.size(); }
-  bool empty() const { return w_.empty(); }
+  size_t dim() const { return dim_; }
+  bool empty() const { return dim_ == 0; }
 
-  double operator[](size_t i) const { return w_[i]; }
-  double& operator[](size_t i) { return w_[i]; }
+  double operator[](size_t i) const { return data()[i]; }
+  double& operator[](size_t i) { return data()[i]; }
+
+  /// Contiguous component storage (inline buffer or heap fallback).
+  const double* data() const {
+    return dim_ <= kInlineDims ? inline_.data() : heap_.data();
+  }
+  double* data() { return dim_ <= kInlineDims ? inline_.data() : heap_.data(); }
+
+  const double* begin() const { return data(); }
+  const double* end() const { return data() + dim_; }
+  double* begin() { return data(); }
+  double* end() { return data() + dim_; }
 
   /// l(W): maximum component. 0 for an empty vector.
   double Length() const;
@@ -50,6 +72,16 @@ class WorkVector {
   WorkVector& operator-=(const WorkVector& other);
   WorkVector& operator*=(double s);
 
+  /// Fused in-place scaled add: *this += v * s, without materializing the
+  /// scaled temporary (one pass, bit-identical to the two-step form since
+  /// each component performs the same multiply-then-add). `v` may alias
+  /// *this, which yields w[i] += w[i] * s componentwise.
+  WorkVector& AddScaled(const WorkVector& v, double s);
+
+  /// Resets every component to zero, keeping the dimensionality (hot-loop
+  /// helper so per-event accumulators can be hoisted and reused).
+  void SetZero();
+
   friend WorkVector operator+(WorkVector a, const WorkVector& b) {
     a += b;
     return a;
@@ -67,15 +99,26 @@ class WorkVector {
     return a;
   }
 
-  bool operator==(const WorkVector& other) const { return w_ == other.w_; }
+  bool operator==(const WorkVector& other) const;
+  bool operator!=(const WorkVector& other) const { return !(*this == other); }
 
   /// "[10.0, 15.0, 0.0]"
   std::string ToString() const;
 
-  const std::vector<double>& components() const { return w_; }
+  /// The components as a std::vector (a copy — the storage itself is
+  /// inline for d <= kInlineDims).
+  std::vector<double> components() const {
+    return std::vector<double>(begin(), end());
+  }
 
  private:
-  std::vector<double> w_;
+  size_t dim_ = 0;
+  /// Valid for the first dim_ entries when dim_ <= kInlineDims.
+  /// Value-initialized so that whole-object copies of short vectors never
+  /// read indeterminate tail slots.
+  std::array<double, kInlineDims> inline_{};
+  /// Engaged only when dim_ > kInlineDims.
+  std::vector<double> heap_;
 };
 
 /// l(S) for a set of work vectors: max component of the vector sum.

@@ -28,7 +28,10 @@ ParallelizedOp ApplySkew(const ParallelizedOp& op, const SkewParams& params,
   ParallelizedOp skewed = op;
   skewed.t_par = 0.0;
   for (size_t k = 0; k < n; ++k) {
-    skewed.clones[k] = op.clones[k] * weights[k];
+    // Mutable() expands a uniform clone set into distinct per-clone
+    // vectors (copy-on-write) — skew is exactly the path that breaks
+    // the uniform-split invariant.
+    skewed.clones.Mutable(k) = op.clones[k] * weights[k];
     skewed.t_seq[k] = usage.SequentialTime(skewed.clones[k]);
     skewed.t_par = std::max(skewed.t_par, skewed.t_seq[k]);
   }

@@ -1,0 +1,106 @@
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// The sanitizers replace the global allocator themselves; interposing on
+// top of them would either conflict or bypass their bookkeeping, so the
+// counter is compiled out and reports unavailable.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MRS_ALLOC_COUNTER_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define MRS_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+
+namespace mrs {
+namespace testing_util {
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+bool AllocCountingAvailable() {
+#ifdef MRS_ALLOC_COUNTER_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+namespace alloc_counter_internal {
+
+void Count() { g_alloc_count.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace alloc_counter_internal
+}  // namespace testing_util
+}  // namespace mrs
+
+#ifndef MRS_ALLOC_COUNTER_DISABLED
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  mrs::testing_util::alloc_counter_internal::Count();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  mrs::testing_util::alloc_counter_internal::Count();
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  mrs::testing_util::alloc_counter_internal::Count();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  mrs::testing_util::alloc_counter_internal::Count();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !MRS_ALLOC_COUNTER_DISABLED

@@ -1,0 +1,29 @@
+#ifndef MRS_TESTS_ALLOC_COUNTER_H_
+#define MRS_TESTS_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace mrs {
+namespace testing_util {
+
+/// Test-only heap-allocation counter backed by replacement global
+/// operator new/delete (see alloc_counter.cc). Used to pin the
+/// allocation-free guarantees of DESIGN.md §4f: zero heap allocations per
+/// placed clone in the OPERATORSCHEDULE steady-state loop and per event
+/// in the fluid simulator, for work vectors with d <= kInlineDims.
+///
+/// Under ASan/TSan/MSan the sanitizer runtime owns the allocator, so the
+/// interposer is compiled out and AllocCountingAvailable() returns false;
+/// callers should GTEST_SKIP() in that case.
+
+/// True iff the counting operator new is linked into this binary.
+bool AllocCountingAvailable();
+
+/// Total number of operator new / operator new[] calls so far (all
+/// threads). Only meaningful when AllocCountingAvailable().
+uint64_t AllocCount();
+
+}  // namespace testing_util
+}  // namespace mrs
+
+#endif  // MRS_TESTS_ALLOC_COUNTER_H_

@@ -98,6 +98,43 @@ TEST(PlacementIndexTest, RandomizedAgainstLinearScan) {
   }
 }
 
+TEST(PlacementIndexTest, ThresholdStraddlingSizesAgree) {
+  // Exercise both storage modes (leaf scan at P <= kLinearScanMaxSites,
+  // tournament tree above) on either side of the cutover, against the
+  // reference scan.
+  Rng rng(testing_util::FuzzSeed(20260807));
+  for (int p : {PlacementIndex::kLinearScanMaxSites - 1,
+                PlacementIndex::kLinearScanMaxSites,
+                PlacementIndex::kLinearScanMaxSites + 1,
+                2 * PlacementIndex::kLinearScanMaxSites}) {
+    std::vector<double> loads;
+    for (int s = 0; s < p; ++s) {
+      loads.push_back(static_cast<double>(rng.Index(7)));
+    }
+    PlacementIndex index(loads);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<int> excluded;
+      for (int s = 0; s < p; ++s) {
+        if (rng.Index(4) == 0) excluded.push_back(s);
+      }
+      int expect = -1;
+      double best = 0.0;
+      for (int s = 0; s < p; ++s) {
+        if (std::binary_search(excluded.begin(), excluded.end(), s)) continue;
+        if (expect < 0 || loads[static_cast<size_t>(s)] < best) {
+          expect = s;
+          best = loads[static_cast<size_t>(s)];
+        }
+      }
+      EXPECT_EQ(index.MinSiteExcluding(excluded), expect)
+          << "P=" << p << " trial " << trial;
+      const int site = static_cast<int>(rng.Index(static_cast<size_t>(p)));
+      loads[static_cast<size_t>(site)] = static_cast<double>(rng.Index(7));
+      index.Update(site, loads[static_cast<size_t>(site)]);
+    }
+  }
+}
+
 /// Differential property: the indexed and linear OPERATORSCHEDULE paths
 /// produce byte-identical schedules — same clone-to-site mapping in the
 /// same placement order, bit-equal makespan — on random instances at

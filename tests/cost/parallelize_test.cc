@@ -1,6 +1,7 @@
 #include "cost/parallelize.h"
 
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -27,6 +28,37 @@ TEST(MaxCoarseGrainDegreeTest, HandComputedValue) {
   EXPECT_EQ(MaxCoarseGrainDegree(925.0, 128000.0, params, 0.05), 1);
   // Even negative numerators clamp to 1 (Prop 4.1's max with 1).
   EXPECT_EQ(MaxCoarseGrainDegree(10.0, 1'000'000.0, params, 0.5), 1);
+}
+
+// Regression: alpha = 0 used to divide by zero and push +/-inf through
+// std::floor into an int cast (UB). The degree is now the alpha -> 0+
+// limit: communication-unbounded when the CG_f budget admits any
+// parallelism at all, 1 otherwise.
+TEST(MaxCoarseGrainDegreeTest, ZeroStartupIsCommunicationBounded) {
+  CostParams params;
+  params.startup_ms_per_site = 0.0;
+  // Positive numerator: 0.7 * 925 > TransferMs(128000) -> unbounded (the
+  // caller clamps with num_sites).
+  EXPECT_EQ(MaxCoarseGrainDegree(925.0, 128000.0, params, 0.7),
+            std::numeric_limits<int>::max());
+  // Negative numerator (beta*D > f*W_p): no degree satisfies CG_f beyond
+  // the trivial one.
+  EXPECT_EQ(MaxCoarseGrainDegree(10.0, 1'000'000.0, params, 0.5), 1);
+  // Zero numerator is not "> 0": stays at 1, consistent with the strict
+  // budget check.
+  CostParams zero_comm = params;
+  zero_comm.net_ms_per_byte = 0.0;
+  EXPECT_EQ(MaxCoarseGrainDegree(0.0, 0.0, zero_comm, 0.7), 1);
+}
+
+// Regression: a strongly negative numerator with tiny alpha produced a
+// quotient below INT_MIN, another UB int cast. Both extremes now clamp.
+TEST(MaxCoarseGrainDegreeTest, ExtremeQuotientsClampToValidDegrees) {
+  CostParams params;
+  params.startup_ms_per_site = 1e-12;
+  EXPECT_EQ(MaxCoarseGrainDegree(10.0, 1'000'000.0, params, 0.5), 1);
+  EXPECT_EQ(MaxCoarseGrainDegree(1e9, 0.0, params, 0.9),
+            std::numeric_limits<int>::max());
 }
 
 TEST(MaxCoarseGrainDegreeTest, MonotoneInF) {

@@ -203,6 +203,18 @@ TEST(FluidSimulatorTest, DisjointResidentQueriesKeepTheirOwnMakespans) {
   }
 }
 
+// Regression: an empty plan used to fabricate a dim-1 zero-phase result
+// (the machine's true dimensionality is unknowable without a phase). It
+// is now rejected outright.
+TEST(FluidSimulatorTest, RejectsPlanWithNoPhases) {
+  OverlapUsageModel usage(0.5);
+  FluidSimulator sim(usage);
+  TreeScheduleResult empty_plan;
+  auto result = sim.Simulate(empty_plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(FluidSimulatorTest, RejectsInconsistentCloneTimes) {
   OverlapUsageModel usage(0.5);
   FluidSimulator sim(usage);
