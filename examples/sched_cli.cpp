@@ -5,9 +5,13 @@
 //
 // Usage:
 //   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
-//             [--algorithm tree|malleable|sync] [--format text|gantt|svg|json|csv]
+//             [--algorithm tree|malleable|sync|list]
+//             [--format text|gantt|svg|json|csv]
 //             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
 //             [--connect HOST:PORT]
+//
+// --engine is accepted as an alias for --algorithm; `--engine=list`
+// selects the barrier-free moldable list scheduler (LISTSCHEDULE).
 //
 // With --connect HOST:PORT the plan file (including any @arrival/@timeout
 // directive lines, see src/server/sched_service.h) is sent verbatim to a
@@ -41,6 +45,7 @@
 
 #include "baseline/synchronous.h"
 #include "common/metrics.h"
+#include "core/list_schedule.h"
 #include "core/tree_schedule.h"
 #include "exec/batch_scheduler.h"
 #include "exec/gantt.h"
@@ -56,7 +61,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <plan-file> [--sites N] [--eps E] [--f F]\n"
-               "          [--algorithm tree|malleable|sync]\n"
+               "          [--algorithm tree|malleable|sync|list]\n"
                "          [--format text|gantt|svg|json|csv]\n"
                "          [--batch N] [--threads K]\n"
                "          [--metrics] [--trace-json=FILE]\n"
@@ -112,6 +117,10 @@ int main(int argc, char** argv) {
       f = std::atof(need_value("--f"));
     } else if (std::strcmp(argv[i], "--algorithm") == 0) {
       algorithm = need_value("--algorithm");
+    } else if (std::strcmp(argv[i], "--engine") == 0) {
+      algorithm = need_value("--engine");
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      algorithm = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--format") == 0) {
       format = need_value("--format");
     } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -206,7 +215,7 @@ int main(int argc, char** argv) {
   if (batch > 1 || threads > 1) {
     // Batch mode: push N copies of the plan through the batch scheduling
     // engine and report throughput plus cache effectiveness.
-    if (algorithm == "sync") {
+    if (algorithm == "sync" || algorithm == "list") {
       std::fprintf(stderr, "--batch supports tree|malleable only\n");
       return 2;
     }
@@ -284,6 +293,32 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", result->ToString().c_str());
+    return finish_reports({}) ? 0 : 1;
+  }
+
+  if (algorithm == "list") {
+    ListScheduleOptions options;
+    options.granularity = f;
+    options.trace = trace;
+    auto result = ListSchedule(op_tree, *task_tree, costs.value(), params,
+                               machine, usage, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (format == "json") {
+      std::printf("%s\n", ListScheduleToJson(*result).c_str());
+    } else if (format == "csv") {
+      std::printf("%s", ListScheduleToCsv(*result).c_str());
+    } else if (format == "gantt") {
+      std::printf("%s", RenderListGantt(*result).c_str());
+    } else if (format == "svg") {
+      std::printf("%s", RenderListGanttSvg(*result).c_str());
+    } else {
+      std::printf("%s", result->ToString().c_str());
+      std::printf("%s", result->schedule.ToString().c_str());
+    }
     return finish_reports({}) ? 0 : 1;
   }
 

@@ -8,6 +8,9 @@
 #   BENCH_workvector.json  google-benchmark JSON from micro_workvector
 #                      (split/place/simulate across d and P; diff against
 #                      a saved baseline with scripts/compare_bench.py)
+#   BENCH_list.json    google-benchmark JSON from micro_list_schedule
+#                      (LIST vs TREE makespan ratio and engine wall time
+#                      across J x P x d)
 #   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
 #   BENCH_placement.json  one JSON object per line from
 #                      micro_placement_scale (indexed vs. linear clone
@@ -28,7 +31,8 @@ if [ ! -d "${build_dir}" ]; then
 fi
 cmake --build "${build_dir}" \
   --target micro_online_throughput micro_scheduler_runtime \
-  micro_trace_overhead micro_placement_scale micro_workvector
+  micro_trace_overhead micro_placement_scale micro_workvector \
+  micro_list_schedule
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -47,6 +51,10 @@ echo "=== scheduler microbenchmarks -> ${out_dir}/BENCH_micro.json ==="
 echo "=== work-vector core -> ${out_dir}/BENCH_workvector.json ==="
 "${build_dir}/bench/micro_workvector" \
   --benchmark_format=json > "${out_dir}/BENCH_workvector.json"
+
+echo "=== list vs tree engines -> ${out_dir}/BENCH_list.json ==="
+"${build_dir}/bench/micro_list_schedule" \
+  --benchmark_format=json > "${out_dir}/BENCH_list.json"
 
 echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
 "${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"

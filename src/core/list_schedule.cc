@@ -1,0 +1,482 @@
+#include "core/list_schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/malleable.h"
+#include "exec/explain.h"
+
+namespace mrs {
+
+namespace {
+
+/// One clone mid-flight at a site during the virtual-time event loop.
+struct RunningClone {
+  int placement = -1;  ///< index into the global schedule's placements()
+  int task = -1;
+  WorkVector remaining;
+  double own = 0.0;  ///< remaining stand-alone time
+};
+
+/// Per-site state of the event loop: the resident clones, the instant the
+/// site's remainders were last rebased to (`now`), the projected common
+/// completion `finish`, and the eq. (3) diagnosis of the last projection.
+struct SiteState {
+  double now = 0.0;
+  double finish = 0.0;
+  double last_finish = 0.0;  ///< committed completion of the last wave
+  bool congestion = false;
+  int resource = -1;
+  std::vector<RunningClone> active;
+};
+
+/// Rebases a site's remainders to instant `t` (now <= t <= finish): the
+/// residents have completed the fraction (t - now) / (finish - now) of
+/// their remaining work, all progressing toward the common completion.
+void AdvanceSite(SiteState* s, double t) {
+  if (s->active.empty() || t <= s->now) {
+    s->now = std::max(s->now, t);
+    return;
+  }
+  const double factor = (s->finish - t) / (s->finish - s->now);
+  for (RunningClone& c : s->active) {
+    c.remaining *= factor;
+    c.own *= factor;
+  }
+  s->now = t;
+}
+
+/// Recomputes the common completion of a site's residents — eq. (2) on
+/// remaining work: finish = now + max(max_c own_c, l(sum_c remaining_c)) —
+/// and records which term binds (plus the arg max resource).
+void ProjectSiteFinish(SiteState* s, WorkVector* scratch) {
+  double longest_own = 0.0;
+  scratch->SetZero();
+  for (const RunningClone& c : s->active) {
+    longest_own = std::max(longest_own, c.own);
+    *scratch += c.remaining;
+  }
+  const double load_len = scratch->Length();
+  s->finish = s->now + std::max(longest_own, load_len);
+  s->congestion = load_len >= longest_own;
+  s->resource = -1;
+  for (size_t i = 0; i < scratch->dim(); ++i) {
+    if (s->resource < 0 ||
+        (*scratch)[i] > (*scratch)[static_cast<size_t>(s->resource)]) {
+      s->resource = static_cast<int>(i);
+    }
+  }
+}
+
+/// The cost an operator's degree is derived from (see
+/// BuildDegreePolicy::kJoinAware; identical to TREESCHEDULE's rule).
+OperatorCost SizingCost(int oid, const std::vector<OperatorCost>& costs,
+                        const std::unordered_map<int, int>& dependent_of,
+                        BuildDegreePolicy build_degree) {
+  const OperatorCost& own = costs[static_cast<size_t>(oid)];
+  if (build_degree == BuildDegreePolicy::kJoinAware) {
+    auto it = dependent_of.find(oid);
+    if (it != dependent_of.end()) {
+      OperatorCost joint = own;
+      const OperatorCost& dep = costs[static_cast<size_t>(it->second)];
+      joint.processing += dep.processing;
+      joint.data_bytes += dep.data_bytes;
+      return joint;
+    }
+  }
+  return own;
+}
+
+/// Replays a TREESCHEDULE result on the shared timeline: phase k's clones
+/// all start at the sum of the earlier phase makespans. Every site's last
+/// wave then completes by the next barrier, so the evaluated makespan
+/// equals the tree's response time — the guard's worst case is exactly
+/// TREESCHEDULE.
+ListScheduleResult AlignedFallback(const TreeScheduleResult& tree,
+                                   const TaskTree& task_tree, int num_sites,
+                                   int dims) {
+  ListScheduleResult r;
+  r.schedule = Schedule(num_sites, dims);
+  r.used_tree_fallback = true;
+  r.rounds = static_cast<int>(tree.phases.size());
+  r.tasks.resize(static_cast<size_t>(task_tree.num_tasks()));
+  for (int tid = 0; tid < task_tree.num_tasks(); ++tid) {
+    r.tasks[static_cast<size_t>(tid)].task = tid;
+  }
+  std::unordered_map<int, int> op_task;
+  for (const QueryTask& task : task_tree.tasks()) {
+    for (int oid : task.ops) op_task[oid] = task.id;
+  }
+
+  double t = 0.0;
+  for (const PhaseSchedule& phase : tree.phases) {
+    std::unordered_map<int, const ParallelizedOp*> by_id;
+    for (const ParallelizedOp& op : phase.ops) by_id[op.op_id] = &op;
+    r.schedule.ReserveFor(phase.ops);
+    for (const ClonePlacement& c : phase.schedule.placements()) {
+      const Status placed =
+          r.schedule.PlaceAt(*by_id.at(c.op_id), c.clone_idx, c.site, t);
+      MRS_CHECK(placed.ok()) << placed.ToString();
+    }
+    for (int tid : task_tree.phase(phase.phase)) {
+      r.tasks[static_cast<size_t>(tid)].start = t;
+    }
+    r.ops.insert(r.ops.end(), phase.ops.begin(), phase.ops.end());
+    t += phase.makespan;
+  }
+  r.clone_finish = r.schedule.CloneFinishTimes();
+  r.makespan = r.schedule.Makespan();
+  for (size_t p = 0; p < r.clone_finish.size(); ++p) {
+    ListTaskInterval& interval = r.tasks[static_cast<size_t>(
+        op_task.at(r.schedule.placements()[p].op_id))];
+    interval.finish = std::max(interval.finish, r.clone_finish[p]);
+  }
+  // eq. (3) diagnosis: the overall critical site is the last phase's
+  // critical site (earlier phases complete by their barrier).
+  if (!tree.phases.empty()) {
+    const PhaseExplanation exp = ExplainPhase(tree.phases.back());
+    r.critical_site = exp.critical_site;
+    r.load_bound = exp.load_bound;
+    r.critical_resource = exp.critical_resource;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string ListScheduleResult::ToString() const {
+  std::string out = StrFormat(
+      "ListSchedule(makespan=%.2fms, %zu tasks, %d rounds, mode=%s)\n",
+      makespan, tasks.size(), rounds,
+      used_tree_fallback ? "aligned-fallback" : "greedy");
+  for (const ListTaskInterval& t : tasks) {
+    out += StrFormat("  task %d: [%.2f, %.2f]ms\n", t.task, t.start,
+                     t.finish);
+  }
+  return out;
+}
+
+Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
+                                        const TaskTree& task_tree,
+                                        const std::vector<OperatorCost>& costs,
+                                        const CostParams& params,
+                                        const MachineConfig& machine,
+                                        const OverlapUsageModel& usage,
+                                        const ListScheduleOptions& options) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  MRS_RETURN_IF_ERROR(params.Validate());
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+  if (options.cache != nullptr &&
+      !options.cache->CompatibleWith(params, usage.epsilon(),
+                                     options.granularity, config.num_sites)) {
+    return Status::InvalidArgument(
+        "parallelize cache was built for a different scheduling context");
+  }
+  if (task_tree.num_tasks() == 0) {
+    return Status::InvalidArgument("task tree has no tasks to schedule");
+  }
+
+  TraceSink* const trace = options.trace;
+  SpanTimer call_span(trace, "list_schedule");
+
+  // Parallelization entry points, memoized when a cache is supplied
+  // (identical to TREESCHEDULE's, so the two engines pick the same
+  // degrees for the same readiness sets).
+  auto par_rooted = [&](const OperatorCost& cost, std::vector<int> home) {
+    return options.cache != nullptr
+               ? options.cache->Rooted(cost, std::move(home))
+               : ParallelizeRooted(cost, params, usage, std::move(home),
+                                   config.num_sites);
+  };
+  auto par_floating = [&](const OperatorCost& cost) {
+    return options.cache != nullptr
+               ? options.cache->Floating(cost)
+               : ParallelizeFloating(cost, params, usage, options.granularity,
+                                     config.num_sites);
+  };
+  auto par_at_degree = [&](const OperatorCost& cost, int degree) {
+    return options.cache != nullptr
+               ? options.cache->AtDegree(cost, degree)
+               : ParallelizeAtDegree(cost, params, usage, degree,
+                                     config.num_sites);
+  };
+
+  std::unordered_map<int, int> dependent_of;
+  for (const PhysicalOp& op : op_tree.ops()) {
+    if (op.blocking_input >= 0) dependent_of[op.blocking_input] = op.id;
+  }
+  std::unordered_map<int, int> op_task;
+  for (const QueryTask& task : task_tree.tasks()) {
+    for (int oid : task.ops) op_task[oid] = task.id;
+  }
+
+  const int num_tasks = task_tree.num_tasks();
+  ListScheduleResult result;
+  result.schedule = Schedule(config.num_sites, config.dims);
+  result.tasks.resize(static_cast<size_t>(num_tasks));
+  std::vector<int> pending_children(static_cast<size_t>(num_tasks), 0);
+  std::vector<int> outstanding_clones(static_cast<size_t>(num_tasks), 0);
+  std::vector<int> ready;
+  for (const QueryTask& task : task_tree.tasks()) {
+    result.tasks[static_cast<size_t>(task.id)].task = task.id;
+    pending_children[static_cast<size_t>(task.id)] =
+        static_cast<int>(task.children.size());
+    if (task.children.empty()) ready.push_back(task.id);
+  }
+  std::sort(ready.begin(), ready.end());
+
+  std::vector<SiteState> sites(static_cast<size_t>(config.num_sites));
+  std::unordered_map<int, std::vector<int>> home_of;
+  WorkVector scratch(static_cast<size_t>(config.dims));
+  double t = 0.0;
+  int completed_tasks = 0;
+
+  while (true) {
+    if (!ready.empty()) {
+      SpanTimer round_span(trace, "list_place", result.rounds);
+      // 1. Parallelize the ready tasks' operators (TREESCHEDULE's rules,
+      // applied to a readiness wave instead of a shelf).
+      std::vector<int> op_ids;
+      for (int tid : ready) {
+        const QueryTask& task = task_tree.task(tid);
+        op_ids.insert(op_ids.end(), task.ops.begin(), task.ops.end());
+        result.tasks[static_cast<size_t>(tid)].start = t;
+      }
+      std::vector<ParallelizedOp> round_ops;
+      std::vector<int> floating_ids;
+      round_ops.reserve(op_ids.size());
+      for (int oid : op_ids) {
+        const PhysicalOp& op = op_tree.op(oid);
+        const OperatorCost& cost = costs[static_cast<size_t>(oid)];
+        if (op.blocking_input >= 0) {
+          auto home_it = home_of.find(op.blocking_input);
+          if (home_it == home_of.end() || home_it->second.empty()) {
+            return Status::Internal(
+                StrFormat("blocking producer op%d of op%d not scheduled in "
+                          "an earlier round",
+                          op.blocking_input, oid));
+          }
+          auto rooted = par_rooted(cost, home_it->second);
+          if (!rooted.ok()) return rooted.status();
+          round_ops.push_back(std::move(rooted).value());
+        } else {
+          floating_ids.push_back(oid);
+        }
+      }
+      if (options.policy == ParallelizationPolicy::kMalleable) {
+        std::vector<OperatorCost> sizing;
+        sizing.reserve(floating_ids.size());
+        for (int oid : floating_ids) {
+          sizing.push_back(
+              SizingCost(oid, costs, dependent_of, options.build_degree));
+        }
+        SpanTimer malleable_span(trace, "malleable_select", result.rounds);
+        auto selection = SelectMalleableParallelization(
+            sizing, round_ops, params, usage, config.num_sites);
+        if (!selection.ok()) return selection.status();
+        if (malleable_span.active()) {
+          malleable_span.AttrInt("floating_ops",
+                                 static_cast<int64_t>(floating_ids.size()));
+          malleable_span.AttrDouble("lower_bound_ms", selection->lower_bound);
+        }
+        malleable_span.End();
+        for (size_t i = 0; i < floating_ids.size(); ++i) {
+          auto op = par_at_degree(costs[static_cast<size_t>(floating_ids[i])],
+                                  selection->degrees[i]);
+          if (!op.ok()) return op.status();
+          round_ops.push_back(std::move(op).value());
+        }
+      } else {
+        for (int oid : floating_ids) {
+          const OperatorCost& own = costs[static_cast<size_t>(oid)];
+          const bool joint_sizing =
+              options.build_degree == BuildDegreePolicy::kJoinAware &&
+              dependent_of.find(oid) != dependent_of.end();
+          auto sized = par_floating(
+              joint_sizing
+                  ? SizingCost(oid, costs, dependent_of, options.build_degree)
+                  : own);
+          if (!sized.ok()) return sized.status();
+          const int degree = sized->degree;
+          if (joint_sizing || options.cache != nullptr) {
+            auto op = par_at_degree(own, degree);
+            if (!op.ok()) return op.status();
+            round_ops.push_back(std::move(op).value());
+          } else {
+            round_ops.push_back(std::move(sized).value());
+          }
+        }
+      }
+
+      // 2. Residual load at instant t: rebase every mid-flight site and
+      // sum its remaining work vectors. OPERATORSCHEDULE's least-loaded
+      // rule then minimizes l(R_s(t) + work(s)) over the new clones.
+      std::vector<WorkVector> residual(
+          static_cast<size_t>(config.num_sites),
+          WorkVector(static_cast<size_t>(config.dims)));
+      for (int j = 0; j < config.num_sites; ++j) {
+        SiteState& s = sites[static_cast<size_t>(j)];
+        // Rebase even idle sites: their `now` must reach t so a new wave
+        // projects from the clones' arrival instant, not the old finish.
+        AdvanceSite(&s, t);
+        for (const RunningClone& c : s.active) {
+          residual[static_cast<size_t>(j)] += c.remaining;
+        }
+      }
+      OperatorScheduleOptions round_options = options.list_options;
+      round_options.base_load = &residual;
+      auto round_schedule = OperatorSchedule(round_ops, config.num_sites,
+                                             config.dims, round_options);
+      if (!round_schedule.ok()) return round_schedule.status();
+
+      // 3. Commit the round into the global timeline and the per-site
+      // resident sets, then re-project the touched sites' completions.
+      std::unordered_map<int, const ParallelizedOp*> by_id;
+      for (const ParallelizedOp& op : round_ops) by_id[op.op_id] = &op;
+      result.schedule.ReserveFor(round_ops);
+      std::vector<char> touched(static_cast<size_t>(config.num_sites), 0);
+      for (const ClonePlacement& c : round_schedule->placements()) {
+        MRS_RETURN_IF_ERROR(
+            result.schedule.PlaceAt(*by_id.at(c.op_id), c.clone_idx, c.site, t));
+        const int placement = result.schedule.num_placements() - 1;
+        const int tid = op_task.at(c.op_id);
+        RunningClone running;
+        running.placement = placement;
+        running.task = tid;
+        running.remaining = c.work;
+        running.own = c.t_seq;
+        sites[static_cast<size_t>(c.site)].active.push_back(
+            std::move(running));
+        touched[static_cast<size_t>(c.site)] = 1;
+        ++outstanding_clones[static_cast<size_t>(tid)];
+      }
+      // Re-project only the sites that received clones: an untouched
+      // site's completion is unchanged (re-deriving it from the rebased
+      // remainders would only jitter the float).
+      for (int j = 0; j < config.num_sites; ++j) {
+        if (touched[static_cast<size_t>(j)]) {
+          ProjectSiteFinish(&sites[static_cast<size_t>(j)], &scratch);
+        }
+      }
+      for (const ParallelizedOp& op : round_ops) {
+        home_of[op.op_id] = round_schedule->HomeOf(op.op_id);
+      }
+      if (round_span.active()) {
+        round_span.AttrInt("tasks", static_cast<int64_t>(ready.size()));
+        round_span.AttrInt("ops", static_cast<int64_t>(round_ops.size()));
+        round_span.AttrInt(
+            "clones",
+            static_cast<int64_t>(round_schedule->placements().size()));
+        round_span.AttrDouble("virtual_time_ms", t);
+      }
+      round_span.End();
+      result.ops.insert(result.ops.end(),
+                        std::make_move_iterator(round_ops.begin()),
+                        std::make_move_iterator(round_ops.end()));
+      result.clone_finish.resize(
+          static_cast<size_t>(result.schedule.num_placements()), 0.0);
+      ++result.rounds;
+      ready.clear();
+    }
+
+    // 4. Advance virtual time to the earliest site completion.
+    double t_next = std::numeric_limits<double>::infinity();
+    for (const SiteState& s : sites) {
+      if (!s.active.empty()) t_next = std::min(t_next, s.finish);
+    }
+    if (t_next == std::numeric_limits<double>::infinity()) break;
+    for (SiteState& s : sites) {
+      if (s.active.empty() || s.finish > t_next) continue;
+      for (const RunningClone& c : s.active) {
+        result.clone_finish[static_cast<size_t>(c.placement)] = s.finish;
+        int& left = outstanding_clones[static_cast<size_t>(c.task)];
+        if (--left == 0) {
+          ListTaskInterval& interval =
+              result.tasks[static_cast<size_t>(c.task)];
+          interval.finish = s.finish;
+          ++completed_tasks;
+          const int parent = task_tree.task(c.task).parent;
+          if (parent >= 0 &&
+              --pending_children[static_cast<size_t>(parent)] == 0) {
+            ready.push_back(parent);
+          }
+        }
+      }
+      s.last_finish = s.finish;
+      s.now = s.finish;
+      s.active.clear();
+    }
+    std::sort(ready.begin(), ready.end());
+    t = t_next;
+  }
+
+  if (completed_tasks != num_tasks) {
+    return Status::Internal(
+        StrFormat("event loop stalled: %d of %d tasks completed",
+                  completed_tasks, num_tasks));
+  }
+  result.makespan = t;
+  for (size_t j = 0; j < sites.size(); ++j) {
+    const SiteState& s = sites[j];
+    if (result.critical_site < 0 ||
+        s.last_finish >
+            sites[static_cast<size_t>(result.critical_site)].last_finish) {
+      result.critical_site = static_cast<int>(j);
+    }
+  }
+  if (result.critical_site >= 0) {
+    const SiteState& s = sites[static_cast<size_t>(result.critical_site)];
+    result.load_bound = s.congestion;
+    result.critical_resource = s.resource;
+  }
+
+  // 5. Dominance guard: never worse than TREESCHEDULE.
+  if (options.tree_guard) {
+    TreeScheduleOptions tree_options;
+    tree_options.granularity = options.granularity;
+    tree_options.policy = options.policy;
+    tree_options.build_degree = options.build_degree;
+    tree_options.list_options = options.list_options;
+    tree_options.cache = options.cache;
+    auto tree = TreeSchedule(op_tree, task_tree, costs, params, config, usage,
+                             tree_options);
+    if (!tree.ok()) return tree.status();
+    result.tree_response_time = tree->response_time;
+    if (result.makespan > tree->response_time) {
+      ListScheduleResult fallback = AlignedFallback(
+          *tree, task_tree, config.num_sites, config.dims);
+      fallback.tree_response_time = tree->response_time;
+      result = std::move(fallback);
+    }
+  }
+
+  if (call_span.active()) {
+    call_span.AttrInt("tasks", static_cast<int64_t>(result.tasks.size()));
+    call_span.AttrInt("rounds", static_cast<int64_t>(result.rounds));
+    call_span.AttrDouble("makespan_ms", result.makespan);
+    call_span.AttrInt("fallback", result.used_tree_fallback ? 1 : 0);
+    call_span.AttrInt("critical_site", result.critical_site);
+    if (result.load_bound && result.critical_resource >= 0) {
+      const size_t r = static_cast<size_t>(result.critical_resource);
+      call_span.Attr("eq3_binding",
+                     StrFormat("congestion:%s",
+                               r < config.resource_names.size()
+                                   ? config.resource_names[r].c_str()
+                                   : StrFormat("r%zu", r).c_str()));
+    } else {
+      call_span.Attr("eq3_binding", "t_seq");
+    }
+  }
+  return result;
+}
+
+}  // namespace mrs

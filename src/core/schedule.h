@@ -21,6 +21,13 @@ struct ClonePlacement {
   int site = -1;
   WorkVector work;
   double t_seq = 0.0;
+  /// Virtual time the clone begins executing. Phase-aligned schedules
+  /// (TREESCHEDULE / SYNCHRONOUS) leave this at 0 — their phases each get
+  /// their own Schedule starting at a barrier. LISTSCHEDULE places clones
+  /// mid-flight via PlaceAt, and the schedule's time evaluation then
+  /// switches from the closed-form eq. (2) to the event sweep (see
+  /// SiteFinish).
+  double start = 0.0;
 };
 
 /// A schedule for one collection of concurrently executing operators
@@ -52,6 +59,13 @@ class Schedule {
   /// of range, the clone index is invalid, the clone was already placed,
   /// or the site already hosts another clone of the same operator.
   Status Place(const ParallelizedOp& op, int clone_idx, int site);
+
+  /// Places clone `clone_idx` of `op` at `site` starting at virtual time
+  /// `start` >= 0 (same validity checks as Place). A non-zero start marks
+  /// the schedule non-aligned: SiteFinish/Makespan switch to the event
+  /// sweep over arrival times. PlaceAt with start == 0 is exactly Place.
+  Status PlaceAt(const ParallelizedOp& op, int clone_idx, int site,
+                 double start);
 
   /// Places all clones of a rooted operator at its home sites.
   Status PlaceRooted(const ParallelizedOp& op);
@@ -115,10 +129,35 @@ class Schedule {
   /// l(work(s)): the busiest-resource load at `site`.
   double SiteLoadLength(int site) const;
 
-  /// T_site(s) per eq. (2).
+  /// T_site(s) per eq. (2): max(max T_seq, l(work(s))), evaluated as if
+  /// every clone at the site started at time 0. For aligned schedules this
+  /// is the site's completion time; for non-aligned schedules prefer
+  /// SiteFinish.
   double SiteTime(int site) const;
 
-  /// Response time of the schedule per eq. (3).
+  /// True while every placement starts at time 0 (the historical
+  /// phase-aligned case). All schedules built through Place/PlaceRooted
+  /// are aligned; PlaceAt with a positive start clears the flag.
+  bool aligned() const { return aligned_; }
+
+  /// Completion time of the last clone at `site` under the optimal-stretch
+  /// fluid discipline, honoring per-clone start times: clones arriving at
+  /// the site join the resident set, and at every arrival instant t the
+  /// common completion of the co-resident clones is recomputed as
+  ///   F = t + max( max_c own_c(t) , l(sum_c remaining_c(t)) )
+  /// — the eq. (2) rule applied to *remaining* work, which reduces to
+  /// SiteTime exactly when all starts are 0 (and that closed form is used
+  /// for aligned schedules, keeping the historical code path
+  /// byte-identical).
+  double SiteFinish(int site) const;
+
+  /// Completion time of every placed clone (parallel to placements()),
+  /// under the same discipline as SiteFinish. For aligned schedules every
+  /// clone finishes at its site's SiteTime.
+  std::vector<double> CloneFinishTimes() const;
+
+  /// Response time of the schedule per eq. (3): max site completion time
+  /// (SiteTime for aligned schedules, SiteFinish otherwise).
   double Makespan() const;
 
   /// True iff `site` already hosts a clone of `op_id`.
@@ -146,8 +185,14 @@ class Schedule {
     int count = 0;
   };
 
+  /// Event sweep behind SiteFinish/CloneFinishTimes for non-aligned
+  /// schedules; `finish`, when non-null, receives per-placement completion
+  /// times (only entries for `site` are written).
+  double SweepSiteFinish(int site, std::vector<double>* finish) const;
+
   int num_sites_;
   int dims_;
+  bool aligned_ = true;
   std::vector<ClonePlacement> placements_;
   /// next_at_site_[p] = index of the next placement at the same site as
   /// placements_[p], or -1 (parallel to placements_).

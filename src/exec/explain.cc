@@ -72,6 +72,85 @@ ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result) {
   return out;
 }
 
+ListScheduleExplanation ExplainListSchedule(const ListScheduleResult& result) {
+  ListScheduleExplanation exp;
+  exp.makespan = result.makespan;
+  exp.tree_response_time = result.tree_response_time;
+  exp.rounds = result.rounds;
+  exp.used_tree_fallback = result.used_tree_fallback;
+  exp.critical_site = result.critical_site;
+  exp.load_bound = result.load_bound;
+  exp.critical_resource = result.critical_resource;
+  exp.tasks = result.tasks;
+  const Schedule& s = result.schedule;
+
+  if (exp.critical_site >= 0) {
+    // Heaviest operator at the critical site by total assigned work.
+    std::unordered_map<int, double> per_op;
+    for (int p : s.SitePlacements(exp.critical_site)) {
+      const ClonePlacement& c = s.placements()[static_cast<size_t>(p)];
+      per_op[c.op_id] += c.work.Total();
+    }
+    double best = -1.0;
+    for (const auto& [op, work] : per_op) {
+      if (work > best) {
+        best = work;
+        exp.heaviest_op = op;
+      }
+    }
+  }
+
+  if (s.num_sites() > 0 && result.makespan > 0) {
+    WorkVector total(static_cast<size_t>(s.dims()));
+    for (int j = 0; j < s.num_sites(); ++j) total += s.SiteLoad(j);
+    exp.utilization.resize(static_cast<size_t>(s.dims()));
+    for (int i = 0; i < s.dims(); ++i) {
+      exp.utilization[static_cast<size_t>(i)] =
+          total[static_cast<size_t>(i)] /
+          (static_cast<double>(s.num_sites()) * result.makespan);
+    }
+  }
+  return exp;
+}
+
+std::string ListScheduleExplanation::ToString(
+    const MachineConfig& machine) const {
+  std::string binding = "slowest operator (T_par term)";
+  if (load_bound && critical_resource >= 0) {
+    const size_t r = static_cast<size_t>(critical_resource);
+    binding = StrFormat(
+        "resource congestion on %s",
+        r < machine.resource_names.size()
+            ? machine.resource_names[r].c_str()
+            : StrFormat("r%d", critical_resource).c_str());
+  }
+  std::string util;
+  for (size_t i = 0; i < utilization.size(); ++i) {
+    if (i > 0) util += " ";
+    util += StrFormat(
+        "%s=%.0f%%",
+        i < machine.resource_names.size()
+            ? machine.resource_names[i].c_str()
+            : StrFormat("r%zu", i).c_str(),
+        utilization[i] * 100.0);
+  }
+  std::string out = StrFormat(
+      "list schedule explanation — makespan %s (%s, %d rounds; "
+      "phased reference %s)\n",
+      FormatMillis(makespan).c_str(),
+      used_tree_fallback ? "aligned-fallback" : "greedy", rounds,
+      FormatMillis(tree_response_time).c_str());
+  out += StrFormat(
+      "  critical site s%d bound by %s; heaviest op%d; utilization %s\n",
+      critical_site, binding.c_str(), heaviest_op, util.c_str());
+  for (const auto& t : tasks) {
+    out += StrFormat("  task %d: [%s, %s]\n", t.task,
+                     FormatMillis(t.start).c_str(),
+                     FormatMillis(t.finish).c_str());
+  }
+  return out;
+}
+
 std::string ScheduleExplanation::ToString(const MachineConfig& machine) const {
   std::string out = StrFormat("schedule explanation — response %s\n",
                               FormatMillis(response_time).c_str());

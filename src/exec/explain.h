@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/list_schedule.h"
 #include "core/tree_schedule.h"
 #include "resource/machine.h"
 
@@ -37,6 +38,38 @@ struct ScheduleExplanation {
   std::string ToString(const MachineConfig& machine) const;
 };
 
+/// Diagnosis of a barrier-free LISTSCHEDULE result. The binding-term
+/// fields mirror PhaseExplanation but describe the critical site's last
+/// residency interval rather than a phase.
+struct ListScheduleExplanation {
+  double makespan = 0.0;
+  /// Makespan TREESCHEDULE achieved under the same options (the dominance
+  /// guard's reference point).
+  double tree_response_time = 0.0;
+  int rounds = 0;
+  /// True when the greedy event loop lost to the phased engine and the
+  /// aligned fallback schedule was emitted instead.
+  bool used_tree_fallback = false;
+  /// Site whose last clone finishes at the makespan.
+  int critical_site = -1;
+  /// True when the critical site's final interval is bound by its busiest
+  /// resource (the l(work(s)) term of eq. (2)), false when a clone's own
+  /// T_seq binds.
+  bool load_bound = false;
+  /// Resource dimension binding the critical site (valid if load_bound).
+  int critical_resource = -1;
+  /// Machine-wide utilization per resource in [0, 1] over [0, makespan]:
+  /// total assigned work / (P * makespan).
+  std::vector<double> utilization;
+  /// Operator contributing the most work to the critical site.
+  int heaviest_op = -1;
+  /// Task execution intervals, parallel to the result's task table.
+  std::vector<ListTaskInterval> tasks;
+
+  /// Human-readable multi-line report including per-task intervals.
+  std::string ToString(const MachineConfig& machine) const;
+};
+
 /// Analyzes one phase: the critical site, the binding eq. (3) term,
 /// per-resource utilization, and the heaviest operator on the critical
 /// site. Pure analysis — no scheduling state is modified. Also used by the
@@ -45,6 +78,10 @@ PhaseExplanation ExplainPhase(const PhaseSchedule& phase);
 
 /// Analyzes a phased schedule: ExplainPhase over every phase.
 ScheduleExplanation ExplainSchedule(const TreeScheduleResult& result);
+
+/// Analyzes a barrier-free schedule: critical site, binding term,
+/// utilization, heaviest operator, and the task timeline.
+ListScheduleExplanation ExplainListSchedule(const ListScheduleResult& result);
 
 }  // namespace mrs
 

@@ -110,6 +110,133 @@ void SimulateSiteUniform(std::vector<ActiveClone>* clones,
   util->finish = now;
 }
 
+/// A clone that joins its site mid-simulation.
+struct TimedClone {
+  double start = 0.0;
+  ActiveClone clone;
+};
+
+/// Optimal-stretch discipline with staggered arrivals: between events the
+/// resident set progresses toward the common completion
+/// t_fin = now + max(max own, l(sum remaining)); an arrival before t_fin
+/// rebases every resident's remaining work by the complementary fraction
+/// and the common completion is recomputed over the enlarged set. With all
+/// starts at 0 this collapses to the single event of SimulateSiteOptimal.
+void SimulateSiteOptimalTimed(std::vector<TimedClone>* arrivals,
+                              SiteUtilization* util,
+                              std::vector<double>* finish_times) {
+  double now = 0.0;
+  WorkVector load(util->busy.dim());  // hoisted per-event accumulator
+  std::vector<ActiveClone> active;
+  size_t i = 0;
+  const size_t n = arrivals->size();
+  while (i < n || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, (*arrivals)[i].start);
+      while (i < n && (*arrivals)[i].start <= now) {
+        active.push_back(std::move((*arrivals)[i].clone));
+        ++i;
+      }
+    }
+    double longest_own = 0.0;
+    load.SetZero();
+    for (const auto& c : active) {
+      longest_own = std::max(longest_own, c.remaining_own);
+      load += c.remaining;
+    }
+    const double t_fin = now + std::max(longest_own, load.Length());
+    const double next_arrival =
+        i < n ? (*arrivals)[i].start
+              : std::numeric_limits<double>::infinity();
+    if (next_arrival < t_fin) {
+      // Residents complete the fraction (next_arrival - now) /
+      // (t_fin - now) of their remaining work before the newcomer joins.
+      const double factor = (t_fin - next_arrival) / (t_fin - now);
+      for (auto& c : active) {
+        util->busy.AddScaled(c.remaining, 1.0 - factor);
+        c.remaining *= factor;
+        c.remaining_own *= factor;
+      }
+      now = next_arrival;
+      while (i < n && (*arrivals)[i].start <= now) {
+        active.push_back(std::move((*arrivals)[i].clone));
+        ++i;
+      }
+    } else {
+      for (const auto& c : active) {
+        util->busy += c.remaining;
+        (*finish_times)[static_cast<size_t>(c.placement_index)] = t_fin;
+      }
+      active.clear();
+      now = t_fin;
+    }
+  }
+  util->finish = now;
+}
+
+/// Uniform time slicing with staggered arrivals: the event horizon is the
+/// earlier of the next completion (min own / sigma) and the next arrival.
+void SimulateSiteUniformTimed(std::vector<TimedClone>* arrivals,
+                              SiteUtilization* util,
+                              std::vector<double>* finish_times) {
+  double now = 0.0;
+  WorkVector rate_sum(util->busy.dim());  // hoisted per-event accumulator
+  std::vector<ActiveClone> active;
+  size_t i = 0;
+  const size_t n = arrivals->size();
+  while (i < n || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, (*arrivals)[i].start);
+      while (i < n && (*arrivals)[i].start <= now) {
+        active.push_back(std::move((*arrivals)[i].clone));
+        ++i;
+      }
+    }
+    rate_sum.SetZero();
+    for (const auto& c : active) {
+      if (c.remaining_own <= kTimeTol) continue;
+      for (size_t r = 0; r < rate_sum.dim(); ++r) {
+        rate_sum[r] += c.remaining[r] / c.remaining_own;
+      }
+    }
+    const double rho = rate_sum.Length();
+    const double sigma = rho > 1.0 ? 1.0 / rho : 1.0;
+
+    double min_own = std::numeric_limits<double>::infinity();
+    for (const auto& c : active) {
+      min_own = std::min(min_own, c.remaining_own);
+    }
+    const double next_arrival =
+        i < n ? (*arrivals)[i].start
+              : std::numeric_limits<double>::infinity();
+    const double dt = std::min(min_own / sigma, next_arrival - now);
+
+    for (auto& c : active) {
+      const double own_progress = sigma * dt;
+      const double fraction =
+          c.remaining_own > 0 ? own_progress / c.remaining_own : 1.0;
+      const double f = std::min(fraction, 1.0);
+      util->busy.AddScaled(c.remaining, f);
+      c.remaining.AddScaled(c.remaining, -f);
+      c.remaining_own -= own_progress;
+    }
+    now += dt;
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->remaining_own <= kTimeTol) {
+        (*finish_times)[static_cast<size_t>(it->placement_index)] = now;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (i < n && (*arrivals)[i].start <= now) {
+      active.push_back(std::move((*arrivals)[i].clone));
+      ++i;
+    }
+  }
+  util->finish = now;
+}
+
 }  // namespace
 
 Result<PhaseSimulation> FluidSimulator::SimulatePhase(
@@ -144,6 +271,55 @@ Result<PhaseSimulation> FluidSimulator::SimulatePhase(
       SimulateSiteOptimal(&clones, util, &sim.clone_finish);
     } else {
       SimulateSiteUniform(&clones, util, &sim.clone_finish);
+    }
+    sim.makespan = std::max(sim.makespan, util->finish);
+  }
+  return sim;
+}
+
+Result<PhaseSimulation> FluidSimulator::SimulateTimed(
+    const Schedule& schedule) const {
+  PhaseSimulation sim;
+  sim.sites.assign(static_cast<size_t>(schedule.num_sites()),
+                   SiteUtilization{
+                       WorkVector(static_cast<size_t>(schedule.dims())), 0.0});
+  sim.clone_finish.assign(schedule.placements().size(), 0.0);
+
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    std::vector<TimedClone> arrivals;
+    arrivals.reserve(schedule.SitePlacements(j).size());
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& placement =
+          schedule.placements()[static_cast<size_t>(p)];
+      if (placement.start < 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("clone of op%d starts at %g < 0", placement.op_id,
+                      placement.start));
+      }
+      if (!SequentialTimeWithinBounds(placement.work, placement.t_seq,
+                                      1e-6)) {
+        return Status::InvalidArgument(
+            StrFormat("clone of op%d violates max <= T_seq <= sum",
+                      placement.op_id));
+      }
+      TimedClone t;
+      t.start = placement.start;
+      t.clone.placement_index = p;
+      t.clone.remaining = placement.work;
+      t.clone.remaining_own = placement.t_seq;
+      t.clone.total_own = placement.t_seq;
+      arrivals.push_back(std::move(t));
+    }
+    // Arrival order: start time, placement order within equal starts.
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const TimedClone& a, const TimedClone& b) {
+                       return a.start < b.start;
+                     });
+    SiteUtilization* util = &sim.sites[static_cast<size_t>(j)];
+    if (policy_ == SharingPolicy::kOptimalStretch) {
+      SimulateSiteOptimalTimed(&arrivals, util, &sim.clone_finish);
+    } else {
+      SimulateSiteUniformTimed(&arrivals, util, &sim.clone_finish);
     }
     sim.makespan = std::max(sim.makespan, util->finish);
   }

@@ -71,8 +71,19 @@ class FluidSimulator {
       : usage_(usage), policy_(policy) {}
 
   /// Simulates one phase: all clones of `schedule` start at time 0 on
-  /// their sites.
+  /// their sites. Historical phase-aligned entry point — per-clone start
+  /// times are ignored (see SimulateTimed for schedules that stagger
+  /// them).
   Result<PhaseSimulation> SimulatePhase(const Schedule& schedule) const;
+
+  /// Simulates one schedule honoring per-clone start times
+  /// (ClonePlacement::start, as produced by LISTSCHEDULE via
+  /// Schedule::PlaceAt): a clone joins its site's resident set at its
+  /// start instant and the sharing policy is applied to the time-varying
+  /// set. For an aligned schedule (every start 0) this reproduces
+  /// SimulatePhase exactly; under kOptimalStretch the per-site finish
+  /// matches Schedule::SiteFinish to floating-point precision.
+  Result<PhaseSimulation> SimulateTimed(const Schedule& schedule) const;
 
   /// Simulates a phased plan execution: phases run back to back with a
   /// synchronization barrier between them.

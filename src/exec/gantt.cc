@@ -52,6 +52,46 @@ std::string RenderTreeGantt(const TreeScheduleResult& result, int width) {
   return out;
 }
 
+std::string RenderListGantt(const ListScheduleResult& result, int width) {
+  width = std::max(width, 10);
+  const Schedule& schedule = result.schedule;
+  const double makespan = result.makespan;
+  std::string out = StrFormat(
+      "barrier-free schedule — makespan %s (%s, %d rounds)\n",
+      FormatMillis(makespan).c_str(),
+      result.used_tree_fallback ? "aligned-fallback" : "greedy",
+      result.rounds);
+  out += StrFormat("  time scale: |%s| = %s\n",
+                   std::string(static_cast<size_t>(width), '-').c_str(),
+                   FormatMillis(makespan).c_str());
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    std::string bar(static_cast<size_t>(width), ' ');
+    double site_finish = 0.0;
+    std::vector<std::string> labels;
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& c = schedule.placements()[static_cast<size_t>(p)];
+      const double finish = result.clone_finish[static_cast<size_t>(p)];
+      site_finish = std::max(site_finish, finish);
+      labels.push_back(StrFormat("op%d.%d@%s", c.op_id, c.clone_idx,
+                                 FormatMillis(c.start).c_str()));
+      if (makespan > 0) {
+        // Fill every cell whose midpoint falls inside [start, finish).
+        for (int cell = 0; cell < width; ++cell) {
+          const double mid =
+              (static_cast<double>(cell) + 0.5) * makespan / width;
+          if (mid >= c.start && mid < finish) {
+            bar[static_cast<size_t>(cell)] = '#';
+          }
+        }
+      }
+    }
+    out += StrFormat("  s%-3d |%s| %7s  %s\n", j, bar.c_str(),
+                     FormatMillis(site_finish).c_str(),
+                     StrJoin(labels, " ").c_str());
+  }
+  return out;
+}
+
 std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
                                int width_px) {
   width_px = std::max(width_px, 200);
@@ -126,6 +166,79 @@ std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
     }
     phase_start_ms += phase.makespan;
     ++phase_index;
+  }
+  // Time axis.
+  const int axis_y = margin_top + num_sites * (lane_height + lane_gap) + 12;
+  svg += StrFormat(
+      "  <text x=\"%d\" y=\"%d\">0</text>\n", margin_left, axis_y);
+  svg += StrFormat(
+      "  <text x=\"%.1f\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+      margin_left + total * px_per_ms, axis_y,
+      FormatMillis(total).c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderListGanttSvg(const ListScheduleResult& result,
+                               int width_px) {
+  width_px = std::max(width_px, 200);
+  const int lane_height = 14;
+  const int lane_gap = 2;
+  const int margin_left = 56;
+  const int margin_top = 24;
+
+  const Schedule& schedule = result.schedule;
+  const int num_sites = schedule.num_sites();
+  const double total = result.makespan > 0 ? result.makespan : 1.0;
+  const double px_per_ms =
+      static_cast<double>(width_px - margin_left - 10) / total;
+  const int height =
+      margin_top + num_sites * (lane_height + lane_gap) + 30;
+
+  // Same qualitative palette as the phased chart, cycled by operator id.
+  static const char* kColors[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                  "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                  "#9c755f", "#bab0ac"};
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"sans-serif\" font-size=\"10\">\n",
+      width_px, height);
+  svg += StrFormat(
+      "  <text x=\"%d\" y=\"14\">barrier-free schedule — makespan %s "
+      "(%s)</text>\n",
+      margin_left, FormatMillis(result.makespan).c_str(),
+      result.used_tree_fallback ? "aligned-fallback" : "greedy");
+
+  for (int j = 0; j < num_sites; ++j) {
+    const int y = margin_top + j * (lane_height + lane_gap);
+    svg += StrFormat(
+        "  <text x=\"4\" y=\"%d\">s%d</text>\n", y + lane_height - 3, j);
+    // Stack the site's clones vertically within the lane; unlike the
+    // phased chart each rectangle spans its own [start, finish).
+    const auto placements = schedule.SitePlacements(j);
+    if (placements.empty()) continue;
+    const double slot =
+        static_cast<double>(lane_height) /
+        static_cast<double>(placements.size());
+    size_t p = 0;
+    for (int placement_index : placements) {
+      const ClonePlacement& clone =
+          schedule.placements()[static_cast<size_t>(placement_index)];
+      const double finish =
+          result.clone_finish[static_cast<size_t>(placement_index)];
+      const double span_ms = std::max(finish - clone.start, 0.0);
+      svg += StrFormat(
+          "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+          "fill=\"%s\" fill-opacity=\"0.85\"><title>op%d.%d start=%s "
+          "t_seq=%s</title></rect>\n",
+          margin_left + clone.start * px_per_ms,
+          y + static_cast<double>(p) * slot, span_ms * px_per_ms,
+          std::max(slot - 0.5, 0.5),
+          kColors[static_cast<size_t>(clone.op_id) % 10], clone.op_id,
+          clone.clone_idx, FormatMillis(clone.start).c_str(),
+          FormatMillis(clone.t_seq).c_str());
+      ++p;
+    }
   }
   // Time axis.
   const int axis_y = margin_top + num_sites * (lane_height + lane_gap) + 12;

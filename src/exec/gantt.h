@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/list_schedule.h"
 #include "core/schedule.h"
 #include "core/tree_schedule.h"
 
@@ -24,6 +25,19 @@ std::string RenderTreeGantt(const TreeScheduleResult& result, int width = 60);
 /// id, with phase boundaries marked. Suitable for inclusion in docs or
 /// viewing in a browser.
 std::string RenderTreeGanttSvg(const TreeScheduleResult& result,
+                               int width_px = 900);
+
+/// ASCII chart of a barrier-free LISTSCHEDULE result: one row per site on
+/// a single shared time axis; a cell is filled while any clone is resident
+/// at the site, so the idle gaps the barriers would have forced are
+/// visible. Each clone is annotated with its start instant.
+std::string RenderListGantt(const ListScheduleResult& result, int width = 60);
+
+/// Standalone SVG of a barrier-free result: one lane per site, one
+/// rectangle per clone spanning [start, finish) on the shared time axis —
+/// unlike the phased chart, rectangles of one site need not share x
+/// extents.
+std::string RenderListGanttSvg(const ListScheduleResult& result,
                                int width_px = 900);
 
 }  // namespace mrs

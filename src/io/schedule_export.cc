@@ -78,4 +78,59 @@ std::string TreeScheduleToCsv(const TreeScheduleResult& result) {
   return out;
 }
 
+std::string ListScheduleToJson(const ListScheduleResult& result) {
+  const Schedule& schedule = result.schedule;
+  std::string out = StrFormat(
+      "{\"makespan\":%.6f,\"tree_response\":%.6f,\"fallback\":%d,"
+      "\"rounds\":%d,\"num_sites\":%d,\"dims\":%d,\"tasks\":[",
+      result.makespan, result.tree_response_time,
+      result.used_tree_fallback ? 1 : 0, result.rounds,
+      schedule.num_sites(), schedule.dims());
+  for (size_t i = 0; i < result.tasks.size(); ++i) {
+    if (i > 0) out += ",";
+    const ListTaskInterval& t = result.tasks[i];
+    out += StrFormat("{\"task\":%d,\"start\":%.6f,\"finish\":%.6f}", t.task,
+                     t.start, t.finish);
+  }
+  out += "],\"sites\":[";
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    if (j > 0) out += ",";
+    out += StrFormat("{\"site\":%d,\"finish\":%.6f,\"load\":%s,\"clones\":[",
+                     j, schedule.SiteFinish(j),
+                     VectorToJson(schedule.SiteLoad(j)).c_str());
+    bool first = true;
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& c =
+          schedule.placements()[static_cast<size_t>(p)];
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat(
+          "{\"op\":%d,\"clone\":%d,\"start\":%.6f,\"finish\":%.6f,"
+          "\"work\":%s,\"t_seq\":%.6f}",
+          c.op_id, c.clone_idx, c.start,
+          result.clone_finish[static_cast<size_t>(p)],
+          VectorToJson(c.work).c_str(), c.t_seq);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ListScheduleToCsv(const ListScheduleResult& result) {
+  const Schedule& schedule = result.schedule;
+  std::string out = "site,finish";
+  for (int i = 0; i < schedule.dims(); ++i) out += StrFormat(",load_%d", i);
+  out += ",num_clones\n";
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    out += StrFormat("%d,%.6f", j, schedule.SiteFinish(j));
+    const WorkVector& load = schedule.SiteLoad(j);
+    for (size_t i = 0; i < load.dim(); ++i) {
+      out += StrFormat(",%.6f", load[i]);
+    }
+    out += StrFormat(",%zu\n", schedule.SitePlacements(j).size());
+  }
+  return out;
+}
+
 }  // namespace mrs

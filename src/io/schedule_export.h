@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/list_schedule.h"
 #include "core/schedule.h"
 #include "core/tree_schedule.h"
 
@@ -22,6 +23,18 @@ std::string TreeScheduleToJson(const TreeScheduleResult& result);
 /// Per-site CSV (one row per site per phase):
 /// phase,site,site_time,load_cpu,load_...,num_clones
 std::string TreeScheduleToCsv(const TreeScheduleResult& result);
+
+/// Serializes a barrier-free LISTSCHEDULE result as JSON:
+/// {"makespan":...,"tree_response":...,"fallback":0|1,"rounds":...,
+///  "num_sites":P,"dims":d,"tasks":[{"task":...,"start":...,
+///  "finish":...}],"sites":[{"site":j,"finish":...,"load":[...],
+///  "clones":[{"op":...,"clone":...,"start":...,"finish":...,
+///  "work":[...],"t_seq":...}]}]}
+std::string ListScheduleToJson(const ListScheduleResult& result);
+
+/// Per-site CSV for a barrier-free result (one row per site):
+/// site,finish,load_0,...,num_clones
+std::string ListScheduleToCsv(const ListScheduleResult& result);
 
 }  // namespace mrs
 

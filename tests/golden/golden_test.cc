@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/list_schedule.h"
 #include "cost/parallelize_cache.h"
 #include "exec/explain.h"
 #include "exec/gantt.h"
@@ -150,6 +151,72 @@ TEST(GoldenTest, ScheduleCsvBushy) {
   GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
                                         ParallelizationPolicy::kCoarseGrain);
   CompareOrUpdate("schedule_bushy.csv", TreeScheduleToCsv(g.result));
+}
+
+/// The barrier-free engine's renderings, pinned on the same bushy fixture
+/// and knobs as the TREESCHEDULE goldens so the two engines' outputs can
+/// be diffed side by side.
+struct GoldenListSchedule {
+  PlanFixture fx;
+  MachineConfig machine;
+  ListScheduleResult result;
+};
+
+GoldenListSchedule MakeGoldenListSchedule(TraceSink* trace = nullptr) {
+  GoldenListSchedule g;
+  g.fx = BushyFourWayFixture();
+  OverlapUsageModel usage(0.5);
+  ListScheduleOptions options;
+  options.trace = trace;
+  auto result = ListSchedule(g.fx.op_tree, g.fx.task_tree, g.fx.costs,
+                             CostParams{}, g.machine, usage, options);
+  if (!result.ok()) std::abort();
+  g.result = std::move(result).value();
+  return g;
+}
+
+TEST(GoldenTest, ExplainListBushy) {
+  GoldenListSchedule g = MakeGoldenListSchedule();
+  CompareOrUpdate("explain_list_bushy.txt",
+                  ExplainListSchedule(g.result).ToString(g.machine));
+}
+
+TEST(GoldenTest, GanttListBushy) {
+  GoldenListSchedule g = MakeGoldenListSchedule();
+  CompareOrUpdate("gantt_list_bushy.txt", RenderListGantt(g.result));
+}
+
+TEST(GoldenTest, GanttListSvgBushy) {
+  GoldenListSchedule g = MakeGoldenListSchedule();
+  CompareOrUpdate("gantt_list_bushy.svg", RenderListGanttSvg(g.result));
+}
+
+TEST(GoldenTest, ScheduleListJsonBushy) {
+  GoldenListSchedule g = MakeGoldenListSchedule();
+  CompareOrUpdate("schedule_list_bushy.json", ListScheduleToJson(g.result));
+}
+
+TEST(GoldenTest, ScheduleListCsvBushy) {
+  GoldenListSchedule g = MakeGoldenListSchedule();
+  CompareOrUpdate("schedule_list_bushy.csv", ListScheduleToCsv(g.result));
+}
+
+TEST(GoldenTest, TraceListBushy) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("golden-query");
+  GoldenListSchedule g = MakeGoldenListSchedule(&trace);
+  (void)g;
+  CompareOrUpdate("trace_list_bushy.txt", trace.ToString());
+}
+
+TEST(GoldenTest, TraceReportList) {
+  MetricsRegistry registry;
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("golden-query");
+  GoldenListSchedule g = MakeGoldenListSchedule(&trace);
+  (void)g;
+  CompareOrUpdate("trace_report_list.json",
+                  ExportTraceReport({&trace}, registry.Snapshot()));
 }
 
 /// Pins the versioned trace-report schema end to end: a CountingClock
