@@ -8,10 +8,24 @@
 //             [--algorithm tree|malleable|sync|list]
 //             [--format text|gantt|svg|json|csv]
 //             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
+//             [--execute] [--calibrate=FILE] [--exec-seed N]
+//             [--exec-rows N] [--exec-skew S] [--exec-meter cpu|rows]
 //             [--connect HOST:PORT]
 //
 // --engine is accepted as an alias for --algorithm; `--engine=list`
 // selects the barrier-free moldable list scheduler (LISTSCHEDULE).
+//
+// --execute replays the schedule on the real execution backend
+// (partitioned hash joins / group-bys over generated data, see
+// src/exec/execute_backend.h) and prints the per-site execution report
+// after the schedule output. --calibrate=FILE additionally writes the
+// versioned JSON calibration report (measured vs predicted per-site
+// times, fitted per-dimension scale; src/exec/calibrate.h) to FILE.
+// --exec-seed / --exec-rows / --exec-skew control the generated data
+// (root seed, per-operator row cap, key skew); --exec-meter picks the
+// per-clone meter: `cpu` = real thread CPU time (default), `rows` =
+// deterministic rows-processed pseudo-time (byte-stable reports). Both
+// flags work with tree, malleable, and list schedules.
 //
 // With --connect HOST:PORT the plan file (including any @arrival/@timeout
 // directive lines, see src/server/sched_service.h) is sent verbatim to a
@@ -48,6 +62,9 @@
 #include "core/list_schedule.h"
 #include "core/tree_schedule.h"
 #include "exec/batch_scheduler.h"
+#include "exec/calibrate.h"
+#include "exec/exec_backend.h"
+#include "exec/execute_backend.h"
 #include "exec/gantt.h"
 #include "exec/trace.h"
 #include "io/plan_text.h"
@@ -65,6 +82,9 @@ int Usage(const char* argv0) {
                "          [--format text|gantt|svg|json|csv]\n"
                "          [--batch N] [--threads K]\n"
                "          [--metrics] [--trace-json=FILE]\n"
+               "          [--execute] [--calibrate=FILE] [--exec-seed N]\n"
+               "          [--exec-rows N] [--exec-skew S]\n"
+               "          [--exec-meter cpu|rows]\n"
                "          [--connect HOST:PORT]\n",
                argv0);
   return 2;
@@ -101,6 +121,12 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   std::string trace_json_path;
   std::string connect;
+  bool execute = false;
+  std::string calibrate_path;
+  uint64_t exec_seed = 1;
+  long long exec_rows = 8192;
+  double exec_skew = 0.0;
+  std::string exec_meter = "cpu";
   for (int i = 2; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -131,6 +157,20 @@ int main(int argc, char** argv) {
       connect = need_value("--connect");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       print_metrics = true;
+    } else if (std::strcmp(argv[i], "--execute") == 0) {
+      execute = true;
+    } else if (std::strncmp(argv[i], "--calibrate=", 12) == 0) {
+      calibrate_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--calibrate") == 0) {
+      calibrate_path = need_value("--calibrate");
+    } else if (std::strcmp(argv[i], "--exec-seed") == 0) {
+      exec_seed = std::strtoull(need_value("--exec-seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--exec-rows") == 0) {
+      exec_rows = std::atoll(need_value("--exec-rows"));
+    } else if (std::strcmp(argv[i], "--exec-skew") == 0) {
+      exec_skew = std::atof(need_value("--exec-skew"));
+    } else if (std::strcmp(argv[i], "--exec-meter") == 0) {
+      exec_meter = need_value("--exec-meter");
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--trace-json") == 0) {
@@ -141,6 +181,10 @@ int main(int argc, char** argv) {
   }
   if (batch < 1 || threads < 1) {
     std::fprintf(stderr, "--batch and --threads must be >= 1\n");
+    return 2;
+  }
+  if (exec_meter != "cpu" && exec_meter != "rows") {
+    std::fprintf(stderr, "--exec-meter must be cpu or rows\n");
     return 2;
   }
 
@@ -215,6 +259,10 @@ int main(int argc, char** argv) {
   if (batch > 1 || threads > 1) {
     // Batch mode: push N copies of the plan through the batch scheduling
     // engine and report throughput plus cache effectiveness.
+    if (execute || !calibrate_path.empty()) {
+      std::fprintf(stderr, "--execute/--calibrate do not support batch mode\n");
+      return 2;
+    }
     if (algorithm == "sync" || algorithm == "list") {
       std::fprintf(stderr, "--batch supports tree|malleable only\n");
       return 2;
@@ -284,7 +332,37 @@ int main(int argc, char** argv) {
   if (!costs.ok()) return 1;
   const OverlapUsageModel usage(eps);
 
+  ExecuteOptions exec_options;
+  exec_options.data_seed = exec_seed;
+  exec_options.skew = exec_skew;
+  exec_options.max_rows_per_op = exec_rows;
+  exec_options.meter =
+      exec_meter == "rows" ? ExecMeter::kDeterministic : ExecMeter::kThreadCpu;
+  // Writes the calibration report to --calibrate's FILE and prints a
+  // one-line summary (both error metrics) to stderr.
+  auto write_calibration = [&](Calibrator& calibrator) -> bool {
+    std::ofstream out(calibrate_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", calibrate_path.c_str());
+      return false;
+    }
+    out << calibrator.ReportJson() << "\n";
+    if (!out.good()) return false;
+    std::fprintf(stderr,
+                 "calibration: %d plans, %d clone samples; mean rel error "
+                 "%.3f unfitted -> %.3f fitted -> %s\n",
+                 calibrator.num_plans(), calibrator.num_clone_samples(),
+                 calibrator.MeanRelativeError(false),
+                 calibrator.MeanRelativeError(true), calibrate_path.c_str());
+    return true;
+  };
+
   if (algorithm == "sync") {
+    if (execute || !calibrate_path.empty()) {
+      std::fprintf(stderr,
+                   "--execute/--calibrate support tree|malleable|list only\n");
+      return 2;
+    }
     auto result = SynchronousSchedule(op_tree, *task_tree, costs.value(),
                                       params, machine, usage, trace);
     if (!result.ok()) {
@@ -319,6 +397,26 @@ int main(int argc, char** argv) {
       std::printf("%s", result->ToString().c_str());
       std::printf("%s", result->schedule.ToString().c_str());
     }
+    if (execute) {
+      ExecuteBackend backend(exec_options);
+      auto run = backend.Run(result->schedule, ExecOpSpecsFromTree(op_tree));
+      if (!run.ok()) {
+        std::fprintf(stderr, "execution failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s", ExplainExecution(*run, machine, /*wall=*/true).c_str());
+    }
+    if (!calibrate_path.empty()) {
+      Calibrator calibrator(machine.dims, usage, exec_options);
+      if (Status s = calibrator.AddSchedule(plan_path, result->schedule,
+                                            ExecOpSpecsFromTree(op_tree));
+          !s.ok()) {
+        std::fprintf(stderr, "calibration failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!write_calibration(calibrator)) return 1;
+    }
     return finish_reports({}) ? 0 : 1;
   }
 
@@ -351,6 +449,29 @@ int main(int argc, char** argv) {
     for (const auto& phase : result->phases) {
       std::printf("%s", phase.schedule.ToString().c_str());
     }
+  }
+  if (execute) {
+    ExecuteBackend backend(exec_options);
+    auto runs = backend.RunTree(*result, ExecOpSpecsFromTree(op_tree));
+    if (!runs.ok()) {
+      std::fprintf(stderr, "execution failed: %s\n",
+                   runs.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t p = 0; p < runs->size(); ++p) {
+      std::printf("phase %zu:\n%s", p,
+                  ExplainExecution((*runs)[p], machine, /*wall=*/true).c_str());
+    }
+  }
+  if (!calibrate_path.empty()) {
+    Calibrator calibrator(machine.dims, usage, exec_options);
+    if (Status s = calibrator.AddTreePlan(plan_path, *result,
+                                          ExecOpSpecsFromTree(op_tree));
+        !s.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!write_calibration(calibrator)) return 1;
   }
   return finish_reports({}) ? 0 : 1;
 }

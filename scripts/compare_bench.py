@@ -3,11 +3,15 @@
 
 Usage:
   scripts/compare_bench.py BASELINE.json CONTENDER.json [--filter REGEX]
+                           [--counters]
 
 Matches benchmarks by name, prints per-benchmark wall-time deltas and the
 speedup factor (baseline_time / contender_time; > 1 means the contender is
-faster), and a geometric-mean speedup over the matched set. Exits nonzero
-on malformed inputs or when no benchmark names match, so it can gate CI.
+faster), and a geometric-mean speedup over the matched set. With
+--counters it also diffs every shared user counter (e.g. the calibration
+error metrics of BENCH_exec.json, where the counters — not the times —
+carry the model-quality result). Exits nonzero on malformed inputs or
+when no benchmark names match, so it can gate CI.
 """
 
 import argparse
@@ -42,6 +46,47 @@ def fmt_time(value, unit):
     return f"{value:,.0f} {unit}"
 
 
+# Numeric fields of a benchmark entry that are bookkeeping, not user
+# counters.
+_NON_COUNTER_KEYS = frozenset({
+    "real_time", "cpu_time", "iterations", "repetitions",
+    "repetition_index", "family_index", "per_family_instance_index",
+    "threads",
+})
+
+
+def counters_of(bench):
+    """User counters of one benchmark entry (includes items_per_second)."""
+    return {
+        key: value
+        for key, value in bench.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+        and key not in _NON_COUNTER_KEYS
+    }
+
+
+def print_counter_diffs(names, base, cont):
+    rows = []
+    for name in names:
+        base_counters = counters_of(base[name])
+        cont_counters = counters_of(cont[name])
+        for key in sorted(base_counters):
+            if key in cont_counters:
+                rows.append((name, key, base_counters[key],
+                             cont_counters[key]))
+    if not rows:
+        print("\nno shared user counters to compare")
+        return
+    width = max(len(f"{name} [{key}]") for name, key, _, _ in rows)
+    print(f"\n{'counter':<{width}}  {'baseline':>14}  {'contender':>14}  "
+          f"{'delta':>8}")
+    for name, key, bv, cv in rows:
+        label = f"{name} [{key}]"
+        delta = (cv - bv) / bv * 100.0 if bv != 0 else float("inf")
+        print(f"{label:<{width}}  {bv:>14,.4g}  {cv:>14,.4g}  "
+              f"{delta:>+7.1f}%")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="baseline results (JSON)")
@@ -49,6 +94,9 @@ def main():
     parser.add_argument(
         "--filter", default=None, metavar="REGEX",
         help="only compare benchmarks whose name matches REGEX")
+    parser.add_argument(
+        "--counters", action="store_true",
+        help="also diff user counters shared by baseline and contender")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -78,6 +126,8 @@ def main():
     geomean = math.exp(log_sum / len(names))
     print(f"\n{len(names)} benchmark(s) compared; geometric-mean speedup "
           f"{geomean:.2f}x (baseline/contender, >1 = contender faster)")
+    if args.counters:
+        print_counter_diffs(names, base, cont)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,10 @@
 #   BENCH_list.json    google-benchmark JSON from micro_list_schedule
 #                      (LIST vs TREE makespan ratio and engine wall time
 #                      across J x P x d)
+#   BENCH_exec.json    google-benchmark JSON from micro_exec_calibration
+#                      (real execution vs simulation of the same schedules;
+#                      the calibration loop's mean-relative-error counters —
+#                      diff with scripts/compare_bench.py --counters)
 #   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
 #   BENCH_placement.json  one JSON object per line from
 #                      micro_placement_scale (indexed vs. linear clone
@@ -32,7 +36,7 @@ fi
 cmake --build "${build_dir}" \
   --target micro_online_throughput micro_scheduler_runtime \
   micro_trace_overhead micro_placement_scale micro_workvector \
-  micro_list_schedule
+  micro_list_schedule micro_exec_calibration
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -55,6 +59,10 @@ echo "=== work-vector core -> ${out_dir}/BENCH_workvector.json ==="
 echo "=== list vs tree engines -> ${out_dir}/BENCH_list.json ==="
 "${build_dir}/bench/micro_list_schedule" \
   --benchmark_format=json > "${out_dir}/BENCH_list.json"
+
+echo "=== execution backend + calibration -> ${out_dir}/BENCH_exec.json ==="
+"${build_dir}/bench/micro_exec_calibration" \
+  --benchmark_format=json > "${out_dir}/BENCH_exec.json"
 
 echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
 "${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"

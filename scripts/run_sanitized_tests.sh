@@ -8,6 +8,11 @@
 # checkout, so the regular `build/` directory is untouched. Any extra
 # arguments are forwarded to ctest (e.g. -R BatchFuzz).
 #
+# The execution-backend suites (ExecData/ExecOperator/ExecBackend/
+# Calibrate plus the ExecDifferential cross-engine tests) are part of
+# mrs_tests, so every real thread-pool replay runs under TSan here; the
+# alloc-pinning tests skip themselves when a sanitizer owns the allocator.
+#
 # Usage: scripts/run_sanitized_tests.sh [ctest args...]
 
 set -euo pipefail

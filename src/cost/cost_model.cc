@@ -1,5 +1,8 @@
 #include "cost/cost_model.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "resource/machine.h"
@@ -13,8 +16,12 @@ std::string OperatorCost::ToString() const {
                    FormatBytes(data_bytes).c_str());
 }
 
-CostModel::CostModel(CostParams params, int dims, int num_disks)
-    : params_(params), dims_(dims), num_disks_(num_disks) {
+CostModel::CostModel(CostParams params, int dims, int num_disks,
+                     CostModelOptions options)
+    : params_(params),
+      dims_(dims),
+      num_disks_(num_disks),
+      options_(std::move(options)) {
   MRS_CHECK(num_disks_ >= 1) << "CostModel requires at least one disk";
   MRS_CHECK(dims_ >= 2 + num_disks_)
       << "CostModel requires d >= 2 + num_disks (cpu/net + disks)";
@@ -121,6 +128,10 @@ Result<OperatorCost> CostModel::Cost(const PhysicalOp& op) const {
         cost.data_bytes += static_cast<double>(op.output_bytes());
       }
       break;
+  }
+  if (options_.fitted) {
+    const size_t n = std::min(cost.processing.dim(), options_.scale.size());
+    for (size_t d = 0; d < n; ++d) cost.processing[d] *= options_.scale[d];
   }
   return cost;
 }

@@ -2,6 +2,7 @@
 #define MRS_COST_COST_MODEL_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "cost/cost_params.h"
@@ -31,6 +32,17 @@ struct OperatorCost {
   std::string ToString() const;
 };
 
+/// Modes of the cost model beyond the Table-2 analytic defaults.
+struct CostModelOptions {
+  /// Fitted mode: multiply dimension d of every processing vector by
+  /// scale[d] — the per-dimension unit costs a Calibrator least-squares
+  /// fit against measured execution (exec/calibrate.h), turning model
+  /// milliseconds into measured-meter units. Dimensions beyond
+  /// scale.size() keep their analytic value.
+  bool fitted = false;
+  std::vector<double> scale;
+};
+
 /// Estimates operator work vectors in the style of Hsiao et al. [HCY94],
 /// using the instruction counts of Table 2 (see CostParams):
 ///
@@ -55,7 +67,8 @@ class CostModel {
   /// every operator is striped evenly over dimensions {1, 3, 4, ...}
   /// (data declustered across the site's disks — the paper's §4.1
   /// multi-disk example). Remaining dimensions stay zero.
-  CostModel(CostParams params, int dims, int num_disks = 1);
+  CostModel(CostParams params, int dims, int num_disks = 1,
+            CostModelOptions options = {});
 
   /// Costs a single operator.
   Result<OperatorCost> Cost(const PhysicalOp& op) const;
@@ -66,6 +79,7 @@ class CostModel {
   const CostParams& params() const { return params_; }
   int dims() const { return dims_; }
   int num_disks() const { return num_disks_; }
+  const CostModelOptions& options() const { return options_; }
 
  private:
   /// Spreads `disk_ms` of disk time evenly over the disk dimensions.
@@ -74,6 +88,7 @@ class CostModel {
   CostParams params_;
   int dims_;
   int num_disks_;
+  CostModelOptions options_;
 };
 
 }  // namespace mrs

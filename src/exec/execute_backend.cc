@@ -1,0 +1,460 @@
+#include "exec/execute_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <limits>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace mrs {
+namespace {
+
+/// CPU time of the calling thread in milliseconds (the kThreadCpu meter).
+double ThreadCpuMs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The execute backend's own realization of the optimal-stretch fluid
+/// discipline with staggered arrivals — the same eq. (2)-on-remaining-work
+/// math as FluidSimulator::SimulateTimed, implemented independently:
+/// residents carry a single remaining *fraction* (remaining work =
+/// frac * W, remaining stand-alone time = frac * T_seq) instead of
+/// mutated work vectors, and rebasing on an arrival multiplies fractions.
+/// The differential suite compares this sweep against the simulator's
+/// within tolerance; neither derives from the other.
+Status ComputeVirtualTimeline(const Schedule& schedule, PhaseSimulation* sim) {
+  const size_t dims = static_cast<size_t>(schedule.dims());
+  sim->makespan = 0.0;
+  sim->sites.assign(static_cast<size_t>(schedule.num_sites()),
+                    SiteUtilization{WorkVector(dims), 0.0});
+  sim->clone_finish.assign(schedule.placements().size(), 0.0);
+
+  struct Entry {
+    double start;
+    int p;
+  };
+  struct Resident {
+    int p;
+    double frac;
+  };
+  const std::vector<ClonePlacement>& placements = schedule.placements();
+  WorkVector load(dims);
+  for (int j = 0; j < schedule.num_sites(); ++j) {
+    std::vector<Entry> entries;
+    entries.reserve(schedule.SitePlacements(j).size());
+    for (int p : schedule.SitePlacements(j)) {
+      const ClonePlacement& placement = placements[static_cast<size_t>(p)];
+      if (placement.start < 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("clone of op%d starts at %g < 0", placement.op_id,
+                      placement.start));
+      }
+      if (!SequentialTimeWithinBounds(placement.work, placement.t_seq, 1e-6)) {
+        return Status::InvalidArgument(
+            StrFormat("clone of op%d violates max <= T_seq <= sum",
+                      placement.op_id));
+      }
+      entries.push_back(Entry{placement.start, p});
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.start < b.start;
+                     });
+
+    SiteUtilization* util = &sim->sites[static_cast<size_t>(j)];
+    std::vector<Resident> active;
+    double now = 0.0;
+    size_t i = 0;
+    const size_t n = entries.size();
+    while (i < n || !active.empty()) {
+      if (active.empty()) {
+        now = std::max(now, entries[i].start);
+        while (i < n && entries[i].start <= now) {
+          active.push_back(Resident{entries[i].p, 1.0});
+          ++i;
+        }
+      }
+      double longest_own = 0.0;
+      load.SetZero();
+      for (const Resident& r : active) {
+        const ClonePlacement& pl = placements[static_cast<size_t>(r.p)];
+        longest_own = std::max(longest_own, r.frac * pl.t_seq);
+        load.AddScaled(pl.work, r.frac);
+      }
+      const double t_fin = now + std::max(longest_own, load.Length());
+      const double next_arrival =
+          i < n ? entries[i].start : std::numeric_limits<double>::infinity();
+      if (next_arrival < t_fin) {
+        const double keep = (t_fin - next_arrival) / (t_fin - now);
+        for (Resident& r : active) {
+          const ClonePlacement& pl = placements[static_cast<size_t>(r.p)];
+          util->busy.AddScaled(pl.work, r.frac * (1.0 - keep));
+          r.frac *= keep;
+        }
+        now = next_arrival;
+        while (i < n && entries[i].start <= now) {
+          active.push_back(Resident{entries[i].p, 1.0});
+          ++i;
+        }
+      } else {
+        for (const Resident& r : active) {
+          util->busy.AddScaled(placements[static_cast<size_t>(r.p)].work,
+                               r.frac);
+          sim->clone_finish[static_cast<size_t>(r.p)] = t_fin;
+        }
+        active.clear();
+        now = t_fin;
+      }
+    }
+    util->finish = now;
+    sim->makespan = std::max(sim->makespan, now);
+  }
+  return Status::OK();
+}
+
+/// Stream seed of one operator's generated input.
+uint64_t OpStreamSeed(uint64_t data_seed, int op_id) {
+  return MixU64(data_seed ^ MixU64(static_cast<uint64_t>(op_id) +
+                                   0x51ed2701u));
+}
+
+}  // namespace
+
+ExecuteBackend::ExecuteBackend(ExecuteOptions options)
+    : options_(std::move(options)) {}
+
+ExecuteBackend::~ExecuteBackend() = default;
+
+ThreadPool* ExecuteBackend::pool() {
+  if (pool_ == nullptr) {
+    const int threads =
+        options_.threads > 0 ? options_.threads : ThreadPool::DefaultThreads();
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+void ExecuteBackend::Reset() { state_.clear(); }
+
+Result<ExecutionResult> ExecuteBackend::Run(
+    const Schedule& schedule, const std::vector<ExecOpSpec>& specs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ExecKeyDist skew_probe;
+  skew_probe.skew = options_.skew;
+  if (Status s = ValidateKeyDist(skew_probe); !s.ok()) return s;
+
+  // Index the specs and group the schedule's placements by operator.
+  std::unordered_map<int, const ExecOpSpec*> spec_of;
+  for (const ExecOpSpec& spec : specs) spec_of[spec.op_id] = &spec;
+  std::unordered_map<int, std::vector<int>> clones_of;  // op -> placements
+  std::vector<int> op_order;  // first-placement order, deterministic
+  for (size_t p = 0; p < schedule.placements().size(); ++p) {
+    const ClonePlacement& placement = schedule.placements()[p];
+    auto [it, inserted] = clones_of.try_emplace(placement.op_id);
+    if (inserted) op_order.push_back(placement.op_id);
+    it->second.push_back(static_cast<int>(p));
+    if (spec_of.find(placement.op_id) == spec_of.end()) {
+      return Status::InvalidArgument(
+          StrFormat("no ExecOpSpec for op%d", placement.op_id));
+    }
+  }
+  for (int oid : op_order) {
+    const size_t degree = schedule.HomeOf(oid).size();
+    if (clones_of[oid].size() != degree) {
+      return Status::InvalidArgument(
+          StrFormat("op%d has %zu of %zu clones placed", oid,
+                    clones_of[oid].size(), degree));
+    }
+  }
+
+  ExecutionResult result;
+  if (Status s = ComputeVirtualTimeline(schedule, &result.timeline); !s.ok()) {
+    return s;
+  }
+  result.clones.resize(schedule.placements().size());
+  std::vector<uint64_t> clone_digest(schedule.placements().size(), 0);
+
+  // Execute in waves: an operator is runnable once its blocking producer
+  // has materialized (in an earlier wave, or an earlier Run for phased
+  // plans). WaitAll between waves is the happens-before edge that makes
+  // cross-clone reads of the materialized state race-free.
+  std::unordered_set<int> done;
+  done.reserve(state_.size());
+  for (const auto& [oid, st] : state_) done.insert(oid);
+  std::vector<int> pending = op_order;
+  const ExecMeter meter = options_.meter;
+  while (!pending.empty()) {
+    std::vector<int> wave;
+    std::vector<int> rest;
+    for (int oid : pending) {
+      const ExecOpSpec& spec = *spec_of[oid];
+      if (spec.blocking_input < 0 || done.count(spec.blocking_input) > 0) {
+        wave.push_back(oid);
+      } else {
+        rest.push_back(oid);
+      }
+    }
+    if (wave.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "op%d blocks on op%d, which is neither in this schedule nor "
+          "materialized by an earlier phase",
+          pending.front(), spec_of[pending.front()]->blocking_input));
+    }
+
+    // Prepare per-op state (sized before any task is submitted).
+    for (int oid : wave) {
+      const ExecOpSpec& spec = *spec_of[oid];
+      OpState& st = state_[oid];
+      st.kind = spec.kind;
+      st.degree = static_cast<int>(clones_of[oid].size());
+      st.seed = OpStreamSeed(options_.data_seed, oid);
+      st.rows_exec = spec.input_tuples;
+      if (options_.max_rows_per_op > 0) {
+        st.rows_exec = std::min(st.rows_exec, options_.max_rows_per_op);
+      }
+      st.dist.skew = options_.skew;
+      switch (spec.kind) {
+        case OperatorKind::kBuild:
+        case OperatorKind::kScan:
+        case OperatorKind::kSortRun:
+          st.dist.domain = static_cast<uint64_t>(std::max<int64_t>(
+              st.rows_exec, 1));
+          break;
+        case OperatorKind::kAggBuild:
+          // ~4 rows per group keeps duplicate handling exercised without
+          // collapsing everything into a handful of keys.
+          st.dist.domain = static_cast<uint64_t>(std::max<int64_t>(
+              st.rows_exec / 4, 1));
+          break;
+        case OperatorKind::kProbe: {
+          // The probe streams over its build's key domain so matches
+          // occur at the natural rate.
+          const OpState& build = state_[spec.blocking_input];
+          if (build.kind != OperatorKind::kBuild) {
+            return Status::InvalidArgument(
+                StrFormat("op%d probes op%d, which is not a build", oid,
+                          spec.blocking_input));
+          }
+          st.dist = build.dist;
+          break;
+        }
+        case OperatorKind::kSortMerge:
+        case OperatorKind::kAggOutput: {
+          // Consume materialized state; no stream of their own.
+          const OperatorKind want = spec.kind == OperatorKind::kSortMerge
+                                        ? OperatorKind::kSortRun
+                                        : OperatorKind::kAggBuild;
+          if (state_[spec.blocking_input].kind != want) {
+            return Status::InvalidArgument(StrFormat(
+                "op%d consumes op%d, which materialized the wrong state",
+                oid, spec.blocking_input));
+          }
+          st.dist.domain = 1;
+          break;
+        }
+      }
+      switch (spec.kind) {
+        case OperatorKind::kBuild:
+          st.tables.clear();
+          st.tables.resize(static_cast<size_t>(st.degree));
+          break;
+        case OperatorKind::kAggBuild:
+          st.partials.clear();
+          st.partials.resize(static_cast<size_t>(st.degree));
+          break;
+        case OperatorKind::kSortRun:
+          st.runs.clear();
+          st.runs.resize(static_cast<size_t>(st.degree));
+          break;
+        case OperatorKind::kAggOutput:
+          st.emit_scratch.clear();
+          st.emit_scratch.resize(static_cast<size_t>(st.degree));
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Launch the wave's clones.
+    for (int oid : wave) {
+      const ExecOpSpec& spec = *spec_of[oid];
+      OpState& st = state_[oid];
+      OpState* blocking =
+          spec.blocking_input >= 0 ? &state_[spec.blocking_input] : nullptr;
+      for (int p : clones_of[oid]) {
+        const ClonePlacement& placement =
+            schedule.placements()[static_cast<size_t>(p)];
+        const int k = placement.clone_idx;
+        CloneExecution* out = &result.clones[static_cast<size_t>(p)];
+        uint64_t* digest = &clone_digest[static_cast<size_t>(p)];
+        out->op_id = oid;
+        out->clone_idx = k;
+        out->site = placement.site;
+        out->kind = spec.kind;
+        out->row_fraction =
+            spec.input_tuples > 0
+                ? static_cast<double>(st.rows_exec) /
+                      static_cast<double>(spec.input_tuples)
+                : 1.0;
+        out->virtual_start = placement.start;
+        out->virtual_finish =
+            result.timeline.clone_finish[static_cast<size_t>(p)];
+        pool()->Submit([&st, blocking, out, digest, k, meter] {
+          const double t0 = meter == ExecMeter::kThreadCpu ? ThreadCpuMs() : 0;
+          OperatorExecStats stats;
+          switch (st.kind) {
+            case OperatorKind::kScan: {
+              stats.clone = k;
+              for (int64_t i = k; i < st.rows_exec; i += st.degree) {
+                const ExecRow row =
+                    SynthesizeRow(st.seed, static_cast<uint64_t>(i), st.dist);
+                ++stats.rows_in;
+                stats.digest += RowDigest(row);
+              }
+              stats.rows_out = stats.rows_in;
+              break;
+            }
+            case OperatorKind::kBuild:
+              stats = BuildClonePartition(st.seed, st.rows_exec, st.dist, k,
+                                          st.degree,
+                                          &st.tables[static_cast<size_t>(k)]);
+              break;
+            case OperatorKind::kProbe: {
+              std::vector<const ExecHashTable*> tables;
+              tables.reserve(blocking->tables.size());
+              for (const ExecHashTable& t : blocking->tables) {
+                tables.push_back(&t);
+              }
+              stats = ProbeCloneSlice(st.seed, st.rows_exec, st.dist, k,
+                                      st.degree, tables, nullptr);
+              break;
+            }
+            case OperatorKind::kAggBuild:
+              stats = AccumulateCloneSlice(
+                  st.seed, st.rows_exec, st.dist, k, st.degree,
+                  &st.partials[static_cast<size_t>(k)]);
+              break;
+            case OperatorKind::kAggOutput: {
+              std::vector<const ExecGroupTable*> partials;
+              partials.reserve(blocking->partials.size());
+              for (const ExecGroupTable& t : blocking->partials) {
+                partials.push_back(&t);
+              }
+              stats = EmitClonePartition(
+                  partials, k, st.degree,
+                  &st.emit_scratch[static_cast<size_t>(k)], nullptr);
+              break;
+            }
+            case OperatorKind::kSortRun: {
+              stats.clone = k;
+              std::vector<ExecRow>& run = st.runs[static_cast<size_t>(k)];
+              run.clear();
+              for (int64_t i = k; i < st.rows_exec; i += st.degree) {
+                run.push_back(
+                    SynthesizeRow(st.seed, static_cast<uint64_t>(i), st.dist));
+              }
+              std::sort(run.begin(), run.end(),
+                        [](const ExecRow& a, const ExecRow& b) {
+                          return a.key < b.key ||
+                                 (a.key == b.key && a.payload < b.payload);
+                        });
+              for (const ExecRow& row : run) stats.digest += RowDigest(row);
+              stats.rows_in = static_cast<int64_t>(run.size());
+              stats.rows_out = stats.rows_in;
+              break;
+            }
+            case OperatorKind::kSortMerge: {
+              stats.clone = k;
+              std::vector<ExecRow> merged;
+              for (const std::vector<ExecRow>& run : blocking->runs) {
+                for (const ExecRow& row : run) {
+                  if (PartitionOf(row.key, st.degree) != k) continue;
+                  merged.push_back(row);
+                }
+              }
+              std::sort(merged.begin(), merged.end(),
+                        [](const ExecRow& a, const ExecRow& b) {
+                          return a.key < b.key ||
+                                 (a.key == b.key && a.payload < b.payload);
+                        });
+              for (const ExecRow& row : merged) stats.digest += RowDigest(row);
+              stats.rows_in = static_cast<int64_t>(merged.size());
+              stats.rows_out = stats.rows_in;
+              break;
+            }
+          }
+          out->rows_in = stats.rows_in;
+          out->rows_out = stats.rows_out;
+          *digest = stats.digest;
+          out->measured_ms =
+              meter == ExecMeter::kThreadCpu
+                  ? ThreadCpuMs() - t0
+                  : 1e-3 * static_cast<double>(stats.rows_in + stats.rows_out);
+        });
+      }
+    }
+    pool()->WaitAll();
+    for (int oid : wave) done.insert(oid);
+    pending = std::move(rest);
+  }
+
+  for (size_t p = 0; p < result.clones.size(); ++p) {
+    result.rows_out += result.clones[p].rows_out;
+    result.digest += clone_digest[p];
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return result;
+}
+
+std::string ExplainExecution(const ExecutionResult& result,
+                             const MachineConfig& machine, bool wall) {
+  std::string out = StrFormat(
+      "EXECUTION %s\n  makespan=%.3fms rows_out=%lld digest=%016llx\n",
+      machine.ToString().c_str(), result.timeline.makespan,
+      static_cast<long long>(result.rows_out),
+      static_cast<unsigned long long>(result.digest));
+  if (wall) out += StrFormat("  wall=%.3fms\n", result.wall_ms);
+
+  // Clones grouped by site, in placement order (deterministic).
+  for (size_t j = 0; j < result.timeline.sites.size(); ++j) {
+    const SiteUtilization& site = result.timeline.sites[j];
+    bool any = false;
+    for (const CloneExecution& c : result.clones) {
+      if (c.site == static_cast<int>(j)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    out += StrFormat("  site %zu: finish=%.3fms busy=%s\n", j, site.finish,
+                     site.busy.ToString().c_str());
+    for (const CloneExecution& c : result.clones) {
+      if (c.site != static_cast<int>(j)) continue;
+      out += StrFormat(
+          "    op%d/%d %-9s rows=%lld->%lld frac=%.3f measured=%.3f "
+          "virt=[%.3f,%.3f]\n",
+          c.op_id, c.clone_idx,
+          std::string(OperatorKindToString(c.kind)).c_str(),
+          static_cast<long long>(c.rows_in),
+          static_cast<long long>(c.rows_out), c.row_fraction, c.measured_ms,
+          c.virtual_start, c.virtual_finish);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,384 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace mrs {
+namespace {
+
+/// Smallest power of two >= max(8, n / kMaxLoad). Load factor 0.5 keeps
+/// linear-probe chains short even under skewed keys.
+size_t TableCapacityFor(size_t n) {
+  size_t want = n < 4 ? 8 : n * 2;
+  size_t cap = 8;
+  while (cap < want) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExecHashTable.
+
+void ExecHashTable::Reset(size_t expected) {
+  const size_t want = TableCapacityFor(expected);
+  if (keys_.size() < want) {
+    keys_.assign(want, 0);
+    payloads_.assign(want, 0);
+    used_.assign(want, 0);
+    mask_ = want - 1;
+  } else {
+    std::fill(used_.begin(), used_.end(), static_cast<uint8_t>(0));
+  }
+  size_ = 0;
+}
+
+void ExecHashTable::Insert(uint64_t key, uint64_t payload) {
+  if (keys_.empty() || (size_ + 1) * 2 > keys_.size()) {
+    Rehash(TableCapacityFor(size_ + 1));
+  }
+  size_t i = MixU64(key) & mask_;
+  while (used_[i]) i = (i + 1) & mask_;
+  used_[i] = 1;
+  keys_[i] = key;
+  payloads_[i] = payload;
+  ++size_;
+}
+
+void ExecHashTable::Rehash(size_t new_capacity) {
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<uint64_t> old_payloads = std::move(payloads_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  keys_.assign(new_capacity, 0);
+  payloads_.assign(new_capacity, 0);
+  used_.assign(new_capacity, 0);
+  mask_ = new_capacity - 1;
+  size_ = 0;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (!old_used[i]) continue;
+    size_t j = MixU64(old_keys[i]) & mask_;
+    while (used_[j]) j = (j + 1) & mask_;
+    used_[j] = 1;
+    keys_[j] = old_keys[i];
+    payloads_[j] = old_payloads[i];
+    ++size_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExecGroupTable.
+
+void ExecGroupTable::Reset(size_t expected) {
+  const size_t want = TableCapacityFor(expected);
+  if (keys_.size() < want) {
+    keys_.assign(want, 0);
+    counts_.assign(want, 0);
+    sums_.assign(want, 0);
+    used_.assign(want, 0);
+    mask_ = want - 1;
+  } else {
+    std::fill(used_.begin(), used_.end(), static_cast<uint8_t>(0));
+  }
+  size_ = 0;
+}
+
+size_t ExecGroupTable::FindSlot(uint64_t key) {
+  if (keys_.empty() || (size_ + 1) * 2 > keys_.size()) {
+    Rehash(TableCapacityFor(size_ + 1));
+  }
+  size_t i = MixU64(key) & mask_;
+  while (used_[i] && keys_[i] != key) i = (i + 1) & mask_;
+  if (!used_[i]) {
+    used_[i] = 1;
+    keys_[i] = key;
+    counts_[i] = 0;
+    sums_[i] = 0;
+    ++size_;
+  }
+  return i;
+}
+
+void ExecGroupTable::Accumulate(uint64_t key, uint64_t payload) {
+  const size_t i = FindSlot(key);
+  counts_[i] += 1;
+  sums_[i] += payload;
+}
+
+void ExecGroupTable::Merge(uint64_t key, uint64_t count, uint64_t sum) {
+  const size_t i = FindSlot(key);
+  counts_[i] += count;
+  sums_[i] += sum;
+}
+
+void ExecGroupTable::Rehash(size_t new_capacity) {
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<uint64_t> old_counts = std::move(counts_);
+  std::vector<uint64_t> old_sums = std::move(sums_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  keys_.assign(new_capacity, 0);
+  counts_.assign(new_capacity, 0);
+  sums_.assign(new_capacity, 0);
+  used_.assign(new_capacity, 0);
+  mask_ = new_capacity - 1;
+  size_ = 0;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (!old_used[i]) continue;
+    size_t j = MixU64(old_keys[i]) & mask_;
+    while (used_[j]) j = (j + 1) & mask_;
+    used_[j] = 1;
+    keys_[j] = old_keys[i];
+    counts_[j] = old_counts[i];
+    sums_[j] = old_sums[i];
+    ++size_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Digests.
+
+uint64_t JoinOutputDigest(uint64_t key, uint64_t build_payload,
+                          uint64_t probe_payload) {
+  // Asymmetric in the two payloads so build/probe swaps are detected.
+  return MixU64(key ^ MixU64(build_payload) ^
+                MixU64(probe_payload ^ 0x517cc1b727220a95ull));
+}
+
+uint64_t GroupOutputDigest(uint64_t key, uint64_t count, uint64_t sum) {
+  return MixU64(key ^ MixU64(count) ^ MixU64(sum ^ 0x2545f4914f6cdd1dull));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join.
+
+OperatorExecStats BuildClonePartition(uint64_t seed, int64_t rows,
+                                      const ExecKeyDist& dist, int clone,
+                                      int degree, ExecHashTable* table) {
+  OperatorExecStats stats;
+  stats.clone = clone;
+  // Expected partition size; the table grows if the hash split is uneven.
+  table->Reset(degree > 0 ? static_cast<size_t>(rows) /
+                                static_cast<size_t>(degree)
+                          : static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    const ExecRow row = SynthesizeRow(seed, static_cast<uint64_t>(i), dist);
+    if (PartitionOf(row.key, degree) != clone) continue;
+    table->Insert(row.key, row.payload);
+    ++stats.rows_in;
+    stats.digest += RowDigest(row);
+  }
+  stats.rows_out = stats.rows_in;
+  return stats;
+}
+
+OperatorExecStats ProbeCloneSlice(
+    uint64_t seed, int64_t rows, const ExecKeyDist& dist, int clone,
+    int degree, const std::vector<const ExecHashTable*>& tables,
+    uint64_t* key_sum) {
+  OperatorExecStats stats;
+  stats.clone = clone;
+  const int build_degree = static_cast<int>(tables.size());
+  if (build_degree == 0) return stats;  // no build side: no matches
+  uint64_t keys = 0;
+  for (int64_t i = clone; i < rows; i += degree) {
+    const ExecRow row = SynthesizeRow(seed, static_cast<uint64_t>(i), dist);
+    ++stats.rows_in;
+    const ExecHashTable* table = tables[PartitionOf(row.key, build_degree)];
+    table->ForEachMatch(row.key, [&](uint64_t build_payload) {
+      ++stats.rows_out;
+      keys += row.key;
+      stats.digest += JoinOutputDigest(row.key, build_payload, row.payload);
+    });
+  }
+  if (key_sum != nullptr) *key_sum += keys;
+  return stats;
+}
+
+HashJoinExecution ExecutePartitionedHashJoin(const HashJoinSpec& spec,
+                                             ThreadPool* pool) {
+  const int degree = std::max(1, spec.degree);
+  HashJoinExecution out;
+  out.build_clones.resize(static_cast<size_t>(degree));
+  out.probe_clones.resize(static_cast<size_t>(degree));
+
+  std::vector<ExecHashTable> tables(static_cast<size_t>(degree));
+  auto build = [&](int k) {
+    out.build_clones[static_cast<size_t>(k)] =
+        BuildClonePartition(spec.build_seed, spec.build_rows, spec.dist, k,
+                            degree, &tables[static_cast<size_t>(k)]);
+  };
+  if (pool != nullptr && degree > 1) {
+    for (int k = 0; k < degree; ++k) pool->Submit([&build, k] { build(k); });
+    pool->WaitAll();  // barrier: probes read every table
+  } else {
+    for (int k = 0; k < degree; ++k) build(k);
+  }
+
+  std::vector<const ExecHashTable*> table_ptrs;
+  table_ptrs.reserve(tables.size());
+  for (const ExecHashTable& t : tables) table_ptrs.push_back(&t);
+
+  std::vector<uint64_t> key_sums(static_cast<size_t>(degree), 0);
+  auto probe = [&](int k) {
+    out.probe_clones[static_cast<size_t>(k)] =
+        ProbeCloneSlice(spec.probe_seed, spec.probe_rows, spec.dist, k, degree,
+                        table_ptrs, &key_sums[static_cast<size_t>(k)]);
+  };
+  if (pool != nullptr && degree > 1) {
+    for (int k = 0; k < degree; ++k) pool->Submit([&probe, k] { probe(k); });
+    pool->WaitAll();
+  } else {
+    for (int k = 0; k < degree; ++k) probe(k);
+  }
+
+  for (int k = 0; k < degree; ++k) {
+    out.output_rows += out.probe_clones[static_cast<size_t>(k)].rows_out;
+    out.output_digest += out.probe_clones[static_cast<size_t>(k)].digest;
+    out.key_sum += key_sums[static_cast<size_t>(k)];
+  }
+  return out;
+}
+
+HashJoinExecution ReferenceHashJoin(const HashJoinSpec& spec) {
+  HashJoinExecution out;
+  std::vector<ExecRow> build;
+  SynthesizeRows(spec.build_seed, spec.build_rows, spec.dist, &build);
+  std::sort(build.begin(), build.end(),
+            [](const ExecRow& a, const ExecRow& b) {
+              return a.key < b.key || (a.key == b.key && a.payload < b.payload);
+            });
+  for (int64_t i = 0; i < spec.probe_rows; ++i) {
+    const ExecRow probe =
+        SynthesizeRow(spec.probe_seed, static_cast<uint64_t>(i), spec.dist);
+    auto lo = std::lower_bound(
+        build.begin(), build.end(), probe.key,
+        [](const ExecRow& r, uint64_t key) { return r.key < key; });
+    for (; lo != build.end() && lo->key == probe.key; ++lo) {
+      ++out.output_rows;
+      out.key_sum += probe.key;
+      out.output_digest +=
+          JoinOutputDigest(probe.key, lo->payload, probe.payload);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase partitioned group-by.
+
+OperatorExecStats AccumulateCloneSlice(uint64_t seed, int64_t rows,
+                                       const ExecKeyDist& dist, int clone,
+                                       int degree, ExecGroupTable* partial) {
+  OperatorExecStats stats;
+  stats.clone = clone;
+  partial->Reset(degree > 0 ? static_cast<size_t>(rows) /
+                                  static_cast<size_t>(degree)
+                            : static_cast<size_t>(rows));
+  for (int64_t i = clone; i < rows; i += degree) {
+    const ExecRow row = SynthesizeRow(seed, static_cast<uint64_t>(i), dist);
+    partial->Accumulate(row.key, row.payload);
+    ++stats.rows_in;
+  }
+  stats.rows_out = static_cast<int64_t>(partial->num_groups());
+  return stats;
+}
+
+OperatorExecStats EmitClonePartition(
+    const std::vector<const ExecGroupTable*>& partials, int clone, int degree,
+    ExecGroupTable* scratch, uint64_t* payload_sum) {
+  OperatorExecStats stats;
+  stats.clone = clone;
+  size_t expected = 0;
+  for (const ExecGroupTable* p : partials) expected += p->num_groups();
+  scratch->Reset(degree > 0 ? expected / static_cast<size_t>(degree)
+                            : expected);
+  for (const ExecGroupTable* p : partials) {
+    p->ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+      if (PartitionOf(key, degree) != clone) return;
+      scratch->Merge(key, count, sum);
+      stats.rows_in += static_cast<int64_t>(count);
+    });
+  }
+  uint64_t sums = 0;
+  scratch->ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+    ++stats.rows_out;
+    sums += sum;
+    stats.digest += GroupOutputDigest(key, count, sum);
+  });
+  if (payload_sum != nullptr) *payload_sum += sums;
+  return stats;
+}
+
+GroupByExecution ExecuteTwoPhaseGroupBy(const GroupBySpec& spec,
+                                        ThreadPool* pool) {
+  const int degree = std::max(1, spec.degree);
+  const int out_degree =
+      spec.output_degree > 0 ? spec.output_degree : degree;
+  GroupByExecution out;
+  out.accumulate_clones.resize(static_cast<size_t>(degree));
+  out.emit_clones.resize(static_cast<size_t>(out_degree));
+
+  std::vector<ExecGroupTable> partials(static_cast<size_t>(degree));
+  auto accumulate = [&](int k) {
+    out.accumulate_clones[static_cast<size_t>(k)] =
+        AccumulateCloneSlice(spec.seed, spec.rows, spec.dist, k, degree,
+                             &partials[static_cast<size_t>(k)]);
+  };
+  if (pool != nullptr && degree > 1) {
+    for (int k = 0; k < degree; ++k) {
+      pool->Submit([&accumulate, k] { accumulate(k); });
+    }
+    pool->WaitAll();  // barrier: emitters read every partial
+  } else {
+    for (int k = 0; k < degree; ++k) accumulate(k);
+  }
+
+  std::vector<const ExecGroupTable*> partial_ptrs;
+  partial_ptrs.reserve(partials.size());
+  for (const ExecGroupTable& p : partials) partial_ptrs.push_back(&p);
+
+  std::vector<ExecGroupTable> scratch(static_cast<size_t>(out_degree));
+  std::vector<uint64_t> sums(static_cast<size_t>(out_degree), 0);
+  auto emit = [&](int k) {
+    out.emit_clones[static_cast<size_t>(k)] = EmitClonePartition(
+        partial_ptrs, k, out_degree, &scratch[static_cast<size_t>(k)],
+        &sums[static_cast<size_t>(k)]);
+  };
+  if (pool != nullptr && out_degree > 1) {
+    for (int k = 0; k < out_degree; ++k) pool->Submit([&emit, k] { emit(k); });
+    pool->WaitAll();
+  } else {
+    for (int k = 0; k < out_degree; ++k) emit(k);
+  }
+
+  for (int k = 0; k < out_degree; ++k) {
+    out.groups += out.emit_clones[static_cast<size_t>(k)].rows_out;
+    out.group_digest += out.emit_clones[static_cast<size_t>(k)].digest;
+    out.payload_sum += sums[static_cast<size_t>(k)];
+  }
+  return out;
+}
+
+GroupByExecution ReferenceGroupBy(const GroupBySpec& spec) {
+  GroupByExecution out;
+  std::vector<ExecRow> rows;
+  SynthesizeRows(spec.seed, spec.rows, spec.dist, &rows);
+  std::sort(rows.begin(), rows.end(), [](const ExecRow& a, const ExecRow& b) {
+    return a.key < b.key;
+  });
+  size_t i = 0;
+  while (i < rows.size()) {
+    const uint64_t key = rows[i].key;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    for (; i < rows.size() && rows[i].key == key; ++i) {
+      ++count;
+      sum += rows[i].payload;
+    }
+    ++out.groups;
+    out.payload_sum += sum;
+    out.group_digest += GroupOutputDigest(key, count, sum);
+  }
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,224 @@
+#ifndef MRS_EXEC_OPERATORS_H_
+#define MRS_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "workload/exec_data.h"
+
+namespace mrs {
+
+/// Real (not simulated) partitioned operator runtime: the execution
+/// counterpart of the work-vector cost model. A partitioned hash join and
+/// a two-phase partitioned group-by run actual hash tables over generated
+/// ExecRow streams, clone-parallel on the repo's ThreadPool, so the
+/// scheduler's predictions — per-clone (T_seq, W) and the eq. (2)/(3)
+/// site times — can be compared against measured execution
+/// (exec/calibrate.h) instead of only against the model itself.
+///
+/// Everything here is deterministic by construction: inputs are pure
+/// functions of a seed (workload/exec_data.h), partitions are pure
+/// functions of the key, and output digests combine per-row digests with
+/// wrapping addition (order-independent), so results are byte-identical
+/// across thread counts. The hot loops (hash-table insert/probe and group
+/// accumulation) run allocation-free once their tables are Reset to
+/// capacity — the steady-state property tests/alloc pins.
+
+/// Open-addressing (linear probing) multiset of (key, payload) pairs: the
+/// build side of a hash-join partition. Power-of-two capacity, bitmap
+/// occupancy (keys are arbitrary 64-bit values, so no sentinel). Grows by
+/// doubling while inserting; Reset keeps the allocated capacity, so a
+/// table cycled through Reset at the same size never allocates again.
+class ExecHashTable {
+ public:
+  /// Clears the table and ensures capacity for `expected` inserts without
+  /// growth. Keeps existing storage when already large enough.
+  void Reset(size_t expected);
+
+  void Insert(uint64_t key, uint64_t payload);
+
+  /// Invokes `fn(payload)` for every entry matching `key`, in insertion
+  /// order along the probe chain.
+  template <typename Fn>
+  void ForEachMatch(uint64_t key, Fn&& fn) const {
+    if (size_ == 0) return;
+    size_t i = MixU64(key) & mask_;
+    while (used_[i]) {
+      if (keys_[i] == key) fn(payloads_[i]);
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return keys_.size(); }
+
+ private:
+  void Rehash(size_t new_capacity);
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> payloads_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Open-addressing aggregation table: key -> (count, payload sum). The
+/// state behind both halves of the two-phase group-by (per-clone partials
+/// in phase 1, merged partitions in phase 2).
+class ExecGroupTable {
+ public:
+  /// Clears the table and ensures capacity for `expected` distinct groups.
+  void Reset(size_t expected);
+
+  /// count(key) += 1, sum(key) += payload (wrapping).
+  void Accumulate(uint64_t key, uint64_t payload);
+
+  /// Adds `count`/`sum` to the entry for `key` (merge path).
+  void Merge(uint64_t key, uint64_t count, uint64_t sum);
+
+  /// Invokes `fn(key, count, sum)` for every group (storage order).
+  template <typename Fn>
+  void ForEachGroup(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (used_[i]) fn(keys_[i], counts_[i], sums_[i]);
+    }
+  }
+
+  size_t num_groups() const { return size_; }
+  size_t capacity() const { return keys_.size(); }
+
+ private:
+  void Rehash(size_t new_capacity);
+  size_t FindSlot(uint64_t key);
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> sums_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Per-clone execution accounting shared by every operator driver.
+struct OperatorExecStats {
+  int clone = 0;
+  /// Rows the clone consumed (its partition / slice of the input).
+  int64_t rows_in = 0;
+  /// Rows the clone emitted (matches for probes, groups for emitters).
+  int64_t rows_out = 0;
+  /// Order-independent digest of the clone's output.
+  uint64_t digest = 0;
+};
+
+/// Digest of one joined output row; both the partitioned executor and the
+/// single-threaded reference combine these with wrapping addition.
+uint64_t JoinOutputDigest(uint64_t key, uint64_t build_payload,
+                          uint64_t probe_payload);
+
+/// Digest of one emitted group.
+uint64_t GroupOutputDigest(uint64_t key, uint64_t count, uint64_t sum);
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join.
+
+struct HashJoinSpec {
+  /// Streams: seeds into workload/exec_data.h row synthesis. Build and
+  /// probe share `dist` (same key domain), so matches occur at the natural
+  /// rate |build| / domain per probe row.
+  uint64_t build_seed = 1;
+  uint64_t probe_seed = 2;
+  int64_t build_rows = 0;
+  int64_t probe_rows = 0;
+  ExecKeyDist dist;
+  /// Clones; build side is key-partitioned (PartitionOf), probe side is
+  /// sliced round-robin with a single lookup in the owning partition.
+  int degree = 1;
+};
+
+struct HashJoinExecution {
+  int64_t output_rows = 0;
+  /// Order-independent digest over all joined rows.
+  uint64_t output_digest = 0;
+  /// Wrapping sum of output keys (a second independent invariant).
+  uint64_t key_sum = 0;
+  std::vector<OperatorExecStats> build_clones;
+  std::vector<OperatorExecStats> probe_clones;
+};
+
+/// Clone-level primitives (shared with the execute backend, which runs
+/// build and probe clones in different schedule phases):
+
+/// Builds partition `clone` of the build stream into `table` (Reset +
+/// key-partitioned inserts). Returns the clone's accounting.
+OperatorExecStats BuildClonePartition(uint64_t seed, int64_t rows,
+                                      const ExecKeyDist& dist, int clone,
+                                      int degree, ExecHashTable* table);
+
+/// Probes round-robin slice `clone` (of `degree`) of the probe stream
+/// against the key-partitioned `tables` (one per build clone). `key_sum`,
+/// when non-null, accumulates output keys (wrapping).
+OperatorExecStats ProbeCloneSlice(uint64_t seed, int64_t rows,
+                                  const ExecKeyDist& dist, int clone,
+                                  int degree,
+                                  const std::vector<const ExecHashTable*>& tables,
+                                  uint64_t* key_sum);
+
+/// Runs the full join, clone-parallel on `pool` (nullptr or degree 1 =
+/// inline sequential). Deterministic for any pool size.
+HashJoinExecution ExecutePartitionedHashJoin(const HashJoinSpec& spec,
+                                             ThreadPool* pool);
+
+/// Single-threaded reference: sorts the build side and answers probes by
+/// binary search — an algorithm with no shared code with the hash path,
+/// used to cross-check row counts, key sums, and digests.
+HashJoinExecution ReferenceHashJoin(const HashJoinSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Two-phase partitioned group-by.
+
+struct GroupBySpec {
+  uint64_t seed = 1;
+  int64_t rows = 0;
+  ExecKeyDist dist;
+  /// Phase-1 (accumulate) clones: round-robin input slices into partial
+  /// tables.
+  int degree = 1;
+  /// Phase-2 (emit) clones: each merges its key partition across all
+  /// partials. 0 = same as `degree`.
+  int output_degree = 0;
+};
+
+struct GroupByExecution {
+  int64_t groups = 0;
+  /// Wrapping sum of every input row's payload (conservation invariant:
+  /// phase 2 must account for every accumulated row).
+  uint64_t payload_sum = 0;
+  /// Order-independent digest over emitted (key, count, sum) groups.
+  uint64_t group_digest = 0;
+  std::vector<OperatorExecStats> accumulate_clones;
+  std::vector<OperatorExecStats> emit_clones;
+};
+
+/// Accumulates round-robin slice `clone` (of `degree`) into `partial`.
+OperatorExecStats AccumulateCloneSlice(uint64_t seed, int64_t rows,
+                                       const ExecKeyDist& dist, int clone,
+                                       int degree, ExecGroupTable* partial);
+
+/// Merges key partition `clone` (of `degree`) from all `partials` and
+/// emits its groups. `payload_sum`, when non-null, accumulates the emitted
+/// partition's payload total (wrapping).
+OperatorExecStats EmitClonePartition(
+    const std::vector<const ExecGroupTable*>& partials, int clone, int degree,
+    ExecGroupTable* scratch, uint64_t* payload_sum);
+
+/// Runs the two-phase group-by, clone-parallel on `pool` per phase.
+GroupByExecution ExecuteTwoPhaseGroupBy(const GroupBySpec& spec,
+                                        ThreadPool* pool);
+
+/// Single-threaded reference via sort + run-length scan.
+GroupByExecution ReferenceGroupBy(const GroupBySpec& spec);
+
+}  // namespace mrs
+
+#endif  // MRS_EXEC_OPERATORS_H_

@@ -1,0 +1,68 @@
+#include "workload/exec_data.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+uint64_t MixU64(uint64_t x) {
+  // SplitMix64 finalizer (Steele/Lea/Flood): full-avalanche, stateless.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ExecRow SynthesizeRow(uint64_t seed, uint64_t index, const ExecKeyDist& dist) {
+  const uint64_t bits = MixU64(seed ^ MixU64(index));
+  ExecRow row;
+  if (dist.skew <= 0.0) {
+    row.key = dist.domain > 0 ? bits % dist.domain : 0;
+  } else {
+    // u in [0, 1) from the top 53 bits; the power transform concentrates
+    // mass near key 0 as skew -> 1.
+    const double u =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    const double exponent = 1.0 / (1.0 - dist.skew);
+    uint64_t key = static_cast<uint64_t>(
+        static_cast<double>(dist.domain) * std::pow(u, exponent));
+    if (key >= dist.domain) key = dist.domain - 1;
+    row.key = key;
+  }
+  // An independent mix for the payload so aggregate sums do not correlate
+  // with key order.
+  row.payload = MixU64(bits ^ 0xa5a5a5a5a5a5a5a5ull);
+  return row;
+}
+
+void SynthesizeRows(uint64_t seed, int64_t count, const ExecKeyDist& dist,
+                    std::vector<ExecRow>* out) {
+  if (count <= 0) return;
+  out->reserve(out->size() + static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    out->push_back(SynthesizeRow(seed, static_cast<uint64_t>(i), dist));
+  }
+}
+
+int PartitionOf(uint64_t key, int degree) {
+  if (degree <= 1) return 0;
+  return static_cast<int>(MixU64(key) % static_cast<uint64_t>(degree));
+}
+
+uint64_t RowDigest(const ExecRow& row) {
+  return MixU64(row.key ^ MixU64(row.payload));
+}
+
+Status ValidateKeyDist(const ExecKeyDist& dist) {
+  if (dist.domain < 1) {
+    return Status::InvalidArgument("key domain must be >= 1");
+  }
+  if (dist.skew < 0.0 || dist.skew >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("key skew must be in [0, 1), got %g", dist.skew));
+  }
+  return Status::OK();
+}
+
+}  // namespace mrs

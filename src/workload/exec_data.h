@@ -1,0 +1,68 @@
+#ifndef MRS_WORKLOAD_EXEC_DATA_H_
+#define MRS_WORKLOAD_EXEC_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// Deterministic row synthesis for the execution backend (ROADMAP item 5:
+/// real partitioned hash-join / group-by execution over generated data).
+///
+/// Rows are a (key, payload) pair of 64-bit integers — the minimal shape
+/// that exercises every operator class the cost model knows about:
+/// hashing, probing, grouping, and ordering all act on `key`, aggregate
+/// sums act on `payload`. Generation is a pure function of (seed, index),
+/// so any clone can materialize any slice of any stream without
+/// coordination, and the same seed yields byte-identical streams on every
+/// thread count and platform (the determinism contract the execute
+/// backend's digest tests pin).
+struct ExecRow {
+  uint64_t key = 0;
+  uint64_t payload = 0;
+};
+
+/// Key distribution of a synthesized stream.
+struct ExecKeyDist {
+  /// Keys are drawn from [0, domain). domain >= 1.
+  uint64_t domain = 1;
+  /// Skew knob in [0, 1): 0 = uniform; larger values concentrate mass on
+  /// the low end of the domain via the power transform
+  ///   key = floor(domain * u^(1/(1-skew)))
+  /// (a self-similar hot-key distribution: skew 0.5 sends ~75% of rows to
+  /// the lowest-keyed half of the domain, 0.9 makes a handful of keys
+  /// dominate — the hash-partition imbalance EA1 assumes away).
+  double skew = 0.0;
+};
+
+/// SplitMix64 finalizer: the stateless mixing function behind row
+/// synthesis, hash partitioning, and digests. Public because operator
+/// implementations and tests must agree on partition assignment.
+uint64_t MixU64(uint64_t x);
+
+/// The i-th row of the stream identified by `seed` under `dist`.
+/// Stateless: rows can be generated in any order, by any clone.
+ExecRow SynthesizeRow(uint64_t seed, uint64_t index, const ExecKeyDist& dist);
+
+/// Appends `count` rows (indices [0, count)) of stream `seed` to `out`.
+void SynthesizeRows(uint64_t seed, int64_t count, const ExecKeyDist& dist,
+                    std::vector<ExecRow>* out);
+
+/// Hash partition of a key among `degree` clones (degree >= 1). Build and
+/// probe sides of a join use the same function, so matching keys always
+/// meet in the same partition.
+int PartitionOf(uint64_t key, int degree);
+
+/// Order-independent digest of one row; combine per-row digests with
+/// unsigned addition to get a stream digest that is invariant under
+/// execution order (and hence thread count).
+uint64_t RowDigest(const ExecRow& row);
+
+/// Validates an ExecKeyDist (domain >= 1, skew in [0, 1)).
+Status ValidateKeyDist(const ExecKeyDist& dist);
+
+}  // namespace mrs
+
+#endif  // MRS_WORKLOAD_EXEC_DATA_H_

@@ -1,0 +1,364 @@
+// Unit tests for the real partitioned operator runtime (exec/operators.h):
+// the clone-parallel hash join and two-phase group-by are cross-checked
+// against single-threaded references that share no code with the hash
+// path (sort + binary search, sort + run-length scan), across degrees
+// 1..8, uniform and skewed key distributions, duplicate-heavy domains,
+// and empty inputs. Every comparison covers row counts, an independent
+// arithmetic invariant (key sum / payload sum), and the order-independent
+// output digest — so a mismatch in any joined row or group is caught.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "exec/operators.h"
+#include "workload/exec_data.h"
+
+namespace mrs {
+namespace {
+
+// --- Deterministic data synthesis (workload/exec_data.h). ---
+
+TEST(ExecDataTest, SynthesisIsAPureFunctionOfSeedAndIndex) {
+  const ExecKeyDist dist{1000, 0.0};
+  const ExecRow a = SynthesizeRow(42, 7, dist);
+  const ExecRow b = SynthesizeRow(42, 7, dist);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.payload, b.payload);
+  const ExecRow c = SynthesizeRow(43, 7, dist);
+  const ExecRow d = SynthesizeRow(42, 8, dist);
+  EXPECT_TRUE(a.key != c.key || a.payload != c.payload);
+  EXPECT_TRUE(a.key != d.key || a.payload != d.payload);
+}
+
+TEST(ExecDataTest, KeysStayInDomain) {
+  for (double skew : {0.0, 0.5, 0.9}) {
+    const ExecKeyDist dist{37, skew};
+    for (uint64_t i = 0; i < 500; ++i) {
+      const ExecRow row = SynthesizeRow(11, i, dist);
+      EXPECT_LT(row.key, dist.domain) << "skew " << skew << " index " << i;
+    }
+  }
+}
+
+TEST(ExecDataTest, SkewConcentratesMassOnLowKeys) {
+  const int64_t rows = 4000;
+  const ExecKeyDist uniform{1000, 0.0};
+  const ExecKeyDist skewed{1000, 0.8};
+  int64_t uniform_low = 0;
+  int64_t skewed_low = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    if (SynthesizeRow(5, static_cast<uint64_t>(i), uniform).key < 100) {
+      ++uniform_low;
+    }
+    if (SynthesizeRow(5, static_cast<uint64_t>(i), skewed).key < 100) {
+      ++skewed_low;
+    }
+  }
+  // Uniform puts ~10% of rows on the lowest decile; skew 0.8 puts the
+  // majority there (the power transform sends u^5 to the low end).
+  EXPECT_LT(uniform_low, rows / 5);
+  EXPECT_GT(skewed_low, rows / 2);
+}
+
+TEST(ExecDataTest, PartitionOfIsInRangeAndTotal) {
+  for (int degree : {1, 2, 3, 8}) {
+    for (uint64_t key = 0; key < 200; ++key) {
+      const int p = PartitionOf(key, degree);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, degree);
+      EXPECT_EQ(p, PartitionOf(key, degree)) << "partition must be stable";
+    }
+  }
+  EXPECT_EQ(PartitionOf(123, 1), 0);
+  EXPECT_EQ(PartitionOf(123, 0), 0);
+}
+
+TEST(ExecDataTest, ValidateKeyDistRejectsBadKnobs) {
+  EXPECT_TRUE(ValidateKeyDist(ExecKeyDist{1, 0.0}).ok());
+  EXPECT_TRUE(ValidateKeyDist(ExecKeyDist{100, 0.99}).ok());
+  EXPECT_FALSE(ValidateKeyDist(ExecKeyDist{0, 0.0}).ok());
+  EXPECT_FALSE(ValidateKeyDist(ExecKeyDist{10, 1.0}).ok());
+  EXPECT_FALSE(ValidateKeyDist(ExecKeyDist{10, -0.1}).ok());
+}
+
+// --- Hash / group tables. ---
+
+TEST(ExecHashTableTest, FindsAllDuplicatesOfAKey) {
+  ExecHashTable table;
+  table.Reset(8);
+  table.Insert(5, 100);
+  table.Insert(5, 200);
+  table.Insert(7, 300);
+  table.Insert(5, 400);
+  std::vector<uint64_t> matches;
+  table.ForEachMatch(5, [&](uint64_t payload) { matches.push_back(payload); });
+  ASSERT_EQ(matches.size(), 3u);
+  uint64_t sum = 0;
+  for (uint64_t m : matches) sum += m;
+  EXPECT_EQ(sum, 700u);
+  matches.clear();
+  table.ForEachMatch(9, [&](uint64_t payload) { matches.push_back(payload); });
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(ExecHashTableTest, GrowsUnderInsertAndResetKeepsCapacity) {
+  ExecHashTable table;
+  table.Reset(4);
+  for (uint64_t i = 0; i < 1000; ++i) table.Insert(i, i * 3);
+  EXPECT_EQ(table.size(), 1000u);
+  const size_t grown = table.capacity();
+  table.Reset(1000);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), grown) << "Reset must keep the storage";
+  int found = 0;
+  table.ForEachMatch(1, [&](uint64_t) { ++found; });
+  EXPECT_EQ(found, 0) << "Reset must clear the occupancy bitmap";
+}
+
+TEST(ExecGroupTableTest, AccumulateAndMergeAgree) {
+  ExecGroupTable direct;
+  direct.Reset(16);
+  for (uint64_t i = 0; i < 300; ++i) direct.Accumulate(i % 13, i);
+
+  ExecGroupTable half_a;
+  ExecGroupTable half_b;
+  half_a.Reset(16);
+  half_b.Reset(16);
+  for (uint64_t i = 0; i < 300; ++i) {
+    (i % 2 == 0 ? half_a : half_b).Accumulate(i % 13, i);
+  }
+  ExecGroupTable merged;
+  merged.Reset(16);
+  half_a.ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+    merged.Merge(key, count, sum);
+  });
+  half_b.ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+    merged.Merge(key, count, sum);
+  });
+
+  EXPECT_EQ(direct.num_groups(), merged.num_groups());
+  uint64_t direct_digest = 0;
+  uint64_t merged_digest = 0;
+  direct.ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+    direct_digest += GroupOutputDigest(key, count, sum);
+  });
+  merged.ForEachGroup([&](uint64_t key, uint64_t count, uint64_t sum) {
+    merged_digest += GroupOutputDigest(key, count, sum);
+  });
+  EXPECT_EQ(direct_digest, merged_digest);
+}
+
+// --- Partitioned hash join vs the sort-based reference. ---
+
+void ExpectJoinsAgree(const HashJoinExecution& got,
+                      const HashJoinExecution& want,
+                      const HashJoinSpec& spec) {
+  EXPECT_EQ(got.output_rows, want.output_rows);
+  EXPECT_EQ(got.key_sum, want.key_sum);
+  EXPECT_EQ(got.output_digest, want.output_digest);
+  // Clone accounting must cover the whole input exactly once.
+  ASSERT_EQ(static_cast<int>(got.build_clones.size()), spec.degree);
+  ASSERT_EQ(static_cast<int>(got.probe_clones.size()), spec.degree);
+  int64_t build_in = 0;
+  int64_t probe_in = 0;
+  int64_t probe_out = 0;
+  for (const OperatorExecStats& s : got.build_clones) build_in += s.rows_in;
+  for (const OperatorExecStats& s : got.probe_clones) {
+    probe_in += s.rows_in;
+    probe_out += s.rows_out;
+  }
+  EXPECT_EQ(build_in, spec.build_rows);
+  EXPECT_EQ(probe_in, spec.probe_rows);
+  EXPECT_EQ(probe_out, got.output_rows);
+}
+
+TEST(PartitionedHashJoinTest, MatchesReferenceAcrossDegrees) {
+  ThreadPool pool(4);
+  for (int degree = 1; degree <= 8; ++degree) {
+    HashJoinSpec spec;
+    spec.build_rows = 1500;
+    spec.probe_rows = 3000;
+    spec.dist = ExecKeyDist{500, 0.0};
+    spec.degree = degree;
+    const HashJoinExecution want = ReferenceHashJoin(spec);
+    const HashJoinExecution got = ExecutePartitionedHashJoin(spec, &pool);
+    SCOPED_TRACE(::testing::Message() << "degree " << degree);
+    EXPECT_GT(want.output_rows, 0) << "fixture should produce matches";
+    ExpectJoinsAgree(got, want, spec);
+  }
+}
+
+TEST(PartitionedHashJoinTest, MatchesReferenceUnderSkew) {
+  ThreadPool pool(4);
+  for (double skew : {0.3, 0.6}) {
+    HashJoinSpec spec;
+    spec.build_rows = 800;
+    spec.probe_rows = 2000;
+    spec.dist = ExecKeyDist{400, skew};
+    spec.degree = 5;
+    SCOPED_TRACE(::testing::Message() << "skew " << skew);
+    ExpectJoinsAgree(ExecutePartitionedHashJoin(spec, &pool),
+                     ReferenceHashJoin(spec), spec);
+  }
+}
+
+TEST(PartitionedHashJoinTest, DuplicateHeavyDomainMatchesReference) {
+  ThreadPool pool(4);
+  HashJoinSpec spec;
+  spec.build_rows = 300;
+  spec.probe_rows = 300;
+  // 16 distinct keys over 300 rows: every probe row matches ~19 build
+  // rows, so the multi-match path (duplicate chains) carries the test.
+  spec.dist = ExecKeyDist{16, 0.0};
+  spec.degree = 4;
+  const HashJoinExecution want = ReferenceHashJoin(spec);
+  EXPECT_GT(want.output_rows, spec.probe_rows)
+      << "fixture should fan out on duplicates";
+  ExpectJoinsAgree(ExecutePartitionedHashJoin(spec, &pool), want, spec);
+}
+
+TEST(PartitionedHashJoinTest, EmptySidesProduceNothing) {
+  ThreadPool pool(2);
+  HashJoinSpec empty_build;
+  empty_build.build_rows = 0;
+  empty_build.probe_rows = 500;
+  empty_build.dist = ExecKeyDist{100, 0.0};
+  empty_build.degree = 3;
+  const HashJoinExecution no_build =
+      ExecutePartitionedHashJoin(empty_build, &pool);
+  EXPECT_EQ(no_build.output_rows, 0);
+  EXPECT_EQ(no_build.output_digest, 0u);
+  ExpectJoinsAgree(no_build, ReferenceHashJoin(empty_build), empty_build);
+
+  HashJoinSpec empty_probe;
+  empty_probe.build_rows = 500;
+  empty_probe.probe_rows = 0;
+  empty_probe.dist = ExecKeyDist{100, 0.0};
+  empty_probe.degree = 3;
+  const HashJoinExecution no_probe =
+      ExecutePartitionedHashJoin(empty_probe, &pool);
+  EXPECT_EQ(no_probe.output_rows, 0);
+  ExpectJoinsAgree(no_probe, ReferenceHashJoin(empty_probe), empty_probe);
+}
+
+TEST(PartitionedHashJoinTest, PoolAndInlineExecutionsAreIdentical) {
+  HashJoinSpec spec;
+  spec.build_rows = 1200;
+  spec.probe_rows = 2400;
+  spec.dist = ExecKeyDist{300, 0.4};
+  spec.degree = 6;
+  ThreadPool pool(4);
+  const HashJoinExecution threaded = ExecutePartitionedHashJoin(spec, &pool);
+  const HashJoinExecution inline_run =
+      ExecutePartitionedHashJoin(spec, nullptr);
+  EXPECT_EQ(threaded.output_rows, inline_run.output_rows);
+  EXPECT_EQ(threaded.output_digest, inline_run.output_digest);
+  EXPECT_EQ(threaded.key_sum, inline_run.key_sum);
+  for (int k = 0; k < spec.degree; ++k) {
+    EXPECT_EQ(threaded.build_clones[static_cast<size_t>(k)].digest,
+              inline_run.build_clones[static_cast<size_t>(k)].digest);
+    EXPECT_EQ(threaded.probe_clones[static_cast<size_t>(k)].digest,
+              inline_run.probe_clones[static_cast<size_t>(k)].digest);
+  }
+}
+
+TEST(PartitionedHashJoinTest, ProbeAgainstNoTablesIsEmpty) {
+  uint64_t key_sum = 0;
+  const OperatorExecStats stats = ProbeCloneSlice(
+      7, 100, ExecKeyDist{10, 0.0}, /*clone=*/0, /*degree=*/1,
+      /*tables=*/{}, &key_sum);
+  EXPECT_EQ(stats.rows_out, 0);
+  EXPECT_EQ(key_sum, 0u);
+}
+
+// --- Two-phase group-by vs the sort-based reference. ---
+
+void ExpectGroupBysAgree(const GroupByExecution& got,
+                         const GroupByExecution& want,
+                         const GroupBySpec& spec) {
+  EXPECT_EQ(got.groups, want.groups);
+  EXPECT_EQ(got.payload_sum, want.payload_sum);
+  EXPECT_EQ(got.group_digest, want.group_digest);
+  ASSERT_EQ(static_cast<int>(got.accumulate_clones.size()), spec.degree);
+  const int out_degree =
+      spec.output_degree > 0 ? spec.output_degree : spec.degree;
+  ASSERT_EQ(static_cast<int>(got.emit_clones.size()), out_degree);
+  int64_t rows_in = 0;
+  int64_t groups_out = 0;
+  for (const OperatorExecStats& s : got.accumulate_clones) {
+    rows_in += s.rows_in;
+  }
+  for (const OperatorExecStats& s : got.emit_clones) groups_out += s.rows_out;
+  EXPECT_EQ(rows_in, spec.rows);
+  EXPECT_EQ(groups_out, got.groups);
+}
+
+TEST(TwoPhaseGroupByTest, MatchesReferenceAcrossDegrees) {
+  ThreadPool pool(4);
+  for (int degree = 1; degree <= 8; ++degree) {
+    GroupBySpec spec;
+    spec.rows = 2500;
+    spec.dist = ExecKeyDist{200, 0.0};
+    spec.degree = degree;
+    SCOPED_TRACE(::testing::Message() << "degree " << degree);
+    const GroupByExecution want = ReferenceGroupBy(spec);
+    EXPECT_GT(want.groups, 0);
+    ExpectGroupBysAgree(ExecuteTwoPhaseGroupBy(spec, &pool), want, spec);
+  }
+}
+
+TEST(TwoPhaseGroupByTest, MatchesReferenceWithDifferingPhaseDegrees) {
+  ThreadPool pool(4);
+  GroupBySpec spec;
+  spec.rows = 2000;
+  spec.dist = ExecKeyDist{150, 0.5};
+  spec.degree = 7;
+  spec.output_degree = 3;
+  ExpectGroupBysAgree(ExecuteTwoPhaseGroupBy(spec, &pool),
+                      ReferenceGroupBy(spec), spec);
+}
+
+TEST(TwoPhaseGroupByTest, HotKeySkewMatchesReference) {
+  ThreadPool pool(4);
+  GroupBySpec spec;
+  spec.rows = 3000;
+  // skew 0.9 over a tiny domain: a handful of keys dominate, so one
+  // partition carries nearly all rows — the imbalance EA1 assumes away.
+  spec.dist = ExecKeyDist{32, 0.9};
+  spec.degree = 6;
+  ExpectGroupBysAgree(ExecuteTwoPhaseGroupBy(spec, &pool),
+                      ReferenceGroupBy(spec), spec);
+}
+
+TEST(TwoPhaseGroupByTest, EmptyInputYieldsNoGroups) {
+  GroupBySpec spec;
+  spec.rows = 0;
+  spec.dist = ExecKeyDist{10, 0.0};
+  spec.degree = 4;
+  const GroupByExecution got = ExecuteTwoPhaseGroupBy(spec, nullptr);
+  EXPECT_EQ(got.groups, 0);
+  EXPECT_EQ(got.payload_sum, 0u);
+  EXPECT_EQ(got.group_digest, 0u);
+  ExpectGroupBysAgree(got, ReferenceGroupBy(spec), spec);
+}
+
+TEST(TwoPhaseGroupByTest, PayloadSumIsConserved) {
+  GroupBySpec spec;
+  spec.rows = 1800;
+  spec.dist = ExecKeyDist{64, 0.3};
+  spec.degree = 5;
+  const GroupByExecution got = ExecuteTwoPhaseGroupBy(spec, nullptr);
+  uint64_t want_sum = 0;
+  for (int64_t i = 0; i < spec.rows; ++i) {
+    want_sum += SynthesizeRow(spec.seed, static_cast<uint64_t>(i),
+                              spec.dist).payload;
+  }
+  EXPECT_EQ(got.payload_sum, want_sum)
+      << "phase 2 must account for every accumulated row";
+}
+
+}  // namespace
+}  // namespace mrs

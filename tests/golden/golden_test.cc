@@ -19,6 +19,9 @@
 
 #include "core/list_schedule.h"
 #include "cost/parallelize_cache.h"
+#include "exec/calibrate.h"
+#include "exec/exec_backend.h"
+#include "exec/execute_backend.h"
 #include "exec/explain.h"
 #include "exec/gantt.h"
 #include "exec/trace.h"
@@ -237,6 +240,48 @@ TEST(GoldenTest, TraceReportSchema) {
   for (int i = 1; i <= 4; ++i) hist->Record(0.5 * i);
   CompareOrUpdate("trace_report.json",
                   ExportTraceReport({&trace}, registry.Snapshot()));
+}
+
+/// The execute backend's knobs behind the execution goldens: the
+/// deterministic meter makes "measured" times a pure function of row
+/// counts, so the explain rendering and the calibration report are
+/// byte-stable on every machine.
+ExecuteOptions GoldenExecuteOptions() {
+  ExecuteOptions options;
+  options.meter = ExecMeter::kDeterministic;
+  options.threads = 2;
+  return options;
+}
+
+TEST(GoldenTest, ExecuteReportBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  const std::vector<ExecOpSpec> specs = ExecOpSpecsFromTree(g.fx.op_tree);
+  ExecuteBackend backend(GoldenExecuteOptions());
+  auto runs = backend.RunTree(g.result, specs);
+  if (!runs.ok()) std::abort();
+  std::string text;
+  for (const ExecutionResult& run : *runs) {
+    text += ExplainExecution(run, g.machine);
+  }
+  CompareOrUpdate("execute_bushy.txt", text);
+}
+
+TEST(GoldenTest, CalibrationReportBushy) {
+  GoldenSchedule g = MakeGoldenSchedule(BushyFourWayFixture(),
+                                        ParallelizationPolicy::kCoarseGrain);
+  const std::vector<ExecOpSpec> specs = ExecOpSpecsFromTree(g.fx.op_tree);
+  Calibrator calibrator(g.machine.dims, OverlapUsageModel(0.5),
+                        GoldenExecuteOptions());
+  if (!calibrator.AddTreePlan("bushy", g.result, specs).ok()) std::abort();
+  GoldenListSchedule list = MakeGoldenListSchedule();
+  const std::vector<ExecOpSpec> list_specs =
+      ExecOpSpecsFromTree(list.fx.op_tree);
+  if (!calibrator.AddSchedule("bushy-list", list.result.schedule, list_specs)
+           .ok()) {
+    std::abort();
+  }
+  CompareOrUpdate("calibration_bushy.json", calibrator.ReportJson());
 }
 
 TEST(GoldenTest, TraceToStringBushy) {
