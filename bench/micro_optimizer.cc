@@ -1,0 +1,103 @@
+// Scheduler-in-the-loop join-order optimizer microbenchmark: wall time
+// and search throughput (candidate plans per second) of OptimizeJoinOrder
+// over a J x threads sweep, against the exhaustive plan-space baseline
+// (pruning off) it matches bit-exactly.
+//
+// Chain queries keep the plan space Catalan-sized (Catalan(J) * 2^J
+// complete plans: J=8 -> 366,080), so the exhaustive rows stay runnable
+// while still being ~10x+ slower than the pruned search at J >= 8 — the
+// win the optimizer section of EXPERIMENTS.md reports. Multi-thread rows
+// share every option with the single-thread rows; the result is
+// byte-identical across the sweep by construction. See
+// scripts/run_benches.sh -> BENCH_opt.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "plan/query_graph.h"
+#include "resource/machine.h"
+#include "resource/usage_model.h"
+
+namespace mrs {
+namespace {
+
+constexpr uint64_t kBenchSeed = 20260809;
+
+/// A J-join chain query over J+1 log-uniformly sized relations.
+struct BenchQuery {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryGraph> graph;
+
+  static BenchQuery Make(int joins) {
+    BenchQuery q;
+    q.catalog = std::make_unique<Catalog>();
+    Rng rng(kBenchSeed + static_cast<uint64_t>(joins));
+    for (int i = 0; i <= joins; ++i) {
+      Relation r;
+      r.name = "R" + std::to_string(i);
+      r.num_tuples = static_cast<int64_t>(rng.LogUniform(1e3, 1e5));
+      if (!q.catalog->AddRelation(std::move(r)).ok()) std::abort();
+    }
+    q.graph = std::make_unique<QueryGraph>(joins + 1);
+    for (int i = 0; i < joins; ++i) {
+      if (!q.graph->AddJoin(i, i + 1).ok()) std::abort();
+    }
+    return q;
+  }
+};
+
+void BM_OptimizerSearch(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool prune = state.range(2) != 0;
+  const BenchQuery q = BenchQuery::Make(joins);
+  const MachineConfig machine;
+  const OverlapUsageModel usage(0.5);
+
+  uint64_t plans = 0;
+  uint64_t scheduled = 0;
+  double makespan = 0.0;
+  for (auto _ : state) {
+    OptimizerOptions options;
+    options.num_threads = threads;
+    options.prune = prune;
+    auto result = OptimizeJoinOrder(*q.catalog, *q.graph, CostParams{},
+                                    machine, usage, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    plans += result->stats.plans_considered;
+    scheduled += result->stats.plans_scheduled;
+    makespan = result->makespan;
+    benchmark::DoNotOptimize(result->makespan);
+  }
+  // items/s == candidate plans considered per second.
+  state.SetItemsProcessed(static_cast<int64_t>(plans));
+  state.counters["plans_scheduled_per_run"] =
+      state.iterations() > 0
+          ? static_cast<double>(scheduled) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.counters["makespan_ms"] = makespan;
+  state.SetLabel("J=" + std::to_string(joins) +
+                 " threads=" + std::to_string(threads) +
+                 (prune ? " prune=on" : " prune=off"));
+}
+// Pruned sweep: J x threads.
+BENCHMARK(BM_OptimizerSearch)
+    ->ArgsProduct({{4, 6, 8}, {1, 2, 4, 8}, {1}})
+    ->Unit(benchmark::kMillisecond);
+// Exhaustive baseline rows (the bit-equal yardstick; J=8 pays the full
+// 366k-plan space, so only two thread points).
+BENCHMARK(BM_OptimizerSearch)
+    ->ArgsProduct({{4, 6, 8}, {1, 8}, {0}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mrs

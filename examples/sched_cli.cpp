@@ -8,12 +8,23 @@
 //             [--algorithm tree|malleable|sync|list]
 //             [--format text|gantt|svg|json|csv]
 //             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
+//             [--optimize] [--no-prune]
 //             [--execute] [--calibrate=FILE] [--exec-seed N]
 //             [--exec-rows N] [--exec-skew S] [--exec-meter cpu|rows]
 //             [--connect HOST:PORT]
 //
 // --engine is accepted as an alias for --algorithm; `--engine=list`
 // selects the barrier-free moldable list scheduler (LISTSCHEDULE).
+//
+// --optimize runs the scheduler-in-the-loop join-order optimizer on a
+// plan file carrying a `graph` stanza instead of a plan line (see
+// src/io/plan_text.h): it searches the bushy join-plan space with the
+// scheduler's own makespan as the cost function (src/optimizer/) and
+// prints the optimizer explain report followed by the winning plan in
+// plan-text format (feed it back to sched_cli to see the schedule).
+// --threads sets the search workers (the result is byte-identical across
+// thread counts), --algorithm tree|list picks the pricing engine, and
+// --no-prune disables lower-bound pruning (the exhaustive baseline).
 //
 // --execute replays the schedule on the real execution backend
 // (partitioned hash joins / group-bys over generated data, see
@@ -70,6 +81,7 @@
 #include "io/plan_text.h"
 #include "io/schedule_export.h"
 #include "io/trace_export.h"
+#include "optimizer/optimizer.h"
 #include "server/sched_client.h"
 #include "workload/experiment.h"
 
@@ -81,6 +93,7 @@ int Usage(const char* argv0) {
                "          [--algorithm tree|malleable|sync|list]\n"
                "          [--format text|gantt|svg|json|csv]\n"
                "          [--batch N] [--threads K]\n"
+               "          [--optimize] [--no-prune]\n"
                "          [--metrics] [--trace-json=FILE]\n"
                "          [--execute] [--calibrate=FILE] [--exec-seed N]\n"
                "          [--exec-rows N] [--exec-skew S]\n"
@@ -122,6 +135,8 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string connect;
   bool execute = false;
+  bool optimize = false;
+  bool opt_prune = true;
   std::string calibrate_path;
   uint64_t exec_seed = 1;
   long long exec_rows = 8192;
@@ -157,6 +172,10 @@ int main(int argc, char** argv) {
       connect = need_value("--connect");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       print_metrics = true;
+    } else if (std::strcmp(argv[i], "--optimize") == 0) {
+      optimize = true;
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      opt_prune = false;
     } else if (std::strcmp(argv[i], "--execute") == 0) {
       execute = true;
     } else if (std::strncmp(argv[i], "--calibrate=", 12) == 0) {
@@ -255,6 +274,53 @@ int main(int argc, char** argv) {
     parse_span.AttrInt("relations", parsed->catalog->num_relations());
   }
   parse_span.End();
+
+  if (optimize) {
+    if (parsed->graph == nullptr) {
+      std::fprintf(stderr,
+                   "--optimize requires a plan file with a graph stanza "
+                   "(e.g. 'graph (a b) (b c)'), got a plan line\n");
+      return 2;
+    }
+    OptimizerOptions opt;
+    opt.granularity = f;
+    opt.num_threads = threads;
+    opt.prune = opt_prune;
+    opt.trace = trace;
+    if (algorithm == "list") {
+      opt.engine = OptimizerEngine::kList;
+    } else if (algorithm != "tree") {
+      std::fprintf(stderr, "--optimize supports --algorithm tree|list\n");
+      return 2;
+    }
+    CostParams params;
+    MachineConfig machine;
+    machine.num_sites = sites;
+    const OverlapUsageModel usage(eps);
+    auto result = OptimizeJoinOrder(*parsed->catalog, *parsed->graph, params,
+                                    machine, usage, opt);
+    if (!result.ok()) {
+      std::fprintf(stderr, "optimize failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->Explain().c_str());
+    auto plan_text = WritePlanText(*parsed->catalog, *result->plan);
+    if (!plan_text.ok()) {
+      std::fprintf(stderr, "plan render failed: %s\n",
+                   plan_text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# winning plan (feed back to sched_cli):\n%s",
+                plan_text->c_str());
+    return finish_reports({}) ? 0 : 1;
+  }
+  if (parsed->plan == nullptr) {
+    std::fprintf(stderr,
+                 "plan file declares a graph stanza; run with --optimize to "
+                 "search for a join order\n");
+    return 2;
+  }
 
   if (batch > 1 || threads > 1) {
     // Batch mode: push N copies of the plan through the batch scheduling

@@ -15,6 +15,9 @@
 #                      (real execution vs simulation of the same schedules;
 #                      the calibration loop's mean-relative-error counters —
 #                      diff with scripts/compare_bench.py --counters)
+#   BENCH_opt.json     google-benchmark JSON from micro_optimizer
+#                      (join-order search wall time and plans/s across
+#                      J x threads, pruned vs the exhaustive baseline)
 #   BENCH_trace.txt    PASS/FAIL line from micro_trace_overhead
 #   BENCH_placement.json  one JSON object per line from
 #                      micro_placement_scale (indexed vs. linear clone
@@ -36,7 +39,7 @@ fi
 cmake --build "${build_dir}" \
   --target micro_online_throughput micro_scheduler_runtime \
   micro_trace_overhead micro_placement_scale micro_workvector \
-  micro_list_schedule micro_exec_calibration
+  micro_list_schedule micro_exec_calibration micro_optimizer
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -63,6 +66,10 @@ echo "=== list vs tree engines -> ${out_dir}/BENCH_list.json ==="
 echo "=== execution backend + calibration -> ${out_dir}/BENCH_exec.json ==="
 "${build_dir}/bench/micro_exec_calibration" \
   --benchmark_format=json > "${out_dir}/BENCH_exec.json"
+
+echo "=== join-order optimizer search -> ${out_dir}/BENCH_opt.json ==="
+"${build_dir}/bench/micro_optimizer" \
+  --benchmark_format=json > "${out_dir}/BENCH_opt.json"
 
 echo "=== tracing overhead -> ${out_dir}/BENCH_trace.txt ==="
 "${build_dir}/bench/micro_trace_overhead" | tee "${out_dir}/BENCH_trace.txt"

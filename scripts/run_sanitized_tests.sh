@@ -12,6 +12,9 @@
 # Calibrate plus the ExecDifferential cross-engine tests) are part of
 # mrs_tests, so every real thread-pool replay runs under TSan here; the
 # alloc-pinning tests skip themselves when a sanitizer owns the allocator.
+# mrs_slow_tests is built too, so the optimizer differential suite (the
+# multi-threaded DP/slice search racing over the shared parallelize
+# cache) runs under both sanitizers as well.
 #
 # Usage: scripts/run_sanitized_tests.sh [ctest args...]
 
@@ -30,7 +33,7 @@ run_config() {
   echo "=== ${name}: MRS_SANITIZE=${sanitize} (${build_dir}) ==="
   cmake -B "${build_dir}" -S "${repo_root}" "${generator_args[@]}" \
     -DMRS_SANITIZE="${sanitize}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "${build_dir}" --target mrs_tests mrs_golden_tests
+  cmake --build "${build_dir}" --target mrs_tests mrs_golden_tests mrs_slow_tests
   ctest --test-dir "${build_dir}" --output-on-failure "$@"
 }
 

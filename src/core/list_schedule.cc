@@ -184,6 +184,20 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
   if (task_tree.num_tasks() == 0) {
     return Status::InvalidArgument("task tree has no tasks to schedule");
   }
+  if (options.base_load != nullptr) {
+    if (static_cast<int>(options.base_load->size()) != config.num_sites) {
+      return Status::InvalidArgument(
+          StrFormat("base_load has %zu sites, machine has %d",
+                    options.base_load->size(), config.num_sites));
+    }
+    for (const WorkVector& w : *options.base_load) {
+      if (static_cast<int>(w.dim()) != config.dims) {
+        return Status::InvalidArgument(
+            StrFormat("base_load vector has %zu dims, machine has %d",
+                      w.dim(), config.dims));
+      }
+    }
+  }
 
   TraceSink* const trace = options.trace;
   SpanTimer call_span(trace, "list_schedule");
@@ -331,6 +345,11 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
         for (const RunningClone& c : s.active) {
           residual[static_cast<size_t>(j)] += c.remaining;
         }
+        // External co-resident load is static over the query's horizon.
+        if (options.base_load != nullptr) {
+          residual[static_cast<size_t>(j)] +=
+              (*options.base_load)[static_cast<size_t>(j)];
+        }
       }
       OperatorScheduleOptions round_options = options.list_options;
       round_options.base_load = &residual;
@@ -446,6 +465,7 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
     tree_options.policy = options.policy;
     tree_options.build_degree = options.build_degree;
     tree_options.list_options = options.list_options;
+    tree_options.list_options.base_load = options.base_load;
     tree_options.cache = options.cache;
     auto tree = TreeSchedule(op_tree, task_tree, costs, params, config, usage,
                              tree_options);

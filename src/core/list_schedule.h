@@ -36,6 +36,15 @@ struct ListScheduleOptions {
   /// the eq. (3) binding term of the critical site, and whether the
   /// barrier-aligned guard fired.
   TraceSink* trace = nullptr;
+  /// Optional external residual site load (not owned): the remaining work
+  /// of co-resident queries per site, treated as static over this query's
+  /// horizon. Added into every placement round's residual (so the
+  /// least-loaded rule avoids busy sites) and forwarded to the
+  /// tree_guard's TREESCHEDULE. Must hold exactly num_sites vectors of
+  /// the machine's dims. ListSchedule overwrites
+  /// list_options.base_load internally — thread external load through
+  /// this field instead.
+  const std::vector<WorkVector>* base_load = nullptr;
   /// Dominance guard: also run TREESCHEDULE with the same options and, if
   /// the barrier-free greedy schedule comes out *longer* (contention along
   /// the critical path can beat the barriers it removed), fall back to the

@@ -256,7 +256,10 @@ Result<PhaseSchedule> PhasePlanner::NextPhase(
 
   SpanTimer sched_span(trace, "operator_schedule", k);
   OperatorScheduleOptions list_options = options_.list_options;
-  list_options.base_load = base_load;
+  // A per-call base load (the online scheduler's phase-instant residual)
+  // overrides a static one carried in the options (the list engine's
+  // tree_guard threading ListScheduleOptions::base_load through).
+  if (base_load != nullptr) list_options.base_load = base_load;
   if (sched_span.active()) {
     // Which site-selection engine ran (see OperatorScheduleOptions::
     // placement_index) — the schedules are pinned byte-identical, so this

@@ -161,6 +161,57 @@ class SexprParser {
   std::set<int> used_relations_;
 };
 
+/// Dense catalog id of a relation name; -1 when unknown.
+int RelationIdByName(const Catalog& catalog, const std::string& name) {
+  for (int id = 0; id < catalog.num_relations(); ++id) {
+    if (catalog.GetRelation(id)->name == name) return id;
+  }
+  return -1;
+}
+
+/// Parses the `graph` stanza payload: a sequence of (name name) edge
+/// pairs over the declared relations. Zero pairs is legal (the join-free
+/// single-relation query).
+Result<std::unique_ptr<QueryGraph>> ParseGraphEdges(
+    const std::vector<Token>& tokens, int line_no, const Catalog& catalog) {
+  auto graph = std::make_unique<QueryGraph>(catalog.num_relations());
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    if (tokens[pos].kind != Token::kLParen) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: expected '(' to open a join edge, got '%s'", line_no,
+          tokens[pos].text.c_str()));
+    }
+    ++pos;
+    int ids[2];
+    for (int side = 0; side < 2; ++side) {
+      if (pos >= tokens.size() || tokens[pos].kind != Token::kAtom) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: expected two relation names inside a join edge",
+            line_no));
+      }
+      ids[side] = RelationIdByName(catalog, tokens[pos].text);
+      if (ids[side] < 0) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: unknown relation '%s'", line_no,
+                      tokens[pos].text.c_str()));
+      }
+      ++pos;
+    }
+    if (pos >= tokens.size() || tokens[pos].kind != Token::kRParen) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: expected ')' to close the join edge", line_no));
+    }
+    ++pos;
+    Status added = graph->AddJoin(ids[0], ids[1]);
+    if (!added.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_no, added.message().c_str()));
+    }
+  }
+  return graph;
+}
+
 }  // namespace
 
 Result<ParsedPlan> ParsePlanText(const std::string& text) {
@@ -184,7 +235,7 @@ Result<ParsedPlan> ParsePlanText(const std::string& text) {
     std::string keyword;
     ls >> keyword;
     if (keyword == "relation") {
-      if (saw_plan) {
+      if (saw_plan || parsed.graph != nullptr) {
         return Status::InvalidArgument(StrFormat(
             "line %d: relation declared after the plan line", line_no));
       }
@@ -210,6 +261,12 @@ Result<ParsedPlan> ParsePlanText(const std::string& text) {
         return Status::InvalidArgument(
             StrFormat("line %d: duplicate plan line", line_no));
       }
+      if (parsed.graph != nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: plan line after a graph stanza (a file carries one "
+            "or the other)",
+            line_no));
+      }
       saw_plan = true;
       std::string rest;
       std::getline(ls, rest);
@@ -220,14 +277,38 @@ Result<ParsedPlan> ParsePlanText(const std::string& text) {
                          parsed.plan.get());
       auto root = parser.Parse();
       if (!root.ok()) return root.status();
+    } else if (keyword == "graph") {
+      if (saw_plan) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: graph stanza after the plan line (a file carries "
+            "one or the other)",
+            line_no));
+      }
+      if (parsed.graph != nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: duplicate graph stanza", line_no));
+      }
+      std::string rest;
+      std::getline(ls, rest);
+      std::vector<Token> tokens;
+      if (rest.find_first_not_of(" \t\r") != std::string::npos) {
+        auto tokenized = Tokenize(rest, line_no);
+        if (!tokenized.ok()) return tokenized.status();
+        tokens = std::move(tokenized).value();
+      }
+      auto graph = ParseGraphEdges(tokens, line_no, *parsed.catalog);
+      if (!graph.ok()) return graph.status();
+      parsed.graph = std::move(graph).value();
     } else {
       return Status::InvalidArgument(StrFormat(
-          "line %d: unknown keyword '%s' (expected 'relation' or 'plan')",
+          "line %d: unknown keyword '%s' (expected 'relation', 'plan', or "
+          "'graph')",
           line_no, keyword.c_str()));
     }
   }
+  if (parsed.graph != nullptr) return parsed;
   if (!saw_plan) {
-    return Status::InvalidArgument("missing plan line");
+    return Status::InvalidArgument("missing plan or graph line");
   }
   MRS_RETURN_IF_ERROR(parsed.plan->Finalize());
   return parsed;
@@ -275,6 +356,29 @@ Result<std::string> WritePlanText(const Catalog& catalog,
   }
   out += "plan ";
   WriteNode(plan, plan.root(), &out);
+  out += "\n";
+  return out;
+}
+
+Result<std::string> WriteGraphText(const Catalog& catalog,
+                                   const QueryGraph& graph) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument(
+        StrFormat("graph covers %d relations but the catalog has %d",
+                  graph.num_relations(), catalog.num_relations()));
+  }
+  std::string out;
+  for (const auto& r : catalog.relations()) {
+    out += StrFormat("relation %s %lld\n", r.name.c_str(),
+                     static_cast<long long>(r.num_tuples));
+  }
+  out += "graph";
+  for (const JoinEdge& e : graph.edges()) {
+    out += StrFormat(
+        " (%s %s)",
+        catalog.GetRelation(e.left_relation)->name.c_str(),
+        catalog.GetRelation(e.right_relation)->name.c_str());
+  }
   out += "\n";
   return out;
 }

@@ -20,6 +20,23 @@
 
 namespace mrs {
 
+/// Per-query scheduling engine of the online scheduler.
+enum class OnlineEngine {
+  /// Phased TREESCHEDULE: phases are placed one at a time against the
+  /// residual load, and contended completions are predicted by the fluid
+  /// union model (the default, byte-identical to the historical behavior).
+  kTree,
+  /// Barrier-free LISTSCHEDULE: the whole query is scheduled one-shot at
+  /// admission with the residual-load snapshot threaded through
+  /// ListScheduleOptions::base_load (ROADMAP item 1's leftover), so the
+  /// least-loaded rule steers every placement round away from busy sites.
+  /// Clone start/finish times become staggered reservations on the
+  /// virtual clock and the query completes at its list makespan. The
+  /// snapshot biases *placement* only — durations are not re-stretched by
+  /// later arrivals, matching the non-preemptive reservation model.
+  kList,
+};
+
 struct OnlineSchedulerOptions {
   /// Overlap epsilon of the usage model (EA2) used for costing, placement,
   /// and the fluid completion model.
@@ -34,6 +51,12 @@ struct OnlineSchedulerOptions {
   /// service, and the indexed and linear engines are pinned to produce
   /// byte-identical placements.
   TreeScheduleOptions tree;
+  /// Engine each admitted query is scheduled with. Both engines share the
+  /// `tree` knobs (granularity, policy, build_degree, list_options); the
+  /// admission-time makespan estimate uses the selected engine too, so the
+  /// documented "equals the contended response time when the query runs
+  /// alone" property holds for either.
+  OnlineEngine engine = OnlineEngine::kTree;
   AdmissionOptions admission;
   /// Share one memoized parallelize cache across all queries.
   bool use_cost_cache = true;
@@ -211,6 +234,7 @@ class OnlineScheduler {
   void PushEvent(double time, Event::Kind kind, uint64_t query);
   void AdmitQuery(QueryRec* rec);
   void PlaceNextPhase(QueryRec* rec);
+  void PlaceListSchedule(QueryRec* rec);
   void CompleteQuery(QueryRec* rec, double at_ms);
   void AbortQuery(QueryRec* rec, Status status);
   void FinalizeRejected(QueryRec* rec, Status status, OnlineQueryState state);

@@ -1,0 +1,477 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "cost/parallelize_cache.h"
+
+namespace mrs {
+
+namespace {
+
+/// Shift separating the slice index from the slice-local combination
+/// counter in a plan id. 2^40 combinations per slice is far beyond
+/// max_candidates-squared territory.
+constexpr int kSliceShift = 40;
+
+const char* EngineName(OptimizerEngine engine) {
+  return engine == OptimizerEngine::kList ? "list" : "tree";
+}
+
+/// Greedy connectivity-ordered seed plan: repeatedly joins the two
+/// components whose join has the smallest result, the build side the
+/// smaller input. Deterministic (ties by edge index / plan-node id); its
+/// makespan is the pruning incumbent, and the plan itself is regenerated
+/// by the enumeration, so the search result is never worse than the seed.
+Result<PlanTree> BuildGreedyPlan(const Catalog& catalog,
+                                 const QueryGraph& graph) {
+  const int n = graph.num_relations();
+  PlanTree plan(&catalog);
+  struct Component {
+    int node = -1;
+    int64_t out_tuples = 0;
+  };
+  std::vector<int> comp_of(static_cast<size_t>(n));
+  std::vector<Component> comps(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    MRS_ASSIGN_OR_RETURN(int leaf, plan.AddLeaf(r));
+    MRS_ASSIGN_OR_RETURN(Relation rel, catalog.GetRelation(r));
+    comp_of[static_cast<size_t>(r)] = r;
+    comps[static_cast<size_t>(r)] = {leaf, rel.num_tuples};
+  }
+  const std::vector<JoinEdge>& edges = graph.edges();
+  for (int step = 0; step + 1 < n; ++step) {
+    int best_edge = -1;
+    int64_t best_out = 0;
+    for (int ei = 0; ei < static_cast<int>(edges.size()); ++ei) {
+      const JoinEdge& e = edges[static_cast<size_t>(ei)];
+      const int ca = comp_of[static_cast<size_t>(e.left_relation)];
+      const int cb = comp_of[static_cast<size_t>(e.right_relation)];
+      if (ca == cb) continue;
+      const int64_t out =
+          KeyJoinResultTuples(comps[static_cast<size_t>(ca)].out_tuples,
+                              comps[static_cast<size_t>(cb)].out_tuples);
+      if (best_edge < 0 || out < best_out) {
+        best_edge = ei;
+        best_out = out;
+      }
+    }
+    if (best_edge < 0) {
+      return Status::InvalidArgument(
+          "query graph is disconnected; cannot seed the optimizer");
+    }
+    const JoinEdge& e = edges[static_cast<size_t>(best_edge)];
+    const int ca = comp_of[static_cast<size_t>(e.left_relation)];
+    const int cb = comp_of[static_cast<size_t>(e.right_relation)];
+    const Component& a = comps[static_cast<size_t>(ca)];
+    const Component& b = comps[static_cast<size_t>(cb)];
+    // Build on the smaller input; ties by plan-node id for determinism.
+    int inner = cb;
+    if (b.out_tuples > a.out_tuples ||
+        (b.out_tuples == a.out_tuples && a.node < b.node)) {
+      inner = ca;
+    }
+    const int outer = inner == ca ? cb : ca;
+    MRS_ASSIGN_OR_RETURN(
+        int join,
+        plan.AddJoin(comps[static_cast<size_t>(outer)].node,
+                     comps[static_cast<size_t>(inner)].node));
+    comps[static_cast<size_t>(ca)] = {join,
+                                      plan.node(join).output.num_tuples};
+    for (int r = 0; r < n; ++r) {
+      if (comp_of[static_cast<size_t>(r)] == cb) {
+        comp_of[static_cast<size_t>(r)] = ca;
+      }
+    }
+  }
+  MRS_RETURN_IF_ERROR(plan.Finalize());
+  return plan;
+}
+
+/// Result slot of one bottom-up DP job (one memo subset).
+struct SubsetOutcome {
+  Status status;
+  uint64_t generated = 0;
+  uint64_t kept = 0;
+  uint64_t pruned = 0;
+};
+
+/// Result slot of one root-slice job.
+struct SliceOutcome {
+  Status status;
+  bool has_best = false;
+  double best_makespan = 0.0;
+  uint64_t best_id = 0;
+  PlanEnumerator::CandidateRef best_outer;
+  PlanEnumerator::CandidateRef best_inner;
+  uint64_t considered = 0;
+  uint64_t scheduled = 0;
+  uint64_t pruned = 0;
+};
+
+}  // namespace
+
+std::string OptimizeResult::Explain() const {
+  std::string out;
+  out += StrFormat("optimizer: engine=%s prune=%s relations=%d joins=%d\n",
+                   EngineName(engine), prune ? "on" : "off", num_relations,
+                   num_joins);
+  out += StrFormat("plan: %s\n",
+                   plan ? plan->ToString().c_str() : "(none)");
+  out += StrFormat("makespan_ms: %.6f\n", makespan);
+  out += StrFormat("plan_id: %llu\n",
+                   static_cast<unsigned long long>(plan_id));
+  out += StrFormat("seed_makespan_ms: %.6f\n", seed_makespan);
+  out += StrFormat(
+      "plans: considered=%llu scheduled=%llu pruned=%llu\n",
+      static_cast<unsigned long long>(stats.plans_considered),
+      static_cast<unsigned long long>(stats.plans_scheduled),
+      static_cast<unsigned long long>(stats.plans_pruned));
+  out += StrFormat(
+      "subplans: considered=%llu kept=%llu pruned=%llu subsets=%d "
+      "slices=%d\n",
+      static_cast<unsigned long long>(stats.subplans_considered),
+      static_cast<unsigned long long>(stats.subplans_kept),
+      static_cast<unsigned long long>(stats.subplans_pruned),
+      stats.num_subsets, stats.num_slices);
+  return out;
+}
+
+Result<OptimizeResult> OptimizeJoinOrder(const Catalog& catalog,
+                                         const QueryGraph& graph,
+                                         const CostParams& params,
+                                         const MachineConfig& machine,
+                                         const OverlapUsageModel& usage,
+                                         const OptimizerOptions& options) {
+  if (graph.num_relations() != catalog.num_relations()) {
+    return Status::InvalidArgument(
+        StrFormat("query graph covers %d relations but the catalog has %d",
+                  graph.num_relations(), catalog.num_relations()));
+  }
+  MRS_ASSIGN_OR_RETURN(PlanEnumerator enumerator,
+                       PlanEnumerator::Create(graph));
+
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+  MetricsRegistry* registry =
+      options.metrics != nullptr ? options.metrics : &MetricsRegistry::Global();
+  ParallelizeCache cache(params, usage.epsilon(), options.granularity,
+                         config.num_sites, registry);
+
+  MakespanCostOptions cost_options;
+  cost_options.granularity = options.granularity;
+  cost_options.policy = options.policy;
+  cost_options.build_degree = options.build_degree;
+  cost_options.engine = options.engine;
+  cost_options.num_disks = options.num_disks;
+  cost_options.cost_options = options.cost_options;
+  cost_options.cache = &cache;
+  MRS_ASSIGN_OR_RETURN(
+      MakespanCostFn cost_fn,
+      MakespanCostFn::Create(&catalog, params, config, usage, cost_options));
+
+  const int n = enumerator.num_relations();
+  const uint64_t full_mask =
+      n == 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+
+  OptimizeResult result;
+  result.num_relations = n;
+  result.num_joins = graph.num_joins();
+  result.engine = options.engine;
+  result.prune = options.prune;
+  result.stats.num_subsets = enumerator.num_subsets();
+  result.stats.num_slices =
+      static_cast<int>(enumerator.root_slices().size());
+
+  SpanTimer whole(options.trace, "optimize");
+
+  // Stage 1: greedy seed — the fixed pruning incumbent.
+  double seed_makespan = 0.0;
+  {
+    SpanTimer span(options.trace, "opt_seed");
+    MRS_ASSIGN_OR_RETURN(PlanTree seed_plan,
+                         BuildGreedyPlan(catalog, graph));
+    MRS_ASSIGN_OR_RETURN(PreparedPlan prepared, cost_fn.Prepare(seed_plan));
+    MRS_ASSIGN_OR_RETURN(seed_makespan, cost_fn.Makespan(prepared));
+    if (span.active()) span.AttrDouble("makespan_ms", seed_makespan);
+  }
+  result.seed_makespan = seed_makespan;
+
+  if (n == 1) {
+    // A join-free query has exactly one plan: the lone scan.
+    PlanEnumerator::CandidateRef leaf{0, 0};
+    MRS_ASSIGN_OR_RETURN(PlanTree plan,
+                         enumerator.BuildPlan(&catalog, leaf));
+    MRS_ASSIGN_OR_RETURN(PreparedPlan prepared, cost_fn.Prepare(plan));
+    MRS_ASSIGN_OR_RETURN(result.makespan, cost_fn.Makespan(prepared));
+    result.plan = std::make_unique<PlanTree>(std::move(plan));
+    result.plan_id = 0;
+    result.stats.plans_considered = 1;
+    result.stats.plans_scheduled = 1;
+    result.stats.subplans_considered = 1;
+    result.stats.subplans_kept = 1;
+    result.stats.cache_hits = cache.counter().hits();
+    result.stats.cache_misses = cache.counter().misses();
+    return result;
+  }
+
+  ThreadPool pool(options.num_threads);
+
+  // Per-candidate pruning aggregates, index-aligned with the enumerator's
+  // memo lists. Each DP job writes only its own subset's vector and reads
+  // completed smaller subsets (the size barrier below), so no locking.
+  std::vector<std::vector<SubplanBound>> bounds(
+      static_cast<size_t>(enumerator.num_subsets()));
+  if (options.prune) {
+    for (int id : enumerator.SubsetsOfSize(1)) {
+      const int r = std::countr_zero(enumerator.subset_mask(id));
+      MRS_ASSIGN_OR_RETURN(SubplanBound leaf, cost_fn.LeafBound(r));
+      bounds[static_cast<size_t>(id)].push_back(std::move(leaf));
+    }
+  }
+
+  // Stage 2: fill the memo bottom-up, one job per subset, a barrier
+  // between sizes. Pruning compares each candidate's O(1) compositional
+  // bound (CombineBound: only the two root operators are costed) against
+  // the *fixed* seed incumbent, so the memo is identical for every thread
+  // count and no candidate ever pays a full Prepare() here.
+  {
+    SpanTimer span(options.trace, "opt_dp");
+    std::vector<SubsetOutcome> outcomes(
+        static_cast<size_t>(enumerator.num_subsets()));
+    for (int size = 2; size <= n - 1; ++size) {
+      for (int id : enumerator.SubsetsOfSize(size)) {
+        pool.Submit([&, id] {
+          SubsetOutcome& slot = outcomes[static_cast<size_t>(id)];
+          std::vector<SubplanBound>& my_bounds =
+              bounds[static_cast<size_t>(id)];
+          const uint64_t mask = enumerator.subset_mask(id);
+          auto keep = [&](const PlanEnumerator::Candidate& cand) -> bool {
+            if (!options.prune) return true;
+            Result<SubplanBound> b = cost_fn.CombineBound(
+                bounds[static_cast<size_t>(cand.outer.subset)]
+                      [static_cast<size_t>(cand.outer.idx)],
+                bounds[static_cast<size_t>(cand.inner.subset)]
+                      [static_cast<size_t>(cand.inner.idx)]);
+            if (!b.ok()) {
+              if (slot.status.ok()) slot.status = b.status();
+              my_bounds.emplace_back();  // keep memo/bounds aligned
+              return true;
+            }
+            if (cost_fn.CheapLowerBound(*b, mask) > seed_makespan) {
+              ++slot.pruned;
+              return false;
+            }
+            my_bounds.push_back(*std::move(b));
+            return true;
+          };
+          PlanEnumerator::GenerateCounts counts =
+              enumerator.GenerateCandidates(id, keep);
+          slot.generated = counts.generated;
+          slot.kept = counts.kept;
+        });
+      }
+      pool.WaitAll();
+      const uint64_t memo_size = enumerator.total_candidates();
+      if (memo_size > options.max_candidates) {
+        return Status::InvalidArgument(StrFormat(
+            "plan space too large: %llu memoized subplan candidates at "
+            "subset size %d exceed max_candidates=%llu",
+            static_cast<unsigned long long>(memo_size), size,
+            static_cast<unsigned long long>(options.max_candidates)));
+      }
+    }
+    for (const SubsetOutcome& slot : outcomes) {
+      MRS_RETURN_IF_ERROR(slot.status);
+      result.stats.subplans_considered += slot.generated;
+      result.stats.subplans_kept += slot.kept;
+      result.stats.subplans_pruned += slot.pruned;
+    }
+    // Leaf candidates exist without a generation pass.
+    result.stats.subplans_considered += static_cast<uint64_t>(n);
+    result.stats.subplans_kept += static_cast<uint64_t>(n);
+    if (span.active()) {
+      span.AttrInt("subsets", enumerator.num_subsets());
+      span.AttrInt("kept",
+                   static_cast<int64_t>(result.stats.subplans_kept));
+    }
+  }
+
+  // Stage 3: price complete plans slice by slice (one root partition per
+  // job), each slice keeping a local incumbent seeded from the greedy
+  // makespan. Plan ids count every combination before pruning, so they are
+  // comparable between pruned and exhaustive runs.
+  std::vector<SliceOutcome> slices(enumerator.root_slices().size());
+  {
+    SpanTimer span(options.trace, "opt_search");
+    for (int si = 0; si < static_cast<int>(slices.size()); ++si) {
+      pool.Submit([&, si] {
+        const PlanEnumerator::RootSlice& slice =
+            enumerator.root_slices()[static_cast<size_t>(si)];
+        SliceOutcome& out = slices[static_cast<size_t>(si)];
+        const auto& outer_cands = enumerator.candidates(slice.outer_subset);
+        const auto& inner_cands = enumerator.candidates(slice.inner_subset);
+        double incumbent = seed_makespan;
+        uint64_t counter = 0;
+        for (int i = 0; i < static_cast<int>(outer_cands.size()); ++i) {
+          for (int j = 0; j < static_cast<int>(inner_cands.size()); ++j) {
+            for (int orient = 0; orient < 2; ++orient) {
+              const uint64_t id =
+                  (static_cast<uint64_t>(si) << kSliceShift) | counter;
+              ++counter;
+              ++out.considered;
+              PlanEnumerator::CandidateRef outer{slice.outer_subset, i};
+              PlanEnumerator::CandidateRef inner{slice.inner_subset, j};
+              if (orient == 1) std::swap(outer, inner);
+              if (options.prune) {
+                // Tier 1: the O(1) compositional bound — no plan is
+                // materialized, no operator tree costed.
+                Result<SubplanBound> rb = cost_fn.CombineBound(
+                    bounds[static_cast<size_t>(outer.subset)]
+                          [static_cast<size_t>(outer.idx)],
+                    bounds[static_cast<size_t>(inner.subset)]
+                          [static_cast<size_t>(inner.idx)]);
+                if (!rb.ok()) {
+                  out.status = rb.status();
+                  return;
+                }
+                if (cost_fn.CheapLowerBound(*rb, full_mask) > incumbent) {
+                  ++out.pruned;
+                  continue;
+                }
+              }
+              Result<PlanTree> plan =
+                  enumerator.BuildRootPlan(&catalog, outer, inner);
+              if (!plan.ok()) {
+                out.status = plan.status();
+                return;
+              }
+              Result<PreparedPlan> prepared = cost_fn.Prepare(*plan);
+              if (!prepared.ok()) {
+                out.status = prepared.status();
+                return;
+              }
+              if (options.prune) {
+                // Tier 2: the full prepared-plan bound (exact in-context
+                // costs plus the phase-sum term) before a schedule is
+                // paid.
+                Result<double> lb = cost_fn.LowerBound(*prepared, full_mask);
+                if (!lb.ok()) {
+                  out.status = lb.status();
+                  return;
+                }
+                if (*lb > incumbent) {
+                  ++out.pruned;
+                  continue;
+                }
+              }
+              Result<double> makespan = cost_fn.Makespan(*prepared);
+              if (!makespan.ok()) {
+                out.status = makespan.status();
+                return;
+              }
+              ++out.scheduled;
+              const double ms = *makespan;
+              if (ms < incumbent) incumbent = ms;
+              if (!out.has_best || ms < out.best_makespan ||
+                  (ms == out.best_makespan && id < out.best_id)) {
+                out.has_best = true;
+                out.best_makespan = ms;
+                out.best_id = id;
+                out.best_outer = outer;
+                out.best_inner = inner;
+              }
+            }
+          }
+        }
+      });
+    }
+    pool.WaitAll();
+    if (span.active()) {
+      span.AttrInt("slices", static_cast<int64_t>(slices.size()));
+    }
+  }
+
+  // Stage 4: deterministic merge — errors by slice order, then argmin by
+  // (makespan, plan id).
+  int best_slice = -1;
+  for (int si = 0; si < static_cast<int>(slices.size()); ++si) {
+    const SliceOutcome& out = slices[static_cast<size_t>(si)];
+    MRS_RETURN_IF_ERROR(out.status);
+    result.stats.plans_considered += out.considered;
+    result.stats.plans_scheduled += out.scheduled;
+    result.stats.plans_pruned += out.pruned;
+    if (!out.has_best) continue;
+    if (best_slice < 0 ||
+        out.best_makespan <
+            slices[static_cast<size_t>(best_slice)].best_makespan ||
+        (out.best_makespan ==
+             slices[static_cast<size_t>(best_slice)].best_makespan &&
+         out.best_id < slices[static_cast<size_t>(best_slice)].best_id)) {
+      best_slice = si;
+    }
+  }
+  if (best_slice < 0) {
+    // Every combination was pruned — possible only through floating-point
+    // corner cases, since the greedy plan itself passes the bound checks.
+    // Fall back to the seed plan, deterministically.
+    MRS_ASSIGN_OR_RETURN(PlanTree seed_plan,
+                         BuildGreedyPlan(catalog, graph));
+    result.plan = std::make_unique<PlanTree>(std::move(seed_plan));
+    result.makespan = seed_makespan;
+    result.plan_id = ~uint64_t{0};
+  } else {
+    const SliceOutcome& winner = slices[static_cast<size_t>(best_slice)];
+    MRS_ASSIGN_OR_RETURN(
+        PlanTree plan,
+        enumerator.BuildRootPlan(&catalog, winner.best_outer,
+                                 winner.best_inner));
+    result.plan = std::make_unique<PlanTree>(std::move(plan));
+    result.makespan = winner.best_makespan;
+    result.plan_id = winner.best_id;
+  }
+
+  result.stats.cache_hits = cache.counter().hits();
+  result.stats.cache_misses = cache.counter().misses();
+
+  registry->GetCounter("opt.plans_considered")
+      ->Increment(result.stats.plans_considered);
+  registry->GetCounter("opt.plans_scheduled")
+      ->Increment(result.stats.plans_scheduled);
+  registry->GetCounter("opt.plans_pruned")
+      ->Increment(result.stats.plans_pruned);
+  registry->GetCounter("opt.subplans_considered")
+      ->Increment(result.stats.subplans_considered);
+  registry->GetCounter("opt.subplans_pruned")
+      ->Increment(result.stats.subplans_pruned);
+
+  if (whole.active()) {
+    whole.AttrInt("relations", n);
+    whole.AttrInt("joins", result.num_joins);
+    whole.AttrInt("plans_considered",
+                  static_cast<int64_t>(result.stats.plans_considered));
+    whole.AttrInt("plans_scheduled",
+                  static_cast<int64_t>(result.stats.plans_scheduled));
+    whole.AttrInt("plans_pruned",
+                  static_cast<int64_t>(result.stats.plans_pruned));
+    whole.AttrDouble("makespan_ms", result.makespan);
+  }
+  return result;
+}
+
+Result<OptimizeResult> ExhaustivePlanSearch(const Catalog& catalog,
+                                            const QueryGraph& graph,
+                                            const CostParams& params,
+                                            const MachineConfig& machine,
+                                            const OverlapUsageModel& usage,
+                                            OptimizerOptions options) {
+  options.prune = false;
+  return OptimizeJoinOrder(catalog, graph, params, machine, usage, options);
+}
+
+}  // namespace mrs

@@ -1,0 +1,227 @@
+#include "optimizer/plan_enumerator.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+namespace {
+
+int PopCount(uint64_t mask) {
+  int count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<PlanEnumerator> PlanEnumerator::Create(const QueryGraph& graph) {
+  const int n = graph.num_relations();
+  if (n < 1) {
+    return Status::InvalidArgument("query graph has no relations");
+  }
+  if (n > kMaxRelations) {
+    return Status::InvalidArgument(
+        StrFormat("query graph has %d relations; the optimizer supports at "
+                  "most %d (the DP table is exponential in the count)",
+                  n, kMaxRelations));
+  }
+  if (!graph.IsConnected()) {
+    return Status::InvalidArgument(
+        "query graph is disconnected; the optimizer does not introduce "
+        "cross products");
+  }
+
+  PlanEnumerator e;
+  e.num_relations_ = n;
+  e.full_mask_ = (n == 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  e.adj_.assign(static_cast<size_t>(n), 0);
+  for (const JoinEdge& edge : graph.edges()) {
+    e.adj_[static_cast<size_t>(edge.left_relation)] |=
+        uint64_t{1} << edge.right_relation;
+    e.adj_[static_cast<size_t>(edge.right_relation)] |=
+        uint64_t{1} << edge.left_relation;
+  }
+
+  // Memoize every connected mask except the full set (handled via root
+  // slices); a single-relation query keeps its one subset so BuildPlan can
+  // emit the lone leaf.
+  e.by_size_.assign(static_cast<size_t>(n) + 1, {});
+  for (uint64_t mask = 1; mask <= e.full_mask_; ++mask) {
+    if (n > 1 && mask == e.full_mask_) continue;
+    // Flood-fill from the lowest relation; connected iff the fill covers
+    // the whole mask.
+    uint64_t reach = mask & (~mask + 1);
+    for (;;) {
+      uint64_t frontier = 0;
+      for (uint64_t bits = reach; bits != 0; bits &= bits - 1) {
+        int r = PopCount((bits & (~bits + 1)) - 1);
+        frontier |= e.adj_[static_cast<size_t>(r)];
+      }
+      uint64_t next = reach | (frontier & mask);
+      if (next == reach) break;
+      reach = next;
+    }
+    if (reach != mask) continue;
+    int id = static_cast<int>(e.subsets_.size());
+    Subset s;
+    s.mask = mask;
+    s.size = PopCount(mask);
+    e.subsets_.push_back(std::move(s));
+    e.id_of_.emplace(mask, id);
+    e.by_size_[static_cast<size_t>(e.subsets_.back().size)].push_back(id);
+  }
+
+  // Masks were visited in increasing order, so each by_size_ level is in
+  // increasing mask order and ids within a level are contiguous-ascending:
+  // the deterministic iteration order every later stage relies on.
+  for (int id = 0; id < e.num_subsets(); ++id) {
+    Subset& s = e.subsets_[static_cast<size_t>(id)];
+    if (s.size == 1) {
+      Candidate leaf;
+      leaf.relation = PopCount(s.mask - 1);
+      s.cands.push_back(leaf);
+    }
+  }
+
+  if (n > 1) {
+    for (uint64_t outer = 1; outer < e.full_mask_; ++outer) {
+      if ((outer & 1) == 0) continue;
+      int outer_id = e.SubsetId(outer);
+      if (outer_id < 0) continue;
+      int inner_id = e.SubsetId(e.full_mask_ ^ outer);
+      if (inner_id < 0) continue;
+      RootSlice slice;
+      slice.outer_subset = outer_id;
+      slice.inner_subset = inner_id;
+      e.slices_.push_back(slice);
+    }
+  }
+  return e;
+}
+
+const std::vector<int>& PlanEnumerator::SubsetsOfSize(int size) const {
+  static const std::vector<int> kEmpty;
+  if (size < 0 || size >= static_cast<int>(by_size_.size())) return kEmpty;
+  return by_size_[static_cast<size_t>(size)];
+}
+
+uint64_t PlanEnumerator::total_candidates() const {
+  uint64_t total = 0;
+  for (const Subset& s : subsets_) total += s.cands.size();
+  return total;
+}
+
+int PlanEnumerator::SubsetId(uint64_t mask) const {
+  auto it = id_of_.find(mask);
+  return it == id_of_.end() ? -1 : it->second;
+}
+
+PlanEnumerator::GenerateCounts PlanEnumerator::GenerateCandidates(
+    int id, const std::function<bool(const Candidate&)>& keep) {
+  GenerateCounts counts;
+  Subset& s = subsets_[static_cast<size_t>(id)];
+  if (s.size <= 1) {
+    counts.generated = counts.kept = s.cands.size();
+    return counts;
+  }
+  const uint64_t mask = s.mask;
+  const uint64_t low = mask & (~mask + 1);
+  // Candidates are appended to a fresh list so `keep` never observes a
+  // partially built memo entry for this subset.
+  std::vector<Candidate> cands;
+  for (uint64_t a = (mask - 1) & mask; a != 0; a = (a - 1) & mask) {
+    if ((a & low) == 0) continue;  // canonical half holds the lowest bit
+    const uint64_t b = mask ^ a;
+    const int ia = SubsetId(a);
+    if (ia < 0) continue;
+    const int ib = SubsetId(b);
+    if (ib < 0) continue;
+    // A connected mask split into two connected halves always has a graph
+    // edge across the cut, so every (a, b) pair here is join-compatible.
+    const auto& ca = subsets_[static_cast<size_t>(ia)].cands;
+    const auto& cb = subsets_[static_cast<size_t>(ib)].cands;
+    for (int i = 0; i < static_cast<int>(ca.size()); ++i) {
+      for (int j = 0; j < static_cast<int>(cb.size()); ++j) {
+        Candidate first;
+        first.outer = CandidateRef{ia, i};
+        first.inner = CandidateRef{ib, j};
+        ++counts.generated;
+        if (keep(first)) {
+          cands.push_back(first);
+          ++counts.kept;
+        }
+        Candidate second;
+        second.outer = CandidateRef{ib, j};
+        second.inner = CandidateRef{ia, i};
+        ++counts.generated;
+        if (keep(second)) {
+          cands.push_back(second);
+          ++counts.kept;
+        }
+      }
+    }
+  }
+  s.cands = std::move(cands);
+  return counts;
+}
+
+Result<int> PlanEnumerator::EmitNode(PlanTree* plan, CandidateRef ref) const {
+  if (ref.subset < 0 || ref.subset >= num_subsets()) {
+    return Status::InvalidArgument(
+        StrFormat("candidate subset %d out of range", ref.subset));
+  }
+  const Subset& s = subsets_[static_cast<size_t>(ref.subset)];
+  if (ref.idx < 0 || ref.idx >= static_cast<int>(s.cands.size())) {
+    return Status::InvalidArgument(
+        StrFormat("candidate index %d out of range for subset %d (%d "
+                  "candidates)",
+                  ref.idx, ref.subset, static_cast<int>(s.cands.size())));
+  }
+  const Candidate& cand = s.cands[static_cast<size_t>(ref.idx)];
+  if (cand.relation >= 0) {
+    return plan->AddLeaf(cand.relation);
+  }
+  MRS_ASSIGN_OR_RETURN(int outer_id, EmitNode(plan, cand.outer));
+  MRS_ASSIGN_OR_RETURN(int inner_id, EmitNode(plan, cand.inner));
+  return plan->AddJoin(outer_id, inner_id);
+}
+
+Result<PlanTree> PlanEnumerator::BuildPlan(const Catalog* catalog,
+                                           CandidateRef ref) const {
+  PlanTree plan(catalog);
+  MRS_RETURN_IF_ERROR(EmitNode(&plan, ref).status());
+  MRS_RETURN_IF_ERROR(plan.Finalize());
+  return plan;
+}
+
+Result<PlanTree> PlanEnumerator::BuildCandidatePlan(
+    const Catalog* catalog, const Candidate& cand) const {
+  PlanTree plan(catalog);
+  if (cand.relation >= 0) {
+    MRS_RETURN_IF_ERROR(plan.AddLeaf(cand.relation).status());
+  } else {
+    MRS_ASSIGN_OR_RETURN(int outer_id, EmitNode(&plan, cand.outer));
+    MRS_ASSIGN_OR_RETURN(int inner_id, EmitNode(&plan, cand.inner));
+    MRS_RETURN_IF_ERROR(plan.AddJoin(outer_id, inner_id).status());
+  }
+  MRS_RETURN_IF_ERROR(plan.Finalize());
+  return plan;
+}
+
+Result<PlanTree> PlanEnumerator::BuildRootPlan(const Catalog* catalog,
+                                               CandidateRef outer,
+                                               CandidateRef inner) const {
+  PlanTree plan(catalog);
+  MRS_ASSIGN_OR_RETURN(int outer_id, EmitNode(&plan, outer));
+  MRS_ASSIGN_OR_RETURN(int inner_id, EmitNode(&plan, inner));
+  MRS_RETURN_IF_ERROR(plan.AddJoin(outer_id, inner_id).status());
+  MRS_RETURN_IF_ERROR(plan.Finalize());
+  return plan;
+}
+
+}  // namespace mrs

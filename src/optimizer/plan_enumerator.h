@@ -1,0 +1,158 @@
+#ifndef MRS_OPTIMIZER_PLAN_ENUMERATOR_H_
+#define MRS_OPTIMIZER_PLAN_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/plan_tree.h"
+#include "plan/query_graph.h"
+
+namespace mrs {
+
+/// Dynamic-programming enumeration of the bushy join-plan space of a
+/// connected QueryGraph (the front half of the scheduler-in-the-loop
+/// optimizer, see src/optimizer/optimizer.h).
+///
+/// The memo holds every *proper* connected subgraph of the relation set
+/// (as a bitmask over catalog relation ids) together with the list of
+/// join-tree candidates that cover it. Candidates for a subset S are
+/// generated from csg-cmp partitions: every split of S into two connected
+/// halves (A, B) joined by at least one graph edge, with A canonically the
+/// half containing the lowest relation of S so each unordered partition is
+/// visited exactly once; both build-side orientations are emitted at
+/// combine time. Together with the root slices below, every bushy
+/// cross-product-free plan of the query is generated exactly once.
+///
+/// The full relation set is deliberately *not* memoized: complete plans
+/// are formed by the search driver from "root slices" — the connected
+/// partitions {S, S̄} of the full set with relation 0 in S. Each complete
+/// plan's root join belongs to exactly one slice, which is what lets the
+/// driver partition the plan space across worker threads with a
+/// deterministic argmin merge (Trummer & Koch, arxiv 1511.01768).
+///
+/// Thread-safety: after Create(), concurrent GenerateCandidates() calls on
+/// *different* subsets are safe (each writes only its own list and reads
+/// the completed lists of strictly smaller subsets); the driver enforces a
+/// barrier between size levels.
+class PlanEnumerator {
+ public:
+  /// Bitmask enumeration is O(2^n); beyond this the DP table alone is
+  /// intractable regardless.
+  static constexpr int kMaxRelations = 20;
+
+  /// A candidate join tree, addressed by (subset id, index in the
+  /// subset's candidate list).
+  struct CandidateRef {
+    int subset = -1;
+    int idx = -1;
+  };
+
+  /// One memoized join-tree candidate: a base-relation leaf
+  /// (relation >= 0) or a join of two smaller candidates (outer feeds the
+  /// probe, inner feeds the hash build).
+  struct Candidate {
+    int relation = -1;
+    CandidateRef outer;
+    CandidateRef inner;
+  };
+
+  /// A root partition {outer ∪ inner = all relations}: the unit of
+  /// plan-space partitioning across search workers. `outer_subset` is the
+  /// half containing relation 0; the driver applies both build-side
+  /// orientations when combining.
+  struct RootSlice {
+    int outer_subset = -1;
+    int inner_subset = -1;
+  };
+
+  /// Per-call generation counters (see GenerateCandidates).
+  struct GenerateCounts {
+    uint64_t generated = 0;  ///< candidates formed (before the keep test)
+    uint64_t kept = 0;       ///< candidates appended to the memo
+  };
+
+  /// Validates the graph (1..kMaxRelations relations, connected — the
+  /// optimizer does not introduce cross products) and seeds the memo with
+  /// every connected subset and the size-1 leaf candidates.
+  static Result<PlanEnumerator> Create(const QueryGraph& graph);
+
+  int num_relations() const { return num_relations_; }
+  /// Number of memoized (proper, connected) subsets.
+  int num_subsets() const { return static_cast<int>(subsets_.size()); }
+  uint64_t subset_mask(int id) const {
+    return subsets_[static_cast<size_t>(id)].mask;
+  }
+  int subset_size(int id) const {
+    return subsets_[static_cast<size_t>(id)].size;
+  }
+  /// Dense subset ids of a given size, in increasing mask order.
+  const std::vector<int>& SubsetsOfSize(int size) const;
+  const std::vector<Candidate>& candidates(int id) const {
+    return subsets_[static_cast<size_t>(id)].cands;
+  }
+  /// Total candidates stored across all subsets.
+  uint64_t total_candidates() const;
+
+  /// Root partitions of the full relation set, in increasing outer-mask
+  /// order. Empty for a single-relation query.
+  const std::vector<RootSlice>& root_slices() const { return slices_; }
+
+  /// Generates every candidate covering subset `id` from the memoized
+  /// lists of its csg-cmp partitions, in a deterministic order (submask
+  /// partitions in decreasing canonical order, outer candidates before
+  /// inner, A-outer orientation before B-outer). `keep` decides whether
+  /// the candidate enters the memo (the driver's lower-bound prune);
+  /// candidates it rejects are never seen again. Requires every smaller
+  /// subset's list to be complete.
+  GenerateCounts GenerateCandidates(
+      int id, const std::function<bool(const Candidate&)>& keep);
+
+  /// Materializes the plan tree of a memoized candidate over `catalog`
+  /// (the catalog the graph's relation ids index into).
+  Result<PlanTree> BuildPlan(const Catalog* catalog, CandidateRef ref) const;
+
+  /// Materializes a not-yet-memoized candidate (its children must be
+  /// memoized refs) — what the driver's keep-callback prices before
+  /// deciding whether the candidate enters the memo.
+  Result<PlanTree> BuildCandidatePlan(const Catalog* catalog,
+                                      const Candidate& cand) const;
+
+  /// Materializes a complete plan whose root joins two memoized
+  /// candidates (outer feeds the probe, inner feeds the build).
+  Result<PlanTree> BuildRootPlan(const Catalog* catalog, CandidateRef outer,
+                                 CandidateRef inner) const;
+
+  /// Dense id of a connected subset mask; -1 when the mask is not
+  /// memoized (disconnected, empty, or the full set).
+  int SubsetId(uint64_t mask) const;
+
+ private:
+  struct Subset {
+    uint64_t mask = 0;
+    int size = 0;
+    std::vector<Candidate> cands;
+  };
+
+  PlanEnumerator() = default;
+
+  /// Appends the candidate's leaves/joins to `plan` bottom-up; returns
+  /// the plan-node id of the candidate's root.
+  Result<int> EmitNode(PlanTree* plan, CandidateRef ref) const;
+
+  int num_relations_ = 0;
+  uint64_t full_mask_ = 0;
+  /// Neighbor mask per relation (graph adjacency).
+  std::vector<uint64_t> adj_;
+  std::vector<Subset> subsets_;
+  std::unordered_map<uint64_t, int> id_of_;
+  std::vector<std::vector<int>> by_size_;
+  std::vector<RootSlice> slices_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_OPTIMIZER_PLAN_ENUMERATOR_H_

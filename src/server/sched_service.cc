@@ -97,6 +97,13 @@ std::string SchedService::Handle(const std::string& request) {
   if (!parsed_plan.ok()) {
     return ErrorResponse("error", parsed_plan.status());
   }
+  if (parsed_plan->plan == nullptr) {
+    return ErrorResponse(
+        "error",
+        Status::InvalidArgument(
+            "request carries a graph stanza, not a plan; run the join-order "
+            "optimizer first (sched_cli --optimize)"));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t id = scheduler_.Submit(*parsed_plan->plan,

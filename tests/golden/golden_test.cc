@@ -27,6 +27,8 @@
 #include "exec/trace.h"
 #include "io/schedule_export.h"
 #include "io/trace_export.h"
+#include "optimizer/optimizer.h"
+#include "plan/query_graph.h"
 #include "test_util.h"
 
 namespace mrs {
@@ -282,6 +284,45 @@ TEST(GoldenTest, CalibrationReportBushy) {
     std::abort();
   }
   CompareOrUpdate("calibration_bushy.json", calibrator.ReportJson());
+}
+
+/// The optimizer explain report, pinned for both pricing engines on a
+/// fixed 4-join chain whose sizes spread two orders of magnitude (so the
+/// winner is a non-textual bushy order). Explain() carries no timings,
+/// thread counts, or cache counters, so the bytes are stable across
+/// machines and --threads values.
+std::string OptimizerExplain(OptimizerEngine engine) {
+  Catalog catalog;
+  const int64_t sizes[] = {25, 620, 2400, 96000, 31000};
+  for (int i = 0; i < 5; ++i) {
+    Relation r;
+    r.name = "R" + std::to_string(i);
+    r.num_tuples = sizes[i];
+    if (!catalog.AddRelation(std::move(r)).ok()) std::abort();
+  }
+  QueryGraph graph(5);
+  for (int i = 0; i < 4; ++i) {
+    if (!graph.AddJoin(i, i + 1).ok()) std::abort();
+  }
+  OptimizerOptions options;
+  options.engine = engine;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  auto result = OptimizeJoinOrder(catalog, graph, CostParams{},
+                                  MachineConfig{}, OverlapUsageModel(0.5),
+                                  options);
+  if (!result.ok()) std::abort();
+  return result->Explain();
+}
+
+TEST(GoldenTest, OptimizerExplainChainTree) {
+  CompareOrUpdate("optimizer_explain_chain_tree.txt",
+                  OptimizerExplain(OptimizerEngine::kTree));
+}
+
+TEST(GoldenTest, OptimizerExplainChainList) {
+  CompareOrUpdate("optimizer_explain_chain_list.txt",
+                  OptimizerExplain(OptimizerEngine::kList));
 }
 
 TEST(GoldenTest, TraceToStringBushy) {

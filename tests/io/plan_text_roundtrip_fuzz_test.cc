@@ -122,6 +122,57 @@ TEST(PlanTextRoundTripFuzzTest, FiveHundredRandomPlansRoundTripExactly) {
   }
 }
 
+TEST(PlanTextRoundTripFuzzTest, RandomGraphStanzasRoundTripExactly) {
+  const uint64_t master_seed = testing_util::FuzzSeed(77002);
+  Rng master(master_seed);
+  constexpr int kCases = 300;
+  for (int i = 0; i < kCases; ++i) {
+    WorkloadParams params;
+    params.num_joins = 1 + static_cast<int>(master.Index(12));
+    const uint64_t case_seed = master.Next();
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << i << " of " << kCases << ", replay with "
+                 << "MRS_FUZZ_SEED=" << master_seed << " (case seed "
+                 << case_seed << ", joins=" << params.num_joins << ")");
+
+    Rng rng(case_seed);
+    auto q = GenerateQuery(params, &rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    // Half the cases get extra edges: the stanza is not limited to trees.
+    if (rng.Bernoulli(0.5)) {
+      const int n = q->graph->num_relations();
+      for (int extra = 0; extra < 2; ++extra) {
+        const int a = static_cast<int>(rng.UniformInt(0, n - 1));
+        const int b = static_cast<int>(rng.UniformInt(0, n - 1));
+        if (a != b) (void)q->graph->AddJoin(a, b);  // duplicates rejected
+      }
+    }
+
+    auto text = WriteGraphText(*q->catalog, *q->graph);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto reparsed = ParsePlanText(text.value());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                               << text.value();
+    EXPECT_EQ(reparsed->plan, nullptr);
+    ASSERT_NE(reparsed->graph, nullptr);
+
+    // Edge list reproduced exactly, in order.
+    ASSERT_EQ(reparsed->graph->num_relations(), q->graph->num_relations());
+    ASSERT_EQ(reparsed->graph->num_joins(), q->graph->num_joins());
+    for (int e = 0; e < q->graph->num_joins(); ++e) {
+      EXPECT_EQ(reparsed->graph->edges()[e].left_relation,
+                q->graph->edges()[e].left_relation);
+      EXPECT_EQ(reparsed->graph->edges()[e].right_relation,
+                q->graph->edges()[e].right_relation);
+    }
+
+    // Byte fixpoint.
+    auto text2 = WriteGraphText(*reparsed->catalog, *reparsed->graph);
+    ASSERT_TRUE(text2.ok());
+    EXPECT_EQ(text.value(), text2.value());
+  }
+}
+
 /// Malformed inputs are rejected with the documented line number — one
 /// probe per error class of the parser.
 TEST(PlanTextRoundTripFuzzTest, RejectionsCarryDocumentedLineNumbers) {
@@ -142,6 +193,17 @@ TEST(PlanTextRoundTripFuzzTest, RejectionsCarryDocumentedLineNumbers) {
       {"relation a 1\nplan\n", "line 2"},
       {"relation a 1\nplan (agg x a)\n", "line 2"},
       {"relation r 5 junk\nplan r\n", "line 1"},
+      {"relation a 1\nrelation b 2\ngraph (a ghost)\n", "line 3"},
+      {"relation a 1\nrelation b 2\ngraph a b\n", "line 3"},
+      {"relation a 1\nrelation b 2\ngraph (a)\n", "line 3"},
+      {"relation a 1\nrelation b 2\ngraph (a b\n", "line 3"},
+      {"relation a 1\nrelation b 2\ngraph (a b) (b a)\n", "line 3"},
+      {"relation a 1\nrelation b 2\ngraph (a b)\ngraph (a b)\n", "line 4"},
+      {"relation a 1\nrelation b 2\nplan (join a b)\ngraph (a b)\n",
+       "line 4"},
+      {"relation a 1\nrelation b 2\ngraph (a b)\nplan (join a b)\n",
+       "line 4"},
+      {"relation a 1\ngraph\nrelation b 2\n", "line 3"},
   };
   for (const auto& test_case : kCases) {
     auto result = ParsePlanText(test_case.text);

@@ -62,6 +62,101 @@ TEST(PlanTextTest, RoundTripsThroughWriter) {
   EXPECT_EQ(text.value(), text2.value());
 }
 
+constexpr const char* kGraphExample = R"(
+# the same three relations, as an unoptimized join graph
+relation customer 30000
+relation orders 90000
+relation nation 25
+
+graph (customer orders) (orders nation)
+)";
+
+TEST(PlanTextTest, ParsesGraphStanza) {
+  auto parsed = ParsePlanText(kGraphExample);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->plan, nullptr);
+  ASSERT_NE(parsed->graph, nullptr);
+  EXPECT_EQ(parsed->graph->num_relations(), 3);
+  ASSERT_EQ(parsed->graph->num_joins(), 2);
+  // customer=0, orders=1, nation=2 in declaration order.
+  EXPECT_EQ(parsed->graph->edges()[0].left_relation, 0);
+  EXPECT_EQ(parsed->graph->edges()[0].right_relation, 1);
+  EXPECT_EQ(parsed->graph->edges()[1].left_relation, 1);
+  EXPECT_EQ(parsed->graph->edges()[1].right_relation, 2);
+  EXPECT_TRUE(parsed->graph->IsTree());
+}
+
+TEST(PlanTextTest, ParsesEdgelessGraph) {
+  auto parsed = ParsePlanText("relation r 100\ngraph\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_NE(parsed->graph, nullptr);
+  EXPECT_EQ(parsed->graph->num_relations(), 1);
+  EXPECT_EQ(parsed->graph->num_joins(), 0);
+}
+
+TEST(PlanTextTest, GraphRoundTripsThroughWriter) {
+  auto parsed = ParsePlanText(kGraphExample);
+  ASSERT_TRUE(parsed.ok());
+  auto text = WriteGraphText(*parsed->catalog, *parsed->graph);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto reparsed = ParsePlanText(text.value());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_NE(reparsed->graph, nullptr);
+  EXPECT_EQ(reparsed->graph->ToString(), parsed->graph->ToString());
+  auto text2 = WriteGraphText(*reparsed->catalog, *reparsed->graph);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(text.value(), text2.value());
+}
+
+TEST(PlanTextTest, GraphErrorsCarryLineNumbers) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } cases[] = {
+      {"relation a 1\nrelation b 2\ngraph (a ghost)\n",
+       "line 3: unknown relation 'ghost'"},
+      {"relation a 1\nrelation b 2\ngraph a b\n",
+       "line 3: expected '(' to open a join edge"},
+      {"relation a 1\nrelation b 2\ngraph (a)\n",
+       "line 3: expected two relation names"},
+      {"relation a 1\nrelation b 2\ngraph (a b\n",
+       "line 3: expected ')' to close the join edge"},
+      {"relation a 1\nrelation b 2\ngraph (a b) (a b)\n", "line 3:"},
+      {"relation a 1\nrelation b 2\ngraph (a a)\n", "line 3:"},
+  };
+  for (const auto& c : cases) {
+    auto bad = ParsePlanText(c.text);
+    ASSERT_FALSE(bad.ok()) << c.text;
+    EXPECT_NE(bad.status().message().find(c.needle), std::string::npos)
+        << c.text << " -> " << bad.status().ToString();
+  }
+}
+
+TEST(PlanTextTest, PlanAndGraphAreMutuallyExclusive) {
+  EXPECT_FALSE(
+      ParsePlanText("relation a 1\nrelation b 2\n"
+                    "plan (join a b)\ngraph (a b)\n")
+          .ok());
+  EXPECT_FALSE(
+      ParsePlanText("relation a 1\nrelation b 2\n"
+                    "graph (a b)\nplan (join a b)\n")
+          .ok());
+  EXPECT_FALSE(
+      ParsePlanText("relation a 1\nrelation b 2\n"
+                    "graph (a b)\ngraph (a b)\n")
+          .ok());
+  EXPECT_FALSE(
+      ParsePlanText("relation a 1\ngraph\nrelation b 2\n").ok());
+}
+
+TEST(PlanTextTest, WriteGraphTextValidatesTheCatalogSize) {
+  auto parsed = ParsePlanText(kGraphExample);
+  ASSERT_TRUE(parsed.ok());
+  QueryGraph wrong(2);
+  ASSERT_TRUE(wrong.AddJoin(0, 1).ok());
+  EXPECT_FALSE(WriteGraphText(*parsed->catalog, wrong).ok());
+}
+
 TEST(PlanTextTest, ErrorsCarryLineNumbers) {
   auto bad = ParsePlanText("relation r\nplan r\n");
   ASSERT_FALSE(bad.ok());

@@ -1,0 +1,110 @@
+#include "optimizer/makespan_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/list_schedule.h"
+#include "core/tree_schedule.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+using testing_util::BushyFourWayFixture;
+using testing_util::PlanFixture;
+
+TEST(MakespanCostTest, TreeEngineMatchesTreeScheduleBitExactly) {
+  PlanFixture fx = BushyFourWayFixture();
+  const MachineConfig machine;
+  const OverlapUsageModel usage(0.5);
+  auto fn = MakespanCostFn::Create(fx.catalog.get(), CostParams{}, machine,
+                                   usage, MakespanCostOptions{});
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto prepared = fn->Prepare(*fx.plan);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto got = fn->Makespan(*prepared);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  auto direct = TreeSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             machine, usage, TreeScheduleOptions{});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(*got, direct->response_time);
+}
+
+TEST(MakespanCostTest, ListEngineMatchesListScheduleBitExactly) {
+  PlanFixture fx = BushyFourWayFixture();
+  const MachineConfig machine;
+  const OverlapUsageModel usage(0.5);
+  MakespanCostOptions options;
+  options.engine = OptimizerEngine::kList;
+  auto fn = MakespanCostFn::Create(fx.catalog.get(), CostParams{}, machine,
+                                   usage, options);
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto prepared = fn->Prepare(*fx.plan);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto got = fn->Makespan(*prepared);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  auto direct = ListSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             machine, usage, ListScheduleOptions{});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(*got, direct->makespan);
+}
+
+TEST(MakespanCostTest, LowerBoundNeverExceedsTheMakespan) {
+  PlanFixture fx = BushyFourWayFixture();
+  const MachineConfig machine;
+  const OverlapUsageModel usage(0.5);
+  for (const OptimizerEngine engine :
+       {OptimizerEngine::kTree, OptimizerEngine::kList}) {
+    MakespanCostOptions options;
+    options.engine = engine;
+    auto fn = MakespanCostFn::Create(fx.catalog.get(), CostParams{}, machine,
+                                     usage, options);
+    ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+    auto prepared = fn->Prepare(*fx.plan);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    auto lb = fn->LowerBound(*prepared, 0b1111);  // all four relations
+    auto ms = fn->Makespan(*prepared);
+    ASSERT_TRUE(lb.ok()) << lb.status().ToString();
+    ASSERT_TRUE(ms.ok()) << ms.status().ToString();
+    EXPECT_LE(*lb, *ms);
+    EXPECT_GT(*lb, 0.0);
+  }
+}
+
+TEST(MakespanCostTest, UncoveredScansRaiseThePartialPlanBound) {
+  // A two-relation subplan of a four-relation query: folding the two
+  // uncovered scans into the work bound can only raise the bound.
+  auto catalog = testing_util::MakeCatalog({4000, 2000, 8000, 1000});
+  PlanTree sub(catalog.get());
+  auto l0 = sub.AddLeaf(0);
+  auto l1 = sub.AddLeaf(1);
+  ASSERT_TRUE(l0.ok() && l1.ok());
+  ASSERT_TRUE(sub.AddJoin(*l0, *l1).ok());
+  ASSERT_TRUE(sub.Finalize().ok());
+
+  const MachineConfig machine;
+  const OverlapUsageModel usage(0.5);
+  auto fn = MakespanCostFn::Create(catalog.get(), CostParams{}, machine, usage,
+                                   MakespanCostOptions{});
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto prepared = fn->Prepare(sub);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto partial = fn->LowerBound(*prepared, 0b0011);
+  auto covered = fn->LowerBound(*prepared, 0b1111);
+  ASSERT_TRUE(partial.ok() && covered.ok());
+  EXPECT_GE(*partial, *covered);
+}
+
+TEST(MakespanCostTest, RejectsUndersizedMachine) {
+  auto catalog = testing_util::MakeCatalog({1000});
+  MachineConfig machine;
+  machine.dims = 2;  // needs 2 + num_disks = 3
+  const OverlapUsageModel usage(0.5);
+  EXPECT_FALSE(MakespanCostFn::Create(catalog.get(), CostParams{}, machine,
+                                      usage, MakespanCostOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,140 @@
+#include "optimizer/plan_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "plan/query_graph.h"
+#include "test_util.h"
+
+namespace mrs {
+namespace {
+
+QueryGraph Chain(int n) {
+  QueryGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(g.AddJoin(i, i + 1).ok());
+  }
+  return g;
+}
+
+QueryGraph Star(int n) {
+  QueryGraph g(n);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_TRUE(g.AddJoin(0, i).ok());
+  }
+  return g;
+}
+
+/// Fills the whole memo (no pruning) and returns the number of complete
+/// plans the root slices span: sum over slices of |outer| * |inner| * 2
+/// build orientations.
+uint64_t FillAndCountPlans(PlanEnumerator* e) {
+  for (int size = 2; size < e->num_relations(); ++size) {
+    for (int id : e->SubsetsOfSize(size)) {
+      e->GenerateCandidates(id, [](const PlanEnumerator::Candidate&) {
+        return true;
+      });
+    }
+  }
+  uint64_t plans = 0;
+  for (const auto& slice : e->root_slices()) {
+    plans += 2ull *
+             e->candidates(slice.outer_subset).size() *
+             e->candidates(slice.inner_subset).size();
+  }
+  return plans;
+}
+
+TEST(PlanEnumeratorTest, RejectsDisconnectedGraph) {
+  QueryGraph g(3);
+  ASSERT_TRUE(g.AddJoin(0, 1).ok());  // relation 2 unreachable
+  EXPECT_FALSE(PlanEnumerator::Create(g).ok());
+}
+
+TEST(PlanEnumeratorTest, RejectsOversizedGraph) {
+  EXPECT_FALSE(PlanEnumerator::Create(Chain(PlanEnumerator::kMaxRelations + 1))
+                   .ok());
+}
+
+TEST(PlanEnumeratorTest, SingleRelationMemoizesOnlyTheLeaf) {
+  QueryGraph g(1);
+  auto e = PlanEnumerator::Create(g);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e->num_subsets(), 1);
+  EXPECT_EQ(e->subset_mask(0), 1ull);
+  ASSERT_EQ(e->candidates(0).size(), 1u);
+  EXPECT_EQ(e->candidates(0)[0].relation, 0);
+  EXPECT_TRUE(e->root_slices().empty());
+}
+
+TEST(PlanEnumeratorTest, ChainSubsetsAreTheConnectedIntervals) {
+  auto e = PlanEnumerator::Create(Chain(3));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  // Proper connected subsets of 0-1-2: {0},{1},{2},{0,1},{1,2}.
+  EXPECT_EQ(e->num_subsets(), 5);
+  EXPECT_GE(e->SubsetId(0b011), 0);
+  EXPECT_GE(e->SubsetId(0b110), 0);
+  EXPECT_EQ(e->SubsetId(0b101), -1);  // disconnected
+  EXPECT_EQ(e->SubsetId(0b111), -1);  // full set lives in the root slices
+  // Root slices: {0}|{1,2} and {0,1}|{2}; {0,2} is not connected.
+  ASSERT_EQ(e->root_slices().size(), 2u);
+  EXPECT_EQ(e->subset_mask(e->root_slices()[0].outer_subset), 0b001ull);
+  EXPECT_EQ(e->subset_mask(e->root_slices()[0].inner_subset), 0b110ull);
+  EXPECT_EQ(e->subset_mask(e->root_slices()[1].outer_subset), 0b011ull);
+  EXPECT_EQ(e->subset_mask(e->root_slices()[1].inner_subset), 0b100ull);
+}
+
+TEST(PlanEnumeratorTest, ChainPlanCountsMatchCatalan) {
+  // A chain of n relations admits Catalan(n-1) cross-product-free tree
+  // shapes, each with 2^(n-1) build orientations.
+  const uint64_t expected[] = {0, 0, 2, 8, 40, 224, 1344};
+  for (int n = 2; n <= 6; ++n) {
+    auto e = PlanEnumerator::Create(Chain(n));
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    EXPECT_EQ(FillAndCountPlans(&e.value()), expected[n])
+        << "chain of " << n;
+  }
+}
+
+TEST(PlanEnumeratorTest, StarJoinsOnlyThroughTheHub) {
+  auto e = PlanEnumerator::Create(Star(4));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  // Connected subsets either contain the hub 0 or are single spokes:
+  // 3 spokes + {0} + C(3,1)+C(3,2)+C(3,3) hub sets = 4 + 7 = 11, minus the
+  // full set = 10.
+  EXPECT_EQ(e->num_subsets(), 10);
+  // Every root slice has the hub on the outer side by canonicalization.
+  for (const auto& slice : e->root_slices()) {
+    EXPECT_EQ(e->subset_mask(slice.outer_subset) & 1ull, 1ull);
+  }
+}
+
+TEST(PlanEnumeratorTest, KeepFilterControlsTheMemo) {
+  auto e = PlanEnumerator::Create(Chain(3));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const int id = e->SubsetId(0b011);
+  ASSERT_GE(id, 0);
+  auto counts = e->GenerateCandidates(
+      id, [](const PlanEnumerator::Candidate&) { return false; });
+  EXPECT_EQ(counts.generated, 2u);  // both orientations of {0} x {1}
+  EXPECT_EQ(counts.kept, 0u);
+  EXPECT_TRUE(e->candidates(id).empty());
+}
+
+TEST(PlanEnumeratorTest, BuildRootPlanMaterializesEveryRelationOnce) {
+  auto catalog = testing_util::MakeCatalog({4000, 2000, 8000, 1000});
+  auto e = PlanEnumerator::Create(Chain(4));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  FillAndCountPlans(&e.value());
+  const auto& slice = e->root_slices().front();
+  auto plan = e->BuildRootPlan(catalog.get(),
+                               {slice.outer_subset, 0},
+                               {slice.inner_subset, 0});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // 4 leaves + 3 joins.
+  EXPECT_EQ(plan->num_nodes(), 7);
+}
+
+}  // namespace
+}  // namespace mrs
