@@ -1,0 +1,172 @@
+// Pipelined vs task-wave LISTSCHEDULE microbenchmark: what intra-task
+// pipelining (rate-matched degrees + stage-ordered placement, guarded by
+// pipeline_guard) buys over the plain barrier-free engine, swept over
+// query size J (joins), machine size P (sites), and dimensionality d
+// (one CPU, d-2 disks, one network interface via
+// MachineConfig::WithDisks).
+//
+// Each BM_PipelinedVsList iteration runs both modes on the same
+// generated plan; the counters report the makespan ratio
+// (pipelined/list, <= 1 by the guard) and the fraction of plans where
+// the guard had to fall back to the task-wave schedule.
+// BM_PipelinedScheduleOnly isolates the wall-time of the pipelined
+// mode (guard on and off). See scripts/run_benches.sh ->
+// BENCH_pipeline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/list_schedule.h"
+#include "cost/cost_model.h"
+#include "plan/operator_tree.h"
+#include "plan/task_tree.h"
+#include "resource/machine.h"
+#include "resource/usage_model.h"
+#include "workload/generator.h"
+
+namespace mrs {
+namespace {
+
+constexpr uint64_t kBenchSeed = 20260808;
+constexpr int kPlansPerSweepPoint = 8;
+
+/// One generated plan with its derived scheduler inputs. The task tree
+/// points into the operator tree, so instances must not be moved after
+/// Build() — they are held in a stable vector reserved up front.
+struct BenchPlan {
+  GeneratedQuery query;
+  OperatorTree op_tree;
+  TaskTree task_tree;
+  std::vector<OperatorCost> costs;
+
+  bool Build(int joins, int dims, Rng* rng) {
+    WorkloadParams workload;
+    workload.num_joins = joins;
+    workload.sort_probability = 0.2;
+    auto generated = GenerateQuery(workload, rng);
+    if (!generated.ok()) return false;
+    query = std::move(generated).value();
+    auto ops = OperatorTree::FromPlan(*query.plan);
+    if (!ops.ok()) return false;
+    op_tree = std::move(ops).value();
+    auto tasks = TaskTree::FromOperatorTree(&op_tree);
+    if (!tasks.ok()) return false;
+    task_tree = std::move(tasks).value();
+    CostModel model(CostParams{}, dims, dims - 2);
+    auto costed = model.CostAll(op_tree);
+    if (!costed.ok()) return false;
+    costs = std::move(costed).value();
+    return true;
+  }
+};
+
+std::vector<BenchPlan> MakePlans(int joins, int dims) {
+  std::vector<BenchPlan> plans(kPlansPerSweepPoint);
+  Rng master(kBenchSeed);
+  for (BenchPlan& plan : plans) {
+    Rng stream = master.Fork();
+    if (!plan.Build(joins, dims, &stream)) plans.clear();
+    if (plans.empty()) break;
+  }
+  return plans;
+}
+
+std::string SweepLabel(int joins, int sites, int dims) {
+  return "J=" + std::to_string(joins) + " P=" + std::to_string(sites) +
+         " d=" + std::to_string(dims);
+}
+
+void BM_PipelinedVsList(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  const int sites = static_cast<int>(state.range(1));
+  const int dims = static_cast<int>(state.range(2));
+  const MachineConfig machine = MachineConfig::WithDisks(sites, dims - 2);
+  const OverlapUsageModel usage(0.5);
+  const CostParams params;
+  const std::vector<BenchPlan> plans = MakePlans(joins, dims);
+  if (plans.empty()) {
+    state.SkipWithError("plan generation failed");
+    return;
+  }
+  // tree_guard off in both runs: the comparison is pipelined vs
+  // task-wave, and the phased fallback would blur it on the plans where
+  // TREESCHEDULE happens to win.
+  ListScheduleOptions list_options;
+  list_options.tree_guard = false;
+  ListScheduleOptions pipe_options = list_options;
+  pipe_options.pipeline = true;
+  double ratio_sum = 0.0;
+  double fallbacks = 0.0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    for (const BenchPlan& plan : plans) {
+      auto list = ListSchedule(plan.op_tree, plan.task_tree, plan.costs,
+                               params, machine, usage, list_options);
+      auto piped = ListSchedule(plan.op_tree, plan.task_tree, plan.costs,
+                                params, machine, usage, pipe_options);
+      if (!list.ok() || !piped.ok()) {
+        state.SkipWithError("scheduling failed");
+        return;
+      }
+      ratio_sum += piped->makespan / list->makespan;
+      fallbacks += piped->used_list_fallback ? 1.0 : 0.0;
+      ++runs;
+      benchmark::DoNotOptimize(piped->makespan);
+    }
+  }
+  state.SetItemsProcessed(runs);
+  state.counters["pipelined_over_list"] =
+      runs > 0 ? ratio_sum / static_cast<double>(runs) : 0.0;
+  state.counters["fallback_rate"] =
+      runs > 0 ? fallbacks / static_cast<double>(runs) : 0.0;
+  state.SetLabel(SweepLabel(joins, sites, dims));
+}
+BENCHMARK(BM_PipelinedVsList)
+    ->ArgsProduct({{3, 7, 11}, {16, 64, 256}, {3, 6}})
+    ->Unit(benchmark::kMillisecond);
+
+// The pipelined mode with pipeline_guard includes a full task-wave
+// shadow run, so its wall time upper-bounds the pipelining overhead;
+// guard off isolates the stage-split event loop itself.
+void BM_PipelinedScheduleOnly(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  const int sites = static_cast<int>(state.range(1));
+  const int dims = static_cast<int>(state.range(2));
+  const bool guard = state.range(3) != 0;
+  const MachineConfig machine = MachineConfig::WithDisks(sites, dims - 2);
+  const OverlapUsageModel usage(0.5);
+  const CostParams params;
+  const std::vector<BenchPlan> plans = MakePlans(joins, dims);
+  if (plans.empty()) {
+    state.SkipWithError("plan generation failed");
+    return;
+  }
+  ListScheduleOptions options;
+  options.tree_guard = false;
+  options.pipeline = true;
+  options.pipeline_guard = guard;
+  for (auto _ : state) {
+    for (const BenchPlan& plan : plans) {
+      auto piped = ListSchedule(plan.op_tree, plan.task_tree, plan.costs,
+                                params, machine, usage, options);
+      if (!piped.ok()) {
+        state.SkipWithError("scheduling failed");
+        return;
+      }
+      benchmark::DoNotOptimize(piped->makespan);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+  state.SetLabel(SweepLabel(joins, sites, dims) +
+                 (guard ? " guard=on" : " guard=off"));
+}
+BENCHMARK(BM_PipelinedScheduleOnly)
+    ->ArgsProduct({{3, 7, 11}, {16, 64, 256}, {3, 6}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mrs

@@ -5,7 +5,7 @@
 //
 // Usage:
 //   sched_cli <plan-file> [--sites N] [--eps E] [--f F]
-//             [--algorithm tree|malleable|sync|list]
+//             [--algorithm tree|malleable|sync|list] [--pipeline]
 //             [--format text|gantt|svg|json|csv]
 //             [--batch N] [--threads K] [--metrics] [--trace-json=FILE]
 //             [--optimize] [--no-prune]
@@ -15,6 +15,12 @@
 //
 // --engine is accepted as an alias for --algorithm; `--engine=list`
 // selects the barrier-free moldable list scheduler (LISTSCHEDULE).
+// `--engine=list --pipeline` additionally turns on intra-task pipelined
+// parallelism: producer/consumer operators of one task are rate-matched
+// and co-scheduled so consumers start with their producers, guarded to
+// never exceed the plain list makespan (src/core/list_schedule.h); with
+// --execute it also replays the pipelined edges through bounded queues
+// (ExecuteOptions::pipeline_edges).
 //
 // --optimize runs the scheduler-in-the-loop join-order optimizer on a
 // plan file carrying a `graph` stanza instead of a plan line (see
@@ -91,6 +97,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <plan-file> [--sites N] [--eps E] [--f F]\n"
                "          [--algorithm tree|malleable|sync|list]\n"
+               "          [--pipeline]\n"
                "          [--format text|gantt|svg|json|csv]\n"
                "          [--batch N] [--threads K]\n"
                "          [--optimize] [--no-prune]\n"
@@ -135,6 +142,7 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string connect;
   bool execute = false;
+  bool pipeline = false;
   bool optimize = false;
   bool opt_prune = true;
   std::string calibrate_path;
@@ -176,6 +184,8 @@ int main(int argc, char** argv) {
       optimize = true;
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       opt_prune = false;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline = true;
     } else if (std::strcmp(argv[i], "--execute") == 0) {
       execute = true;
     } else if (std::strncmp(argv[i], "--calibrate=", 12) == 0) {
@@ -440,10 +450,16 @@ int main(int argc, char** argv) {
     return finish_reports({}) ? 0 : 1;
   }
 
+  if (pipeline && algorithm != "list") {
+    std::fprintf(stderr, "--pipeline requires --engine=list\n");
+    return 2;
+  }
   if (algorithm == "list") {
     ListScheduleOptions options;
     options.granularity = f;
     options.trace = trace;
+    options.pipeline = pipeline;
+    exec_options.pipeline_edges = pipeline;
     auto result = ListSchedule(op_tree, *task_tree, costs.value(), params,
                                machine, usage, options);
     if (!result.ok()) {

@@ -11,6 +11,9 @@
 #   BENCH_list.json    google-benchmark JSON from micro_list_schedule
 #                      (LIST vs TREE makespan ratio and engine wall time
 #                      across J x P x d)
+#   BENCH_pipeline.json  google-benchmark JSON from micro_pipeline
+#                      (pipelined vs task-wave LIST makespan ratio and
+#                      guard-fallback rate across J x P x d)
 #   BENCH_exec.json    google-benchmark JSON from micro_exec_calibration
 #                      (real execution vs simulation of the same schedules;
 #                      the calibration loop's mean-relative-error counters —
@@ -39,7 +42,7 @@ fi
 cmake --build "${build_dir}" \
   --target micro_online_throughput micro_scheduler_runtime \
   micro_trace_overhead micro_placement_scale micro_workvector \
-  micro_list_schedule micro_exec_calibration micro_optimizer
+  micro_list_schedule micro_pipeline micro_exec_calibration micro_optimizer
 mkdir -p "${out_dir}"
 
 echo "=== online service throughput -> ${out_dir}/BENCH_online.json ==="
@@ -62,6 +65,10 @@ echo "=== work-vector core -> ${out_dir}/BENCH_workvector.json ==="
 echo "=== list vs tree engines -> ${out_dir}/BENCH_list.json ==="
 "${build_dir}/bench/micro_list_schedule" \
   --benchmark_format=json > "${out_dir}/BENCH_list.json"
+
+echo "=== pipelined vs task-wave list -> ${out_dir}/BENCH_pipeline.json ==="
+"${build_dir}/bench/micro_pipeline" \
+  --benchmark_format=json > "${out_dir}/BENCH_pipeline.json"
 
 echo "=== execution backend + calibration -> ${out_dir}/BENCH_exec.json ==="
 "${build_dir}/bench/micro_exec_calibration" \

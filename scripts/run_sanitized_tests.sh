@@ -12,6 +12,11 @@
 # Calibrate plus the ExecDifferential cross-engine tests) are part of
 # mrs_tests, so every real thread-pool replay runs under TSan here; the
 # alloc-pinning tests skip themselves when a sanitizer owns the allocator.
+# The pipelined-replay cases (ExecDifferential's pipeline_edges runs and
+# the pipelined golden executions) matter most under TSan: the bounded
+# row queues between co-resident clones are new happens-before edges —
+# dedicated producer/consumer threads synchronizing through RowQueue's
+# mutex/condvars — that the pool-only paths never exercised.
 # mrs_slow_tests is built too, so the optimizer differential suite (the
 # multi-threaded DP/slice search racing over the shared parallelize
 # cache) runs under both sanitizers as well.

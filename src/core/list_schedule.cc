@@ -146,62 +146,19 @@ ListScheduleResult AlignedFallback(const TreeScheduleResult& tree,
   return r;
 }
 
-}  // namespace
-
-std::string ListScheduleResult::ToString() const {
-  std::string out = StrFormat(
-      "ListSchedule(makespan=%.2fms, %zu tasks, %d rounds, mode=%s)\n",
-      makespan, tasks.size(), rounds,
-      used_tree_fallback ? "aligned-fallback" : "greedy");
-  for (const ListTaskInterval& t : tasks) {
-    out += StrFormat("  task %d: [%.2f, %.2f]ms\n", t.task, t.start,
-                     t.finish);
-  }
-  return out;
-}
-
-Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
-                                        const TaskTree& task_tree,
-                                        const std::vector<OperatorCost>& costs,
-                                        const CostParams& params,
-                                        const MachineConfig& machine,
-                                        const OverlapUsageModel& usage,
-                                        const ListScheduleOptions& options) {
-  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
-    return Status::InvalidArgument(
-        StrFormat("costs size %zu != %d operators", costs.size(),
-                  op_tree.num_ops()));
-  }
-  MRS_RETURN_IF_ERROR(params.Validate());
-  MachineConfig config = machine;
-  MRS_RETURN_IF_ERROR(config.Validate());
-  if (options.cache != nullptr &&
-      !options.cache->CompatibleWith(params, usage.epsilon(),
-                                     options.granularity, config.num_sites)) {
-    return Status::InvalidArgument(
-        "parallelize cache was built for a different scheduling context");
-  }
-  if (task_tree.num_tasks() == 0) {
-    return Status::InvalidArgument("task tree has no tasks to schedule");
-  }
-  if (options.base_load != nullptr) {
-    if (static_cast<int>(options.base_load->size()) != config.num_sites) {
-      return Status::InvalidArgument(
-          StrFormat("base_load has %zu sites, machine has %d",
-                    options.base_load->size(), config.num_sites));
-    }
-    for (const WorkVector& w : *options.base_load) {
-      if (static_cast<int>(w.dim()) != config.dims) {
-        return Status::InvalidArgument(
-            StrFormat("base_load vector has %zu dims, machine has %d",
-                      w.dim(), config.dims));
-      }
-    }
-  }
-
-  TraceSink* const trace = options.trace;
-  SpanTimer call_span(trace, "list_schedule");
-
+/// The greedy virtual-time event loop (steps 1-4 of the header comment),
+/// without either guard. `external` is the resolved external base load
+/// (from either ListScheduleOptions field); `pipeline` enables the
+/// rate-matched, stage-ordered round described at
+/// ListScheduleOptions::pipeline; `trace` is the sink for round spans
+/// (null for the shadow baseline runs the guards make).
+Result<ListScheduleResult> GreedyListSchedule(
+    const OperatorTree& op_tree, const TaskTree& task_tree,
+    const std::vector<OperatorCost>& costs, const CostParams& params,
+    const MachineConfig& config, const OverlapUsageModel& usage,
+    const ListScheduleOptions& options,
+    const std::vector<WorkVector>* external, bool pipeline,
+    TraceSink* trace) {
   // Parallelization entry points, memoized when a cache is supplied
   // (identical to TREESCHEDULE's, so the two engines pick the same
   // degrees for the same readiness sets).
@@ -331,6 +288,35 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
         }
       }
 
+      if (pipeline) {
+        // Rate matching (arxiv 1403.7729's pipelined extension): a task is
+        // a producer/consumer pipeline that drains at its bottleneck
+        // stage's rate, so every floating stage without a blocking
+        // dependent drops to RateMatchedDegree — fewer clones, the same
+        // pipeline rate, and alpha*N startup plus per-site load shrink.
+        // Stages *with* a blocking dependent keep their joint-sized
+        // degree: constraint B roots the dependent at their home, so
+        // narrowing them would throttle a later round, not this pipeline.
+        std::unordered_map<int, double> bottleneck;
+        for (const ParallelizedOp& op : round_ops) {
+          double& b = bottleneck[op_task.at(op.op_id)];
+          b = std::max(b, op.t_par);
+        }
+        for (ParallelizedOp& op : round_ops) {
+          if (op.rooted || op.degree <= 1) continue;
+          if (dependent_of.find(op.op_id) != dependent_of.end()) continue;
+          const OperatorCost& own = costs[static_cast<size_t>(op.op_id)];
+          const int matched =
+              RateMatchedDegree(own, params, usage,
+                                bottleneck.at(op_task.at(op.op_id)),
+                                op.degree);
+          if (matched == op.degree) continue;
+          auto lowered = par_at_degree(own, matched);
+          if (!lowered.ok()) return lowered.status();
+          op = std::move(lowered).value();
+        }
+      }
+
       // 2. Residual load at instant t: rebase every mid-flight site and
       // sum its remaining work vectors. OPERATORSCHEDULE's least-loaded
       // rule then minimizes l(R_s(t) + work(s)) over the new clones.
@@ -346,37 +332,83 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
           residual[static_cast<size_t>(j)] += c.remaining;
         }
         // External co-resident load is static over the query's horizon.
-        if (options.base_load != nullptr) {
+        if (external != nullptr) {
           residual[static_cast<size_t>(j)] +=
-              (*options.base_load)[static_cast<size_t>(j)];
+              (*external)[static_cast<size_t>(j)];
         }
       }
-      OperatorScheduleOptions round_options = options.list_options;
-      round_options.base_load = &residual;
-      auto round_schedule = OperatorSchedule(round_ops, config.num_sites,
-                                             config.dims, round_options);
-      if (!round_schedule.ok()) return round_schedule.status();
 
-      // 3. Commit the round into the global timeline and the per-site
-      // resident sets, then re-project the touched sites' completions.
-      std::unordered_map<int, const ParallelizedOp*> by_id;
-      for (const ParallelizedOp& op : round_ops) by_id[op.op_id] = &op;
-      result.schedule.ReserveFor(round_ops);
+      // Stage split: pipeline mode places producers before their
+      // consumers (one stage per intra-task pipeline depth), so each
+      // consumer's least-loaded pass sees its producers' freshly
+      // committed load; plain mode is a single stage. Operator ids are
+      // topological (a producer is created before its consumer), so one
+      // ascending pass settles the depths.
+      std::vector<std::vector<ParallelizedOp>> stages;
+      if (pipeline) {
+        std::unordered_map<int, int> stage_of;
+        stage_of.reserve(round_ops.size());
+        std::vector<int> order = op_ids;
+        std::sort(order.begin(), order.end());
+        int num_stages = 1;
+        for (int oid : order) {
+          int depth = 0;
+          for (int d : op_tree.op(oid).data_inputs) {
+            auto it = stage_of.find(d);
+            if (it != stage_of.end()) depth = std::max(depth, it->second + 1);
+          }
+          stage_of[oid] = depth;
+          num_stages = std::max(num_stages, depth + 1);
+        }
+        stages.resize(static_cast<size_t>(num_stages));
+        for (ParallelizedOp& op : round_ops) {
+          stages[static_cast<size_t>(stage_of.at(op.op_id))].push_back(
+              std::move(op));
+        }
+      } else {
+        stages.push_back(std::move(round_ops));
+      }
+
+      // 3. Place and commit the stages into the global timeline and the
+      // per-site resident sets, then re-project the touched sites'
+      // completions. Every clone of the round starts at t — a consumer
+      // starts the instant its pipelined producer does.
       std::vector<char> touched(static_cast<size_t>(config.num_sites), 0);
-      for (const ClonePlacement& c : round_schedule->placements()) {
-        MRS_RETURN_IF_ERROR(
-            result.schedule.PlaceAt(*by_id.at(c.op_id), c.clone_idx, c.site, t));
-        const int placement = result.schedule.num_placements() - 1;
-        const int tid = op_task.at(c.op_id);
-        RunningClone running;
-        running.placement = placement;
-        running.task = tid;
-        running.remaining = c.work;
-        running.own = c.t_seq;
-        sites[static_cast<size_t>(c.site)].active.push_back(
-            std::move(running));
-        touched[static_cast<size_t>(c.site)] = 1;
-        ++outstanding_clones[static_cast<size_t>(tid)];
+      int64_t round_clones = 0;
+      for (std::vector<ParallelizedOp>& stage_ops : stages) {
+        OperatorScheduleOptions round_options = options.list_options;
+        round_options.base_load = &residual;
+        auto round_schedule = OperatorSchedule(stage_ops, config.num_sites,
+                                               config.dims, round_options);
+        if (!round_schedule.ok()) return round_schedule.status();
+        std::unordered_map<int, const ParallelizedOp*> by_id;
+        for (const ParallelizedOp& op : stage_ops) by_id[op.op_id] = &op;
+        result.schedule.ReserveFor(stage_ops);
+        for (const ClonePlacement& c : round_schedule->placements()) {
+          MRS_RETURN_IF_ERROR(result.schedule.PlaceAt(*by_id.at(c.op_id),
+                                                      c.clone_idx, c.site, t));
+          const int placement = result.schedule.num_placements() - 1;
+          const int tid = op_task.at(c.op_id);
+          RunningClone running;
+          running.placement = placement;
+          running.task = tid;
+          running.remaining = c.work;
+          running.own = c.t_seq;
+          sites[static_cast<size_t>(c.site)].active.push_back(
+              std::move(running));
+          touched[static_cast<size_t>(c.site)] = 1;
+          // The next stage's least-loaded pass must see this clone.
+          residual[static_cast<size_t>(c.site)] += c.work;
+          ++outstanding_clones[static_cast<size_t>(tid)];
+        }
+        for (const ParallelizedOp& op : stage_ops) {
+          home_of[op.op_id] = round_schedule->HomeOf(op.op_id);
+        }
+        round_clones +=
+            static_cast<int64_t>(round_schedule->placements().size());
+        result.ops.insert(result.ops.end(),
+                          std::make_move_iterator(stage_ops.begin()),
+                          std::make_move_iterator(stage_ops.end()));
       }
       // Re-project only the sites that received clones: an untouched
       // site's completion is unchanged (re-deriving it from the rebased
@@ -386,21 +418,16 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
           ProjectSiteFinish(&sites[static_cast<size_t>(j)], &scratch);
         }
       }
-      for (const ParallelizedOp& op : round_ops) {
-        home_of[op.op_id] = round_schedule->HomeOf(op.op_id);
-      }
       if (round_span.active()) {
         round_span.AttrInt("tasks", static_cast<int64_t>(ready.size()));
-        round_span.AttrInt("ops", static_cast<int64_t>(round_ops.size()));
-        round_span.AttrInt(
-            "clones",
-            static_cast<int64_t>(round_schedule->placements().size()));
+        round_span.AttrInt("ops", static_cast<int64_t>(op_ids.size()));
+        round_span.AttrInt("clones", round_clones);
         round_span.AttrDouble("virtual_time_ms", t);
+        if (pipeline) {
+          round_span.AttrInt("stages", static_cast<int64_t>(stages.size()));
+        }
       }
       round_span.End();
-      result.ops.insert(result.ops.end(),
-                        std::make_move_iterator(round_ops.begin()),
-                        std::make_move_iterator(round_ops.end()));
       result.clone_finish.resize(
           static_cast<size_t>(result.schedule.num_placements()), 0.0);
       ++result.rounds;
@@ -457,25 +484,150 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
     result.load_bound = s.congestion;
     result.critical_resource = s.resource;
   }
+  return result;
+}
 
-  // 5. Dominance guard: never worse than TREESCHEDULE.
-  if (options.tree_guard) {
-    TreeScheduleOptions tree_options;
-    tree_options.granularity = options.granularity;
-    tree_options.policy = options.policy;
-    tree_options.build_degree = options.build_degree;
-    tree_options.list_options = options.list_options;
-    tree_options.list_options.base_load = options.base_load;
-    tree_options.cache = options.cache;
-    auto tree = TreeSchedule(op_tree, task_tree, costs, params, config, usage,
-                             tree_options);
-    if (!tree.ok()) return tree.status();
-    result.tree_response_time = tree->response_time;
-    if (result.makespan > tree->response_time) {
-      ListScheduleResult fallback = AlignedFallback(
-          *tree, task_tree, config.num_sites, config.dims);
-      fallback.tree_response_time = tree->response_time;
-      result = std::move(fallback);
+/// Dominance guard: never worse than TREESCHEDULE (see
+/// ListScheduleOptions::tree_guard).
+Status ApplyTreeGuard(const OperatorTree& op_tree, const TaskTree& task_tree,
+                      const std::vector<OperatorCost>& costs,
+                      const CostParams& params, const MachineConfig& config,
+                      const OverlapUsageModel& usage,
+                      const ListScheduleOptions& options,
+                      const std::vector<WorkVector>* external,
+                      ListScheduleResult* result) {
+  TreeScheduleOptions tree_options;
+  tree_options.granularity = options.granularity;
+  tree_options.policy = options.policy;
+  tree_options.build_degree = options.build_degree;
+  tree_options.list_options = options.list_options;
+  tree_options.list_options.base_load = external;
+  tree_options.cache = options.cache;
+  auto tree = TreeSchedule(op_tree, task_tree, costs, params, config, usage,
+                           tree_options);
+  if (!tree.ok()) return tree.status();
+  result->tree_response_time = tree->response_time;
+  if (result->makespan > tree->response_time) {
+    ListScheduleResult fallback =
+        AlignedFallback(*tree, task_tree, config.num_sites, config.dims);
+    fallback.tree_response_time = tree->response_time;
+    *result = std::move(fallback);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ListScheduleResult::ToString() const {
+  const char* mode = ModeString();
+  std::string out = StrFormat(
+      "ListSchedule(makespan=%.2fms, %zu tasks, %d rounds, mode=%s)\n",
+      makespan, tasks.size(), rounds, mode);
+  for (const ListTaskInterval& t : tasks) {
+    out += StrFormat("  task %d: [%.2f, %.2f]ms\n", t.task, t.start,
+                     t.finish);
+  }
+  return out;
+}
+
+Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
+                                        const TaskTree& task_tree,
+                                        const std::vector<OperatorCost>& costs,
+                                        const CostParams& params,
+                                        const MachineConfig& machine,
+                                        const OverlapUsageModel& usage,
+                                        const ListScheduleOptions& options) {
+  if (static_cast<int>(costs.size()) != op_tree.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("costs size %zu != %d operators", costs.size(),
+                  op_tree.num_ops()));
+  }
+  MRS_RETURN_IF_ERROR(params.Validate());
+  MachineConfig config = machine;
+  MRS_RETURN_IF_ERROR(config.Validate());
+  if (options.cache != nullptr &&
+      !options.cache->CompatibleWith(params, usage.epsilon(),
+                                     options.granularity, config.num_sites)) {
+    return Status::InvalidArgument(
+        "parallelize cache was built for a different scheduling context");
+  }
+  if (task_tree.num_tasks() == 0) {
+    return Status::InvalidArgument("task tree has no tasks to schedule");
+  }
+  // Resolve the external base load: either field carries it, both is an
+  // error (they would silently shadow each other — the footgun this
+  // check replaces).
+  if (options.base_load != nullptr &&
+      options.list_options.base_load != nullptr) {
+    return Status::InvalidArgument(
+        "both ListScheduleOptions::base_load and list_options.base_load are "
+        "set; thread the external load through exactly one of them");
+  }
+  const std::vector<WorkVector>* external =
+      options.base_load != nullptr ? options.base_load
+                                   : options.list_options.base_load;
+  if (external != nullptr) {
+    if (static_cast<int>(external->size()) != config.num_sites) {
+      return Status::InvalidArgument(
+          StrFormat("base_load has %zu sites, machine has %d",
+                    external->size(), config.num_sites));
+    }
+    for (const WorkVector& w : *external) {
+      if (static_cast<int>(w.dim()) != config.dims) {
+        return Status::InvalidArgument(
+            StrFormat("base_load vector has %zu dims, machine has %d",
+                      w.dim(), config.dims));
+      }
+    }
+  }
+
+  TraceSink* const trace = options.trace;
+  SpanTimer call_span(trace, "list_schedule");
+
+  ListScheduleResult result;
+  if (!options.pipeline) {
+    auto plain = GreedyListSchedule(op_tree, task_tree, costs, params, config,
+                                    usage, options, external,
+                                    /*pipeline=*/false, trace);
+    if (!plain.ok()) return plain.status();
+    result = std::move(plain).value();
+    if (options.tree_guard) {
+      MRS_RETURN_IF_ERROR(ApplyTreeGuard(op_tree, task_tree, costs, params,
+                                         config, usage, options, external,
+                                         &result));
+    }
+  } else {
+    auto piped = GreedyListSchedule(op_tree, task_tree, costs, params, config,
+                                    usage, options, external,
+                                    /*pipeline=*/true, trace);
+    if (!piped.ok()) return piped.status();
+    result = std::move(piped).value();
+    result.pipelined = true;
+    if (options.pipeline_guard) {
+      // Shadow task-wave baseline (untraced, itself tree-guarded when
+      // tree_guard is on): the LIST side of PIPELINED <= LIST <= TREE.
+      auto plain = GreedyListSchedule(op_tree, task_tree, costs, params,
+                                      config, usage, options, external,
+                                      /*pipeline=*/false, /*trace=*/nullptr);
+      if (!plain.ok()) return plain.status();
+      ListScheduleResult baseline = std::move(plain).value();
+      if (options.tree_guard) {
+        MRS_RETURN_IF_ERROR(ApplyTreeGuard(op_tree, task_tree, costs, params,
+                                           config, usage, options, external,
+                                           &baseline));
+      }
+      result.tree_response_time = baseline.tree_response_time;
+      result.list_makespan = baseline.makespan;
+      if (result.makespan > baseline.makespan) {
+        baseline.tree_response_time = result.tree_response_time;
+        baseline.list_makespan = result.list_makespan;
+        baseline.used_list_fallback = true;
+        result = std::move(baseline);
+      }
+    } else if (options.tree_guard) {
+      MRS_RETURN_IF_ERROR(ApplyTreeGuard(op_tree, task_tree, costs, params,
+                                         config, usage, options, external,
+                                         &result));
     }
   }
 
@@ -494,6 +646,10 @@ Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
                                    : StrFormat("r%zu", r).c_str()));
     } else {
       call_span.Attr("eq3_binding", "t_seq");
+    }
+    if (options.pipeline) {
+      call_span.AttrInt("pipelined", result.pipelined ? 1 : 0);
+      call_span.AttrInt("list_fallback", result.used_list_fallback ? 1 : 0);
     }
   }
   return result;

@@ -41,10 +41,30 @@ struct ListScheduleOptions {
   /// horizon. Added into every placement round's residual (so the
   /// least-loaded rule avoids busy sites) and forwarded to the
   /// tree_guard's TREESCHEDULE. Must hold exactly num_sites vectors of
-  /// the machine's dims. ListSchedule overwrites
-  /// list_options.base_load internally — thread external load through
-  /// this field instead.
+  /// the machine's dims. Setting list_options.base_load instead is
+  /// honored identically (ListSchedule folds the per-round residual on
+  /// top of it); setting *both* is an InvalidArgument — the two fields
+  /// would otherwise silently shadow each other.
   const std::vector<WorkVector>* base_load = nullptr;
+  /// Intra-task pipelined parallelism (arxiv 1403.7729's extension of the
+  /// model): treat each ready task as the producer/consumer pipeline the
+  /// plan layer says it is, instead of an undifferentiated wave. Two
+  /// changes to the round: (1) *rate matching* — the task's bottleneck
+  /// stage sets the pipeline's drain rate, and every floating stage
+  /// without a blocking dependent is re-parallelized down to
+  /// RateMatchedDegree (fewer clones, same pipeline rate, less alpha*N
+  /// startup and site load); (2) consumers are placed in pipeline-stage
+  /// order, each stage's least-loaded pass seeing its producers' freshly
+  /// committed load. Every consumer clone starts at the instant its
+  /// pipelined producer starts (maximal overlap), and eq. (2)'s
+  /// finish-together rule applies per co-resident set as always.
+  bool pipeline = false;
+  /// Dominance guard of pipeline mode: also compute the plain task-wave
+  /// LIST schedule (itself tree-guarded) and fall back to it whenever
+  /// the rate-matched overlap loses, so PIPELINED <= LIST <= TREE by
+  /// construction and Theorem 5.1(a)'s (2d+1)-competitive bound is
+  /// inherited. Ignored when `pipeline` is off.
+  bool pipeline_guard = true;
   /// Dominance guard: also run TREESCHEDULE with the same options and, if
   /// the barrier-free greedy schedule comes out *longer* (contention along
   /// the critical path can beat the barriers it removed), fall back to the
@@ -83,6 +103,15 @@ struct ListScheduleResult {
   /// TREESCHEDULE response time the guard compared against (0 when the
   /// guard is disabled).
   double tree_response_time = 0.0;
+  /// True when pipeline mode kept the rate-matched schedule; false when
+  /// pipeline mode is off or the pipeline_guard fell back.
+  bool pipelined = false;
+  /// True when the pipeline_guard replaced the rate-matched schedule with
+  /// the plain task-wave LIST schedule.
+  bool used_list_fallback = false;
+  /// Plain task-wave LIST makespan the pipeline_guard compared against
+  /// (0 when pipeline mode is off).
+  double list_makespan = 0.0;
   /// eq. (3) diagnosis: the site whose completion time is the makespan,
   /// and whether its last wave was bound by resource congestion
   /// (l(remaining work), `critical_resource` = the arg max dimension) or
@@ -93,6 +122,16 @@ struct ListScheduleResult {
 
   /// Placement (home) of an operator; empty if unknown.
   std::vector<int> HomeOf(int op_id) const { return schedule.HomeOf(op_id); }
+
+  /// Which mode produced the schedule: "aligned-fallback" (tree_guard
+  /// fell back), "pipelined", "wave-fallback" (pipeline_guard fell
+  /// back), or "greedy". Shared by ToString, explains, and gantts.
+  const char* ModeString() const {
+    return used_tree_fallback ? "aligned-fallback"
+           : pipelined        ? "pipelined"
+           : used_list_fallback ? "wave-fallback"
+                                : "greedy";
+  }
 
   std::string ToString() const;
 };
@@ -127,6 +166,12 @@ struct ListScheduleResult {
 /// can occasionally cost more than the barriers saved; the tree_guard
 /// (default on) makes the result never worse than TREESCHEDULE by
 /// construction. Inputs and validity checks match TreeSchedule.
+///
+/// With options.pipeline, step 2 additionally exploits that every task is
+/// a producer/consumer pipeline: non-bottleneck stages are rate-matched
+/// down to RateMatchedDegree and stages are placed in pipeline order (see
+/// ListScheduleOptions::pipeline), with the pipeline_guard falling back
+/// to the plain task-wave schedule whenever the overlap loses.
 Result<ListScheduleResult> ListSchedule(const OperatorTree& op_tree,
                                         const TaskTree& task_tree,
                                         const std::vector<OperatorCost>& costs,

@@ -136,6 +136,23 @@ Result<ParallelizedOp> ParallelizeFloating(const OperatorCost& cost,
   return MakeParallelized(cost, degree, params, usage);
 }
 
+int RateMatchedDegree(const OperatorCost& cost, const CostParams& params,
+                      const OverlapUsageModel& usage, double bottleneck_ms,
+                      int base_degree) {
+  MRS_CHECK(base_degree >= 1) << "base_degree must be >= 1";
+  // Walk down instead of binary-searching: base_degree may exceed the
+  // OptimalDegree of `cost` itself (kJoinAware sizes builds on the joint
+  // build+probe cost), and beyond the optimum T_par is no longer
+  // monotone, so "T_par(n) <= bottleneck" is not an upward-closed
+  // predicate. The walk keeps every intermediate degree admissible.
+  int n = base_degree;
+  while (n > 1 &&
+         ParallelTime(cost, n - 1, params, usage) <= bottleneck_ms) {
+    --n;
+  }
+  return n;
+}
+
 Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,
                                            const CostParams& params,
                                            const OverlapUsageModel& usage,

@@ -88,6 +88,21 @@ Result<ParallelizedOp> ParallelizeFloating(const OperatorCost& cost,
                                            const OverlapUsageModel& usage,
                                            double f, int num_sites);
 
+/// Rate-matched degree for a non-bottleneck pipeline stage (the journal
+/// version's pipelined extension, arxiv 1403.7729): a producer/consumer
+/// chain drains at the rate of its slowest stage, so any stage whose
+/// stand-alone time T_par is below the bottleneck's is over-parallelized —
+/// its extra clones burn alpha*N coordinator startup and occupy sites
+/// without making the pipeline finish earlier. Returns the smallest degree
+/// n <= base_degree whose ParallelTime still fits within `bottleneck_ms`,
+/// walking down from base_degree (so the returned degree is always
+/// contiguous-with-base even where T_par is not monotone below the
+/// optimum). Requires base_degree >= 1 and
+/// ParallelTime(cost, base_degree) <= bottleneck_ms.
+int RateMatchedDegree(const OperatorCost& cost, const CostParams& params,
+                      const OverlapUsageModel& usage, double bottleneck_ms,
+                      int base_degree);
+
 /// Parallelizes a floating operator at an explicitly chosen degree (used by
 /// the malleable scheduler of §7). Requires 1 <= degree <= num_sites.
 Result<ParallelizedOp> ParallelizeAtDegree(const OperatorCost& cost,

@@ -14,6 +14,7 @@ std::vector<ExecOpSpec> ExecOpSpecsFromTree(const OperatorTree& tree) {
     spec.kind = op.kind;
     spec.input_tuples = op.input_tuples;
     spec.blocking_input = op.blocking_input;
+    spec.data_inputs = op.data_inputs;
     specs.push_back(spec);
   }
   return specs;

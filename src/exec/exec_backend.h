@@ -37,6 +37,11 @@ struct ExecOpSpec {
   OperatorKind kind = OperatorKind::kScan;
   int64_t input_tuples = 0;
   int blocking_input = -1;
+  /// Producers feeding this operator through *pipelined* edges (a probe's
+  /// outer stream, the stream below a build / sort run / aggregate
+  /// build); empty for scans. Only consulted when
+  /// ExecuteOptions::pipeline_edges is on.
+  std::vector<int> data_inputs;
 };
 
 /// Specs for every operator of `tree`, indexed by operator id.
@@ -69,6 +74,17 @@ struct ExecuteOptions {
   ExecMeter meter = ExecMeter::kThreadCpu;
   /// Worker threads of the replay pool; 0 = ThreadPool::DefaultThreads().
   int threads = 0;
+  /// Replay pipelined edges (ROADMAP item-5 remnant): when on, an
+  /// operator whose pipelined producer executes in the same wave consumes
+  /// the producer's actual output rows through bounded in-memory queues —
+  /// producer and consumer clones run concurrently on dedicated threads —
+  /// instead of synthesizing its own stream, and the wave partition
+  /// itself keeps a consumer in its live producer's wave. Off by default:
+  /// the classic replay (and its goldens) reads per-operator generated
+  /// streams and moves data only across blocking edges. Digests stay
+  /// order-independent and rows are routed by key hash, so results remain
+  /// byte-identical across thread counts either way.
+  bool pipeline_edges = false;
 };
 
 /// One clone's execution record, parallel to Schedule::placements().

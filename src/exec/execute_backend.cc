@@ -3,14 +3,64 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <ctime>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "common/str_util.h"
 
 namespace mrs {
 namespace {
+
+/// Bounded MPSC row queue of one pipelined consumer clone: every clone of
+/// the (co-resident) producer pushes the rows whose key hashes to this
+/// consumer, blocking while the queue is full — the backpressure of a real
+/// pipelined exchange. Pop blocks until a row arrives or every producer
+/// clone has closed. The mutex/condvar pair is the happens-before edge
+/// that makes the streamed hand-off race-free (the TSan suite runs it).
+class RowQueue {
+ public:
+  /// Registers `n` more producer clones. Called only while the wave is
+  /// being wired up, before any clone thread starts.
+  void AddProducers(int n) { open_ += n; }
+
+  void Push(const ExecRow& row) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock, [&] { return rows_.size() < kCapacity; });
+    rows_.push_back(row);
+    can_pop_.notify_one();
+  }
+
+  /// False once every producer closed and the queue drained.
+  bool Pop(ExecRow* row) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return !rows_.empty() || open_ == 0; });
+    if (rows_.empty()) return false;
+    *row = rows_.front();
+    rows_.pop_front();
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// One producer clone will push no more rows.
+  void ProducerDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--open_ == 0) can_pop_.notify_all();
+  }
+
+ private:
+  static constexpr size_t kCapacity = 256;
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<ExecRow> rows_;
+  int open_ = 0;
+};
 
 /// CPU time of the calling thread in milliseconds (the kThreadCpu meter).
 double ThreadCpuMs() {
@@ -195,15 +245,72 @@ Result<ExecutionResult> ExecuteBackend::Run(
   for (const auto& [oid, st] : state_) done.insert(oid);
   std::vector<int> pending = op_order;
   const ExecMeter meter = options_.meter;
+  const bool pipeline_edges = options_.pipeline_edges;
+
+  // Pipeline groups: ops of THIS Run connected by live data edges (both
+  // ends scheduled here — an edge whose producer materialized in an
+  // earlier Run does not stream). In pipeline mode a whole group runs in
+  // one wave, producer and consumer clones concurrently, so the group is
+  // runnable only once every member's blocking input is done. Groups are
+  // keyed by their minimum op id (deterministic).
+  std::unordered_map<int, int> group_rep;
+  if (pipeline_edges) {
+    std::unordered_set<int> scheduled(pending.begin(), pending.end());
+    for (int oid : pending) group_rep[oid] = oid;
+    const auto find_rep = [&group_rep](int oid) {
+      while (group_rep[oid] != oid) {
+        group_rep[oid] = group_rep[group_rep[oid]];
+        oid = group_rep[oid];
+      }
+      return oid;
+    };
+    for (int oid : pending) {
+      for (int d : spec_of[oid]->data_inputs) {
+        if (scheduled.count(d) == 0) continue;
+        const int a = find_rep(oid);
+        const int b = find_rep(d);
+        if (a == b) continue;
+        if (a < b) {
+          group_rep[b] = a;
+        } else {
+          group_rep[a] = b;
+        }
+      }
+    }
+    for (int oid : pending) group_rep[oid] = find_rep(oid);
+  }
+
   while (!pending.empty()) {
     std::vector<int> wave;
     std::vector<int> rest;
-    for (int oid : pending) {
-      const ExecOpSpec& spec = *spec_of[oid];
-      if (spec.blocking_input < 0 || done.count(spec.blocking_input) > 0) {
-        wave.push_back(oid);
-      } else {
-        rest.push_back(oid);
+    std::unordered_set<int> wave_set;
+    if (pipeline_edges) {
+      // A group waits while any member's blocking producer is unfinished;
+      // blocking edges always cross groups (a build never streams to its
+      // probe), so some group is always runnable while progress is
+      // possible.
+      std::unordered_set<int> blocked_groups;
+      for (int oid : pending) {
+        const int b = spec_of[oid]->blocking_input;
+        if (b >= 0 && done.count(b) == 0) blocked_groups.insert(group_rep[oid]);
+      }
+      for (int oid : pending) {
+        if (blocked_groups.count(group_rep[oid]) == 0) {
+          wave.push_back(oid);
+          wave_set.insert(oid);
+        } else {
+          rest.push_back(oid);
+        }
+      }
+    } else {
+      for (int oid : pending) {
+        const ExecOpSpec& spec = *spec_of[oid];
+        if (spec.blocking_input < 0 || done.count(spec.blocking_input) > 0) {
+          wave.push_back(oid);
+          wave_set.insert(oid);
+        } else {
+          rest.push_back(oid);
+        }
       }
     }
     if (wave.empty()) {
@@ -211,6 +318,36 @@ Result<ExecutionResult> ExecuteBackend::Run(
           "op%d blocks on op%d, which is neither in this schedule nor "
           "materialized by an earlier phase",
           pending.front(), spec_of[pending.front()]->blocking_input));
+    }
+
+    // Wire the wave's live pipelined edges: one bounded queue per consumer
+    // clone (indexed by clone_idx), fed by every producer clone, rows
+    // routed by key hash so each consumer clone sees a deterministic
+    // multiset regardless of timing. `out_fanouts[p]` holds one fanout
+    // (the consumer's per-clone queues) per consuming edge.
+    std::unordered_map<int, std::vector<std::unique_ptr<RowQueue>>> in_queues;
+    std::unordered_map<int, std::vector<std::vector<RowQueue*>>> out_fanouts;
+    if (pipeline_edges) {
+      for (int oid : wave) {
+        const ExecOpSpec& spec = *spec_of[oid];
+        for (int d : spec.data_inputs) {
+          if (wave_set.count(d) == 0) continue;  // materialized earlier
+          std::vector<std::unique_ptr<RowQueue>>& qs = in_queues[oid];
+          if (qs.empty()) {
+            for (size_t k = 0; k < clones_of[oid].size(); ++k) {
+              qs.push_back(std::make_unique<RowQueue>());
+            }
+          }
+          const int producers = static_cast<int>(clones_of[d].size());
+          std::vector<RowQueue*> fan;
+          fan.reserve(qs.size());
+          for (const std::unique_ptr<RowQueue>& q : qs) {
+            q->AddProducers(producers);
+            fan.push_back(q.get());
+          }
+          out_fanouts[d].push_back(std::move(fan));
+        }
+      }
     }
 
     // Prepare per-op state (sized before any task is submitted).
@@ -287,12 +424,23 @@ Result<ExecutionResult> ExecuteBackend::Run(
       }
     }
 
-    // Launch the wave's clones.
+    // Launch the wave's clones. Clones on a live pipelined edge (either
+    // end) run on dedicated threads — a bounded queue plus a fixed-size
+    // pool would deadlock when every worker blocks on a full or empty
+    // queue — everything else keeps the pool. The streamed bodies mirror
+    // the clone primitives' accounting (exec/operators.cc): same rows_in /
+    // rows_out meaning, same order-independent digest sums, so results
+    // stay byte-identical whether an edge streams or synthesizes.
+    std::vector<std::thread> streamed_threads;
     for (int oid : wave) {
       const ExecOpSpec& spec = *spec_of[oid];
       OpState& st = state_[oid];
       OpState* blocking =
           spec.blocking_input >= 0 ? &state_[spec.blocking_input] : nullptr;
+      const auto in_it = in_queues.find(oid);
+      const auto out_it = out_fanouts.find(oid);
+      const bool stream_clone =
+          in_it != in_queues.end() || out_it != out_fanouts.end();
       for (int p : clones_of[oid]) {
         const ClonePlacement& placement =
             schedule.placements()[static_cast<size_t>(p)];
@@ -311,6 +459,177 @@ Result<ExecutionResult> ExecuteBackend::Run(
         out->virtual_start = placement.start;
         out->virtual_finish =
             result.timeline.clone_finish[static_cast<size_t>(p)];
+        if (stream_clone) {
+          RowQueue* in_q = in_it != in_queues.end()
+                               ? in_it->second[static_cast<size_t>(k)].get()
+                               : nullptr;
+          const std::vector<std::vector<RowQueue*>>* fans =
+              out_it != out_fanouts.end() ? &out_it->second : nullptr;
+          streamed_threads.emplace_back([&st, blocking, out, digest, k, meter,
+                                         in_q, fans] {
+            const double t0 =
+                meter == ExecMeter::kThreadCpu ? ThreadCpuMs() : 0;
+            OperatorExecStats stats;
+            stats.clone = k;
+            const auto emit = [fans](const ExecRow& row) {
+              if (fans == nullptr) return;
+              for (const std::vector<RowQueue*>& fan : *fans) {
+                fan[static_cast<size_t>(
+                        PartitionOf(row.key, static_cast<int>(fan.size())))]
+                    ->Push(row);
+              }
+            };
+            switch (st.kind) {
+              case OperatorKind::kScan: {
+                for (int64_t i = k; i < st.rows_exec; i += st.degree) {
+                  const ExecRow row = SynthesizeRow(
+                      st.seed, static_cast<uint64_t>(i), st.dist);
+                  ++stats.rows_in;
+                  stats.digest += RowDigest(row);
+                  emit(row);
+                }
+                stats.rows_out = stats.rows_in;
+                break;
+              }
+              case OperatorKind::kBuild: {
+                // Streamed rows arrive pre-partitioned by key hash —
+                // exactly the rows BuildClonePartition would have kept.
+                ExecHashTable& table = st.tables[static_cast<size_t>(k)];
+                table.Reset(static_cast<size_t>(
+                    st.degree > 0 ? st.rows_exec / st.degree : st.rows_exec));
+                ExecRow row;
+                while (in_q->Pop(&row)) {
+                  table.Insert(row.key, row.payload);
+                  ++stats.rows_in;
+                  stats.digest += RowDigest(row);
+                }
+                stats.rows_out = stats.rows_in;
+                break;
+              }
+              case OperatorKind::kProbe: {
+                const int parts = static_cast<int>(blocking->tables.size());
+                const auto probe_row = [&](const ExecRow& row) {
+                  ++stats.rows_in;
+                  if (parts == 0) return;
+                  const ExecHashTable& table =
+                      blocking->tables[static_cast<size_t>(
+                          PartitionOf(row.key, parts))];
+                  table.ForEachMatch(row.key, [&](uint64_t build_payload) {
+                    ++stats.rows_out;
+                    stats.digest += JoinOutputDigest(row.key, build_payload,
+                                                     row.payload);
+                    // The joined row passed downstream: key plus a
+                    // deterministic combination of both payloads.
+                    emit(ExecRow{row.key, build_payload ^ row.payload});
+                  });
+                };
+                if (in_q != nullptr) {
+                  ExecRow row;
+                  while (in_q->Pop(&row)) probe_row(row);
+                } else {
+                  for (int64_t i = k; i < st.rows_exec; i += st.degree) {
+                    probe_row(SynthesizeRow(st.seed, static_cast<uint64_t>(i),
+                                            st.dist));
+                  }
+                }
+                break;
+              }
+              case OperatorKind::kAggBuild: {
+                ExecGroupTable& partial =
+                    st.partials[static_cast<size_t>(k)];
+                partial.Reset(static_cast<size_t>(
+                    st.degree > 0 ? st.rows_exec / st.degree : st.rows_exec));
+                ExecRow row;
+                while (in_q->Pop(&row)) {
+                  partial.Accumulate(row.key, row.payload);
+                  ++stats.rows_in;
+                }
+                stats.rows_out = static_cast<int64_t>(partial.num_groups());
+                break;
+              }
+              case OperatorKind::kAggOutput: {
+                // EmitClonePartition inlined so each group streams out as
+                // it is emitted.
+                ExecGroupTable& scratch =
+                    st.emit_scratch[static_cast<size_t>(k)];
+                size_t expected = 0;
+                for (const ExecGroupTable& p : blocking->partials) {
+                  expected += p.num_groups();
+                }
+                scratch.Reset(st.degree > 0 ? expected /
+                                                  static_cast<size_t>(
+                                                      st.degree)
+                                            : expected);
+                for (const ExecGroupTable& p : blocking->partials) {
+                  p.ForEachGroup(
+                      [&](uint64_t key, uint64_t count, uint64_t sum) {
+                        if (PartitionOf(key, st.degree) != k) return;
+                        scratch.Merge(key, count, sum);
+                        stats.rows_in += static_cast<int64_t>(count);
+                      });
+                }
+                scratch.ForEachGroup(
+                    [&](uint64_t key, uint64_t count, uint64_t sum) {
+                      ++stats.rows_out;
+                      stats.digest += GroupOutputDigest(key, count, sum);
+                      emit(ExecRow{key, sum});
+                    });
+                break;
+              }
+              case OperatorKind::kSortRun: {
+                std::vector<ExecRow>& run = st.runs[static_cast<size_t>(k)];
+                run.clear();
+                ExecRow row;
+                while (in_q->Pop(&row)) run.push_back(row);
+                std::sort(run.begin(), run.end(),
+                          [](const ExecRow& a, const ExecRow& b) {
+                            return a.key < b.key ||
+                                   (a.key == b.key && a.payload < b.payload);
+                          });
+                for (const ExecRow& r : run) stats.digest += RowDigest(r);
+                stats.rows_in = static_cast<int64_t>(run.size());
+                stats.rows_out = stats.rows_in;
+                break;
+              }
+              case OperatorKind::kSortMerge: {
+                std::vector<ExecRow> merged;
+                for (const std::vector<ExecRow>& run : blocking->runs) {
+                  for (const ExecRow& r : run) {
+                    if (PartitionOf(r.key, st.degree) != k) continue;
+                    merged.push_back(r);
+                  }
+                }
+                std::sort(merged.begin(), merged.end(),
+                          [](const ExecRow& a, const ExecRow& b) {
+                            return a.key < b.key ||
+                                   (a.key == b.key && a.payload < b.payload);
+                          });
+                for (const ExecRow& r : merged) {
+                  stats.digest += RowDigest(r);
+                  emit(r);
+                }
+                stats.rows_in = static_cast<int64_t>(merged.size());
+                stats.rows_out = stats.rows_in;
+                break;
+              }
+            }
+            // Close every queue this clone fed, whether or not it pushed.
+            if (fans != nullptr) {
+              for (const std::vector<RowQueue*>& fan : *fans) {
+                for (RowQueue* q : fan) q->ProducerDone();
+              }
+            }
+            out->rows_in = stats.rows_in;
+            out->rows_out = stats.rows_out;
+            *digest = stats.digest;
+            out->measured_ms =
+                meter == ExecMeter::kThreadCpu
+                    ? ThreadCpuMs() - t0
+                    : 1e-3 *
+                          static_cast<double>(stats.rows_in + stats.rows_out);
+          });
+          continue;
+        }
         pool()->Submit([&st, blocking, out, digest, k, meter] {
           const double t0 = meter == ExecMeter::kThreadCpu ? ThreadCpuMs() : 0;
           OperatorExecStats stats;
@@ -406,6 +725,7 @@ Result<ExecutionResult> ExecuteBackend::Run(
       }
     }
     pool()->WaitAll();
+    for (std::thread& t : streamed_threads) t.join();
     for (int oid : wave) done.insert(oid);
     pending = std::move(rest);
   }

@@ -29,8 +29,16 @@ namespace mrs {
 /// not a query engine):
 ///
 ///  * every operator reads its own generated input stream (stream seed =
-///    mix(data_seed, op_id)); pipelined edges are not replayed — only the
-///    blocking edges move data, through materialized site-local state;
+///    mix(data_seed, op_id)); by default pipelined edges are not
+///    replayed — only the blocking edges move data, through materialized
+///    site-local state. With ExecuteOptions::pipeline_edges, ops connected
+///    by live data edges form pipeline groups that run in one wave:
+///    producer clones push their actual output rows through bounded
+///    queues (key-hash routed, one queue per consumer clone) to consumer
+///    clones running concurrently on dedicated threads, and a group waits
+///    until every member's blocking producer has materialized. Digests
+///    stay order-independent, so either mode is byte-identical across
+///    thread counts (the two modes see different row streams, though);
 ///  * kBuild key-partitions its stream into one hash table per clone;
 ///    kProbe streams a fresh stream over the same key domain and probes
 ///    the owning partition (build and probe degrees may differ);

@@ -78,6 +78,8 @@ ListScheduleExplanation ExplainListSchedule(const ListScheduleResult& result) {
   exp.tree_response_time = result.tree_response_time;
   exp.rounds = result.rounds;
   exp.used_tree_fallback = result.used_tree_fallback;
+  exp.pipelined = result.pipelined;
+  exp.used_list_fallback = result.used_list_fallback;
   exp.critical_site = result.critical_site;
   exp.load_bound = result.load_bound;
   exp.critical_resource = result.critical_resource;
@@ -138,8 +140,11 @@ std::string ListScheduleExplanation::ToString(
       "list schedule explanation — makespan %s (%s, %d rounds; "
       "phased reference %s)\n",
       FormatMillis(makespan).c_str(),
-      used_tree_fallback ? "aligned-fallback" : "greedy", rounds,
-      FormatMillis(tree_response_time).c_str());
+      used_tree_fallback ? "aligned-fallback"
+      : pipelined        ? "pipelined"
+      : used_list_fallback ? "wave-fallback"
+                           : "greedy",
+      rounds, FormatMillis(tree_response_time).c_str());
   out += StrFormat(
       "  critical site s%d bound by %s; heaviest op%d; utilization %s\n",
       critical_site, binding.c_str(), heaviest_op, util.c_str());

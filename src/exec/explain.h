@@ -50,6 +50,11 @@ struct ListScheduleExplanation {
   /// True when the greedy event loop lost to the phased engine and the
   /// aligned fallback schedule was emitted instead.
   bool used_tree_fallback = false;
+  /// True when the intra-task pipelined mode produced this schedule.
+  bool pipelined = false;
+  /// True when the pipeline guard fell back to the plain task-wave
+  /// schedule (see ListScheduleResult::used_list_fallback).
+  bool used_list_fallback = false;
   /// Site whose last clone finishes at the makespan.
   int critical_site = -1;
   /// True when the critical site's final interval is bound by its busiest

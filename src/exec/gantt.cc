@@ -58,9 +58,7 @@ std::string RenderListGantt(const ListScheduleResult& result, int width) {
   const double makespan = result.makespan;
   std::string out = StrFormat(
       "barrier-free schedule — makespan %s (%s, %d rounds)\n",
-      FormatMillis(makespan).c_str(),
-      result.used_tree_fallback ? "aligned-fallback" : "greedy",
-      result.rounds);
+      FormatMillis(makespan).c_str(), result.ModeString(), result.rounds);
   out += StrFormat("  time scale: |%s| = %s\n",
                    std::string(static_cast<size_t>(width), '-').c_str(),
                    FormatMillis(makespan).c_str());
@@ -207,7 +205,7 @@ std::string RenderListGanttSvg(const ListScheduleResult& result,
       "  <text x=\"%d\" y=\"14\">barrier-free schedule — makespan %s "
       "(%s)</text>\n",
       margin_left, FormatMillis(result.makespan).c_str(),
-      result.used_tree_fallback ? "aligned-fallback" : "greedy");
+      result.ModeString());
 
   for (int j = 0; j < num_sites; ++j) {
     const int y = margin_top + j * (lane_height + lane_gap);

@@ -82,9 +82,10 @@ std::string ListScheduleToJson(const ListScheduleResult& result) {
   const Schedule& schedule = result.schedule;
   std::string out = StrFormat(
       "{\"makespan\":%.6f,\"tree_response\":%.6f,\"fallback\":%d,"
-      "\"rounds\":%d,\"num_sites\":%d,\"dims\":%d,\"tasks\":[",
+      "\"mode\":\"%s\",\"rounds\":%d,\"num_sites\":%d,\"dims\":%d,"
+      "\"tasks\":[",
       result.makespan, result.tree_response_time,
-      result.used_tree_fallback ? 1 : 0, result.rounds,
+      result.used_tree_fallback ? 1 : 0, result.ModeString(), result.rounds,
       schedule.num_sites(), schedule.dims());
   for (size_t i = 0; i < result.tasks.size(); ++i) {
     if (i > 0) out += ",";

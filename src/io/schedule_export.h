@@ -25,7 +25,9 @@ std::string TreeScheduleToJson(const TreeScheduleResult& result);
 std::string TreeScheduleToCsv(const TreeScheduleResult& result);
 
 /// Serializes a barrier-free LISTSCHEDULE result as JSON:
-/// {"makespan":...,"tree_response":...,"fallback":0|1,"rounds":...,
+/// {"makespan":...,"tree_response":...,"fallback":0|1,
+///  "mode":"greedy|pipelined|wave-fallback|aligned-fallback",
+///  "rounds":...,
 ///  "num_sites":P,"dims":d,"tasks":[{"task":...,"start":...,
 ///  "finish":...}],"sites":[{"site":j,"finish":...,"load":[...],
 ///  "clones":[{"op":...,"clone":...,"start":...,"finish":...,

@@ -522,23 +522,28 @@ void OnlineScheduler::FinalizeRejected(QueryRec* rec, Status status,
 }
 
 void OnlineScheduler::TryAdmitFromQueue() {
-  // Expired waiters first: a query whose budget ran out at this very
-  // instant is never admitted.
-  for (const AdmissionRequest& req : admission_.ExpireDeadlines(now_)) {
-    auto it = queries_.find(req.id);
-    if (it == queries_.end()) continue;
-    FinalizeRejected(
-        it->second.get(),
-        Status::DeadlineExceeded(StrFormat(
-            "queue wait exceeded the %.3f ms budget",
-            req.deadline_ms - req.arrival_ms)),
-        OnlineQueryState::kTimedOut);
-  }
+  // Admissible waiters first — finish wins a deadline tie: when a clone
+  // finish frees a slot at the very instant a waiter's budget runs out,
+  // the waiter is admitted, not timed out. (A waiter whose deadline
+  // passed *strictly* earlier cannot reach this point still queued: its
+  // kDeadline event already fired and expired it — EventLater orders
+  // equal-time finishes ahead of deadlines for exactly this case.)
   AdmissionRequest req;
   while (admission_.PopAdmissible(&req)) {
     auto it = queries_.find(req.id);
     MRS_CHECK(it != queries_.end()) << "queued id unknown to the scheduler";
     AdmitQuery(it->second.get());
+  }
+  // Whoever is still queued with an exhausted budget times out.
+  for (const AdmissionRequest& expired : admission_.ExpireDeadlines(now_)) {
+    auto it = queries_.find(expired.id);
+    if (it == queries_.end()) continue;
+    FinalizeRejected(
+        it->second.get(),
+        Status::DeadlineExceeded(StrFormat(
+            "queue wait exceeded the %.3f ms budget",
+            expired.deadline_ms - expired.arrival_ms)),
+        OnlineQueryState::kTimedOut);
   }
   UpdateGauges();
 }

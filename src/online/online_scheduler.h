@@ -217,6 +217,12 @@ class OnlineScheduler {
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      // Finish wins a timestamp tie against a deadline: a clone finish
+      // that frees a slot at the very instant a waiter's budget runs out
+      // must dispatch first, so the waiter is admitted rather than timed
+      // out (the admission path makes the same choice — see
+      // TryAdmitFromQueue).
+      if (a.kind != b.kind) return a.kind == Event::kDeadline;
       return a.seq > b.seq;
     }
   };

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -307,6 +308,185 @@ TEST(ListScheduleTest, SingleSiteMachineWorks) {
   ListScheduleResult list = RunList(fx, 1);
   EXPECT_TRUE(list.schedule.Validate(list.ops).ok());
   for (const ParallelizedOp& op : list.ops) EXPECT_EQ(op.degree, 1);
+}
+
+// --- External base load: the two threading points agree and cannot be
+// set together. ---
+
+TEST(ListScheduleTest, BaseLoadInBothFieldsIsRejected) {
+  PlanFixture fx = BushyFourWayFixture();
+  MachineConfig machine = Machine(6);
+  std::vector<WorkVector> load(
+      static_cast<size_t>(machine.num_sites),
+      WorkVector(static_cast<size_t>(machine.dims)));
+  OverlapUsageModel usage(0.5);
+  ListScheduleOptions options;
+  options.base_load = &load;
+  options.list_options.base_load = &load;
+  auto result = ListSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                             machine, usage, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ListScheduleTest, ListOptionsBaseLoadMatchesTopLevelBaseLoad) {
+  // list_options.base_load is honored identically to the top-level field:
+  // same placements, same makespan, byte-identical JSON.
+  PlanFixture fx = BushyFourWayFixture();
+  MachineConfig machine = Machine(6);
+  std::vector<WorkVector> load(
+      static_cast<size_t>(machine.num_sites),
+      WorkVector(static_cast<size_t>(machine.dims)));
+  load[0] = WorkVector({50.0, 20.0, 10.0});
+  load[1] = WorkVector({40.0, 25.0, 5.0});
+  OverlapUsageModel usage(0.5);
+
+  ListScheduleOptions top;
+  top.base_load = &load;
+  auto via_top = ListSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                              machine, usage, top);
+  ASSERT_TRUE(via_top.ok()) << via_top.status().ToString();
+
+  ListScheduleOptions nested;
+  nested.list_options.base_load = &load;
+  auto via_nested = ListSchedule(fx.op_tree, fx.task_tree, fx.costs,
+                                 CostParams{}, machine, usage, nested);
+  ASSERT_TRUE(via_nested.ok()) << via_nested.status().ToString();
+
+  EXPECT_EQ(ListScheduleToJson(*via_top), ListScheduleToJson(*via_nested));
+  EXPECT_DOUBLE_EQ(via_top->makespan, via_nested->makespan);
+}
+
+// --- Pipelined mode: rate matching + co-residency under the guard. ---
+
+TEST(ListScheduleTest, PipelinedNeverLosesToTaskWaveList) {
+  for (int sites : {2, 4, 8, 16, 32}) {
+    for (int joins : {2, 4, 6}) {
+      PlanFixture fx = PipelinedChainFixture(joins);
+      ListScheduleResult plain = RunList(fx, sites);
+      ListScheduleOptions options;
+      options.pipeline = true;
+      ListScheduleResult piped = RunList(fx, sites, options);
+      // Exactly one of pipelined/wave-fallback: the guard may legally
+      // fall back where the stage split packs worse than the wave.
+      EXPECT_NE(piped.pipelined, piped.used_list_fallback)
+          << sites << " sites, " << joins << " joins";
+      EXPECT_LE(piped.makespan, plain.makespan + 1e-9)
+          << sites << " sites, " << joins << " joins";
+      EXPECT_NEAR(piped.list_makespan, plain.makespan, 1e-9);
+      EXPECT_TRUE(piped.schedule.Validate(piped.ops).ok());
+    }
+  }
+}
+
+TEST(ListScheduleTest, PipelinedConsumerStartsWithItsProducer) {
+  // Over every pipelined data edge, the consumer's earliest clone start
+  // is never before the producer's (equality is the point: co-residency
+  // from the first instant of the round).
+  PlanFixture fx = PipelinedChainFixture(5);
+  ListScheduleOptions options;
+  options.pipeline = true;
+  ListScheduleResult piped = RunList(fx, 12, options);
+  std::vector<double> first_start(
+      static_cast<size_t>(fx.op_tree.num_ops()),
+      std::numeric_limits<double>::infinity());
+  for (const ClonePlacement& p : piped.schedule.placements()) {
+    first_start[static_cast<size_t>(p.op_id)] =
+        std::min(first_start[static_cast<size_t>(p.op_id)], p.start);
+  }
+  for (const PhysicalOp& op : fx.op_tree.ops()) {
+    for (int d : op.data_inputs) {
+      EXPECT_GE(first_start[static_cast<size_t>(op.id)],
+                first_start[static_cast<size_t>(d)] - 1e-9)
+          << "op" << op.id << " starts before its producer op" << d;
+    }
+  }
+}
+
+TEST(ListScheduleTest, PipelineGuardOffStillValid) {
+  ListScheduleOptions options;
+  options.pipeline = true;
+  options.pipeline_guard = false;
+  options.tree_guard = false;
+  PlanFixture fx = BushyFourWayFixture();
+  ListScheduleResult piped = RunList(fx, 8, options);
+  EXPECT_TRUE(piped.pipelined);
+  EXPECT_FALSE(piped.used_list_fallback);
+  EXPECT_TRUE(piped.schedule.Validate(piped.ops).ok());
+  EXPECT_GT(piped.makespan, 0.0);
+}
+
+TEST(ListScheduleTest, PipelinedSimulateTimedAgrees) {
+  // Overlapping producer/consumer residency runs through the same fluid
+  // discipline: SimulateTimed must realize the pipelined schedule too.
+  PlanFixture fx = PipelinedChainFixture(4);
+  OverlapUsageModel usage(0.5);
+  ListScheduleOptions options;
+  options.pipeline = true;
+  auto piped = ListSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                            Machine(9), usage, options);
+  ASSERT_TRUE(piped.ok());
+  FluidSimulator sim(usage);
+  auto simulated = sim.SimulateTimed(piped->schedule);
+  ASSERT_TRUE(simulated.ok()) << simulated.status().ToString();
+  EXPECT_NEAR(simulated->makespan, piped->makespan,
+              1e-6 * std::max(1.0, piped->makespan));
+  ASSERT_EQ(simulated->clone_finish.size(), piped->clone_finish.size());
+  for (size_t p = 0; p < simulated->clone_finish.size(); ++p) {
+    EXPECT_NEAR(simulated->clone_finish[p], piped->clone_finish[p],
+                1e-6 * std::max(1.0, piped->clone_finish[p]));
+  }
+}
+
+// --- d > WorkVector::kInlineDims: the heap storage path agrees with the
+// engines and the simulator just like the inline path. ---
+
+TEST(ListScheduleTest, HighDimensionalHeapPathAgrees) {
+  // d = 12 > kInlineDims = 8 puts every work vector on the heap; the
+  // same invariants that hold at d = 3 must hold bit-for-bit here.
+  constexpr int kDisks = 10;  // dims = 2 + 10 = 12
+  for (int sites : {3, 8, 20}) {
+    PlanFixture fx = BushyFourWayFixture();
+    MachineConfig machine = MachineConfig::WithDisks(sites, kDisks);
+    CostModel model(CostParams{}, machine.dims, kDisks);
+    auto costs = model.CostAll(fx.op_tree);
+    ASSERT_TRUE(costs.ok()) << costs.status().ToString();
+    OverlapUsageModel usage(0.5);
+
+    auto tree = TreeSchedule(fx.op_tree, fx.task_tree, costs.value(),
+                             CostParams{}, machine, usage);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    auto list = ListSchedule(fx.op_tree, fx.task_tree, costs.value(),
+                             CostParams{}, machine, usage);
+    ASSERT_TRUE(list.ok()) << list.status().ToString();
+    EXPECT_LE(list->makespan, tree->response_time + 1e-9) << sites;
+    EXPECT_TRUE(list->schedule.Validate(list->ops).ok());
+    EXPECT_EQ(list->schedule.dims(), 2 + kDisks);
+
+    // Event loop vs the authoritative sweep vs the simulator — three
+    // independent fluid realizations over heap-backed vectors.
+    EXPECT_NEAR(list->makespan, list->schedule.Makespan(),
+                1e-6 * std::max(1.0, list->makespan));
+    FluidSimulator sim(usage);
+    auto simulated = sim.SimulateTimed(list->schedule);
+    ASSERT_TRUE(simulated.ok()) << simulated.status().ToString();
+    EXPECT_NEAR(simulated->makespan, list->makespan,
+                1e-6 * std::max(1.0, list->makespan));
+    ASSERT_EQ(simulated->clone_finish.size(), list->clone_finish.size());
+    for (size_t p = 0; p < simulated->clone_finish.size(); ++p) {
+      EXPECT_NEAR(simulated->clone_finish[p], list->clone_finish[p],
+                  1e-6 * std::max(1.0, list->clone_finish[p]));
+    }
+
+    // Pipelined mode rides the same heap path under its guard.
+    ListScheduleOptions pipe;
+    pipe.pipeline = true;
+    auto piped = ListSchedule(fx.op_tree, fx.task_tree, costs.value(),
+                              CostParams{}, machine, usage, pipe);
+    ASSERT_TRUE(piped.ok()) << piped.status().ToString();
+    EXPECT_LE(piped->makespan, list->makespan + 1e-9);
+    EXPECT_TRUE(piped->schedule.Validate(piped->ops).ok());
+  }
 }
 
 // --- Schedule generalization: aligned schedules stay byte-identical. ---

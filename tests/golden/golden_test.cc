@@ -244,6 +244,66 @@ TEST(GoldenTest, TraceReportSchema) {
                   ExportTraceReport({&trace}, registry.Snapshot()));
 }
 
+/// The pipelined engine's renderings, pinned on a 4-join chain — the plan
+/// shape intra-task pipelining exists for. The fixture also anchors the
+/// dominance acceptance: pipelined strictly beats the task-wave engine
+/// here (PipelinedStrictlyImprovesOnChain), so any change that erodes the
+/// win shows up as a golden diff plus a failed strict inequality.
+GoldenListSchedule MakeGoldenPipelinedSchedule(TraceSink* trace = nullptr) {
+  GoldenListSchedule g;
+  // 500-tuple relations: small enough that every stage runs below its
+  // task's bottleneck rate, so rate matching has room to shed clones.
+  g.fx = PipelinedChainFixture(4, /*tuples=*/500);
+  OverlapUsageModel usage(0.5);
+  ListScheduleOptions options;
+  options.trace = trace;
+  options.pipeline = true;
+  auto result = ListSchedule(g.fx.op_tree, g.fx.task_tree, g.fx.costs,
+                             CostParams{}, g.machine, usage, options);
+  if (!result.ok()) std::abort();
+  g.result = std::move(result).value();
+  return g;
+}
+
+TEST(GoldenTest, ExplainPipelinedChain) {
+  GoldenListSchedule g = MakeGoldenPipelinedSchedule();
+  CompareOrUpdate("explain_pipelined_chain.txt",
+                  ExplainListSchedule(g.result).ToString(g.machine));
+}
+
+TEST(GoldenTest, GanttPipelinedChain) {
+  GoldenListSchedule g = MakeGoldenPipelinedSchedule();
+  CompareOrUpdate("gantt_pipelined_chain.txt", RenderListGantt(g.result));
+}
+
+TEST(GoldenTest, SchedulePipelinedJsonChain) {
+  GoldenListSchedule g = MakeGoldenPipelinedSchedule();
+  CompareOrUpdate("schedule_pipelined_chain.json",
+                  ListScheduleToJson(g.result));
+}
+
+TEST(GoldenTest, TracePipelinedChain) {
+  ScheduleTrace trace(ScheduleTrace::CountingClock());
+  trace.set_label("golden-query");
+  GoldenListSchedule g = MakeGoldenPipelinedSchedule(&trace);
+  (void)g;
+  CompareOrUpdate("trace_pipelined_chain.txt", trace.ToString());
+}
+
+TEST(GoldenTest, PipelinedStrictlyImprovesOnChain) {
+  // The acceptance pin: with the guard on, pipelined <= list everywhere,
+  // and on this plan the rate-matched co-residency is a strict win.
+  GoldenListSchedule piped = MakeGoldenPipelinedSchedule();
+  PlanFixture fx = PipelinedChainFixture(4, /*tuples=*/500);
+  OverlapUsageModel usage(0.5);
+  auto plain = ListSchedule(fx.op_tree, fx.task_tree, fx.costs, CostParams{},
+                            piped.machine, usage, ListScheduleOptions{});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_TRUE(piped.result.pipelined);
+  EXPECT_FALSE(piped.result.used_list_fallback);
+  EXPECT_LT(piped.result.makespan, plain->makespan);
+}
+
 /// The execute backend's knobs behind the execution goldens: the
 /// deterministic meter makes "measured" times a pure function of row
 /// counts, so the explain rendering and the calibration report are
@@ -267,6 +327,20 @@ TEST(GoldenTest, ExecuteReportBushy) {
     text += ExplainExecution(run, g.machine);
   }
   CompareOrUpdate("execute_bushy.txt", text);
+}
+
+TEST(GoldenTest, ExecutePipelinedReportChain) {
+  // The pipelined replay: same schedule, pipeline_edges on, deterministic
+  // meter — the streamed row counts and digests are pinned byte-for-byte.
+  GoldenListSchedule g = MakeGoldenPipelinedSchedule();
+  const std::vector<ExecOpSpec> specs = ExecOpSpecsFromTree(g.fx.op_tree);
+  ExecuteOptions options = GoldenExecuteOptions();
+  options.pipeline_edges = true;
+  ExecuteBackend backend(options);
+  auto run = backend.Run(g.result.schedule, specs);
+  if (!run.ok()) std::abort();
+  CompareOrUpdate("execute_pipelined_chain.txt",
+                  ExplainExecution(*run, g.machine));
 }
 
 TEST(GoldenTest, CalibrationReportBushy) {

@@ -1,9 +1,10 @@
-// Differential correctness harness across all three engines: on every
-// fuzz plan, TREESCHEDULE, LISTSCHEDULE, and the SYNCHRONOUS baseline are
-// run with matched knobs and cross-checked against each other and against
-// the analytic lower bounds:
+// Differential correctness harness across the engines: on every fuzz
+// plan, TREESCHEDULE, LISTSCHEDULE (task-wave and pipelined), and the
+// SYNCHRONOUS baseline are run with matched knobs and cross-checked
+// against each other and against the analytic lower bounds:
 //
-//   * LIST <= TREE on every plan (the tree_guard dominance invariant);
+//   * PIPELINED <= LIST <= TREE on every plan (the guard chain);
+//   * a pipelined consumer clone never starts before its producer;
 //   * every engine's answer is >= its own lower bound — the critical-path
 //     bound over the task tree (sum of per-task max T_par along any
 //     root-leaf path, under the engine's chosen degrees) and the packing
@@ -20,6 +21,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -179,11 +181,59 @@ void CheckCase(const DiffCase& c, int plans_per_case) {
                                     inputs.costs, params, machine, usage);
     ASSERT_TRUE(sync.ok()) << sync.status().ToString();
 
-    // --- The dominance invariant: LIST never loses to TREE. ---
+    ListScheduleOptions pipe_options;
+    pipe_options.granularity = c.f;
+    pipe_options.pipeline = true;
+    auto piped = ListSchedule(inputs.op_tree, inputs.task_tree, inputs.costs,
+                              params, machine, usage, pipe_options);
+    ASSERT_TRUE(piped.ok()) << piped.status().ToString();
+
+    // --- The dominance invariants: PIPELINED <= LIST <= TREE. ---
     EXPECT_LE(list->makespan, tree->response_time + tol)
         << "barrier-free schedule slower than the phased engine";
     EXPECT_NEAR(list->tree_response_time, tree->response_time,
                 tol * std::max(1.0, tree->response_time));
+    EXPECT_LE(piped->makespan, list->makespan + tol)
+        << "pipelined schedule slower than task-wave LIST despite the guard";
+    EXPECT_LE(piped->makespan, tree->response_time + tol);
+    // Exactly one of pipelined/wave-fallback, unless the tree_guard
+    // overrode both with the phased schedule.
+    if (!piped->used_tree_fallback) {
+      EXPECT_NE(piped->pipelined, piped->used_list_fallback);
+    }
+    EXPECT_NEAR(piped->list_makespan, list->makespan,
+                tol * std::max(1.0, list->makespan));
+
+    // --- Pipelined structure: a consumer clone never starts before its
+    // producer (equal starts are the point — co-residency). Checked over
+    // every pipelined data edge via earliest clone start per op. ---
+    EXPECT_TRUE(piped->schedule.Validate(piped->ops).ok());
+    {
+      std::vector<double> first_start(
+          static_cast<size_t>(inputs.op_tree.num_ops()),
+          std::numeric_limits<double>::infinity());
+      for (const ClonePlacement& p : piped->schedule.placements()) {
+        first_start[static_cast<size_t>(p.op_id)] =
+            std::min(first_start[static_cast<size_t>(p.op_id)], p.start);
+      }
+      for (const PhysicalOp& op : inputs.op_tree.ops()) {
+        for (int d : op.data_inputs) {
+          EXPECT_GE(first_start[static_cast<size_t>(op.id)],
+                    first_start[static_cast<size_t>(d)] - tol)
+              << "op" << op.id << " starts before its producer op" << d;
+        }
+      }
+    }
+
+    // --- Pipelined lower bounds: rate matching never runs a clone
+    // faster than its stand-alone time and tasks still respect the task
+    // tree, so the same critical-path + packing bounds apply to the
+    // pipelined engine's own degrees. ---
+    const double piped_lb =
+        std::max(CriticalPathBound(inputs.task_tree, piped->ops),
+                 ListScheduleLowerBound(piped->ops, c.sites));
+    EXPECT_GE(piped->makespan, piped_lb - tol)
+        << "pipelined beat its lower bound";
 
     // --- Structural validity. ---
     EXPECT_TRUE(list->schedule.Validate(list->ops).ok());
@@ -219,6 +269,10 @@ void CheckCase(const DiffCase& c, int plans_per_case) {
     // --- Theorem 5.1(a) inherited through the guard: LIST is within
     // (2d+1) of the per-phase lower-bound sum. ---
     EXPECT_LE(list->makespan,
+              (2.0 * machine.dims + 1.0) * tree_phase_lb_sum + tol);
+    // The pipelined engine inherits the same guarantee through its guard
+    // chain (PIPELINED <= LIST <= (2d+1) * sum of phase lower bounds).
+    EXPECT_LE(piped->makespan,
               (2.0 * machine.dims + 1.0) * tree_phase_lb_sum + tol);
 
     // --- SYNCHRONOUS: structurally sound and positive (it is the

@@ -1,6 +1,6 @@
-// Differential execution harness: every plan is scheduled by all three
-// engines (TREESCHEDULE, LISTSCHEDULE, SYNCHRONOUS) and then *run* on the
-// execute backend, whose virtual timeline — an independent realization of
+// Differential execution harness: every plan is scheduled by the engines
+// (TREESCHEDULE, LISTSCHEDULE task-wave and pipelined, SYNCHRONOUS) and
+// then *run* on the execute backend, whose virtual timeline — an independent realization of
 // the optimal-stretch fluid discipline (per-clone remaining fractions,
 // exec/execute_backend.cc) — must agree with the fluid simulator's
 // SimulateTimed (mutated remaining work vectors, exec/fluid_simulator.cc)
@@ -239,6 +239,38 @@ void CheckExecutionCase(const ExecDiffCase& c, int plans_per_case) {
       ASSERT_TRUE(sim.ok()) << sim.status().ToString();
       ExpectTimelinesAgree(run->timeline, *sim, list->schedule);
       ExpectExecutionSane(*run, list->schedule);
+    }
+
+    // --- PIPELINED LISTSCHEDULE: overlapping producer/consumer residency
+    // on the same timeline discipline; the pipelined replay (bounded
+    // queues, dedicated threads) must still match SimulateTimed within
+    // 1e-6 and stay byte-identical across thread counts. ---
+    ListScheduleOptions pipe_sched_options;
+    pipe_sched_options.granularity = c.f;
+    pipe_sched_options.pipeline = true;
+    auto piped = ListSchedule(inputs.op_tree, inputs.task_tree, inputs.costs,
+                              params, machine, usage, pipe_sched_options);
+    ASSERT_TRUE(piped.ok()) << piped.status().ToString();
+    {
+      SCOPED_TRACE("pipelined list schedule");
+      ExecuteOptions pipe_exec = exec;
+      pipe_exec.pipeline_edges = true;
+      ExecuteBackend backend(pipe_exec);
+      auto run = backend.Run(piped->schedule, specs);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      auto sim = simulator.SimulateTimed(piped->schedule);
+      ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+      ExpectTimelinesAgree(run->timeline, *sim, piped->schedule);
+      ExpectExecutionSane(*run, piped->schedule);
+
+      ExecuteOptions repool = pipe_exec;
+      repool.threads = c.threads == 1 ? 3 : 1;
+      ExecuteBackend backend2(repool);
+      auto run2 = backend2.Run(piped->schedule, specs);
+      ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+      EXPECT_EQ(run->digest, run2->digest)
+          << "pipelined digest depends on the pool size";
+      EXPECT_EQ(run->rows_out, run2->rows_out);
     }
 
     // --- SYNCHRONOUS: reconstructed as a timed schedule. ---

@@ -243,6 +243,44 @@ TEST(OnlineSchedulerTest, QueueWaitTimeoutExpires) {
   EXPECT_EQ(metrics.Snapshot().CounterValue("online.timeout"), 1u);
 }
 
+TEST(OnlineSchedulerTest, FinishWinsExactDeadlineTie) {
+  // The waiter's deadline lands at the *exact* instant the running query
+  // finishes. The finish must dispatch first (EventLater breaks the
+  // timestamp tie in its favor) and the admission path must pop the
+  // now-admissible waiter before expiring deadlines, so the waiter is
+  // admitted rather than timed out.
+  PlanFixture fx = SingleJoinFixture(20000, 10000);
+  MachineConfig machine;
+  MetricsRegistry metrics;
+  OnlineSchedulerOptions options;
+  options.metrics = &metrics;
+  options.admission.max_in_flight = 1;
+  OnlineScheduler sched(CostParams{}, machine, options);
+  const uint64_t a = sched.Submit(*fx.plan, 0.0);
+  ASSERT_TRUE(sched.ResolveQuery(a).ok());
+  // a runs alone, so its projected finish is exact; b arrives at 0 with a
+  // budget of exactly that instant — deadline == finish, bit for bit.
+  const double finish = sched.result(a)->ProjectedFinishMs();
+  ASSERT_GT(finish, 0.0);
+  const uint64_t b = sched.Submit(*fx.plan, 0.0, /*timeout_ms=*/finish);
+  EXPECT_EQ(sched.result(b)->state, OnlineQueryState::kQueued);
+  ASSERT_TRUE(sched.Drain().ok());
+
+  const OnlineQueryResult* rb = sched.result(b);
+  EXPECT_EQ(rb->state, OnlineQueryState::kDone)
+      << "deadline expired a waiter whose slot freed at the same instant";
+  EXPECT_DOUBLE_EQ(rb->admit_ms, finish);
+  EXPECT_DOUBLE_EQ(sched.result(a)->finish_ms, finish);
+
+  // Conservation across the tie: both queries reached exactly one
+  // terminal state, nothing double-counted.
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("online.submitted"), 2u);
+  EXPECT_EQ(snap.CounterValue("online.admitted"), 2u);
+  EXPECT_EQ(snap.CounterValue("online.rejected"), 0u);
+  EXPECT_EQ(snap.CounterValue("online.timeout"), 0u);
+}
+
 TEST(OnlineSchedulerTest, RejectsWhenQueueFull) {
   PlanFixture fx = SingleJoinFixture(5000, 2500);
   MachineConfig machine;
