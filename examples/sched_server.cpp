@@ -7,6 +7,12 @@
 //   sched_server [--port P] [--host H] [--sites N] [--eps E] [--f F]
 //                [--mpl K] [--queue-depth D] [--timeout-ms T]
 //                [--memory-limit BYTES] [--policy fifo|sjf]
+//                [--reactor | --no-reactor] [--workers W]
+//
+// The front-end defaults to the epoll reactor (one loop thread serving
+// every connection, scheduling offloaded to W worker threads);
+// --no-reactor selects the thread-per-connection engine instead — same
+// wire behaviour, useful as a differential reference.
 //
 // Prints the bound address ("listening on HOST:PORT") on stdout, then
 // serves until stdin reaches EOF (or the process is signalled), drains
@@ -30,7 +36,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--host H] [--sites N] [--eps E] [--f F]\n"
                "          [--mpl K] [--queue-depth D] [--timeout-ms T]\n"
-               "          [--memory-limit BYTES] [--policy fifo|sjf]\n",
+               "          [--memory-limit BYTES] [--policy fifo|sjf]\n"
+               "          [--reactor | --no-reactor] [--workers W]\n",
                argv0);
   return 2;
 }
@@ -42,6 +49,7 @@ int main(int argc, char** argv) {
   int port = 0;
   std::string host = "127.0.0.1";
   SchedServiceOptions options;
+  SchedServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -71,6 +79,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--memory-limit") == 0) {
       options.online.admission.memory_limit_bytes =
           std::atof(need_value("--memory-limit"));
+    } else if (std::strcmp(argv[i], "--reactor") == 0) {
+      server_options.reactor = true;
+    } else if (std::strcmp(argv[i], "--no-reactor") == 0) {
+      server_options.reactor = false;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      server_options.worker_threads = std::atoi(need_value("--workers"));
+      if (server_options.worker_threads <= 0) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--policy") == 0) {
       const std::string policy = need_value("--policy");
       if (policy == "fifo") {
@@ -93,16 +108,20 @@ int main(int argc, char** argv) {
 
   MetricsRegistry metrics;
   options.online.metrics = &metrics;
+  server_options.metrics = &metrics;
   SchedService service(options);
-  SchedServer server(&service);
+  SchedServer server(&service, server_options);
   Status started = server.Start(host, port);
   if (!started.ok()) {
     std::fprintf(stderr, "cannot listen on %s:%d: %s\n", host.c_str(), port,
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("listening on %s:%d (%d sites, mpl %d, policy %s)\n",
-              host.c_str(), server.port(), options.machine.num_sites,
+  std::printf("listening on %s:%d (%s front-end, %d sites, mpl %d, "
+              "policy %s)\n",
+              host.c_str(), server.port(),
+              server_options.reactor ? "reactor" : "threaded",
+              options.machine.num_sites,
               options.online.admission.max_in_flight,
               std::string(AdmissionPolicyToString(
                               options.online.admission.policy))

@@ -21,6 +21,17 @@
 # multi-threaded DP/slice search racing over the shared parallelize
 # cache) runs under both sanitizers as well.
 #
+# The server suites (Framing/SchedServer/Reactor*) matter most under
+# TSan: the epoll front-end's cross-thread seams are all eventfd- or
+# queue-mediated — EventLoop::Post's task queue (worker threads handing
+# completed responses back to the loop thread, synchronized by the task
+# mutex + eventfd wakeup), ThreadPool::Submit carrying request payloads
+# the other way, and the loop thread's exclusive ownership of every
+# connection state machine in between. The reactor-vs-threaded
+# differential runs N concurrent clients against both engines here, so a
+# missing happens-before edge on either handoff shows up as a TSan race
+# on the connection's parser/output buffers.
+#
 # Usage: scripts/run_sanitized_tests.sh [ctest args...]
 
 set -euo pipefail

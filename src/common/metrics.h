@@ -47,6 +47,17 @@ class Gauge {
   Gauge() = default;
 
   void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+  /// Atomic v += delta (CAS loop; doubles have no fetch_add pre-C++20
+  /// on all toolchains). Used by up/down resource gauges recorded from
+  /// many threads — the server's connection count and write backlog.
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
   double value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0.0, std::memory_order_relaxed); }
 

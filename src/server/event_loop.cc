@@ -1,0 +1,180 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace mrs {
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  if (epoll_fd_ >= 0) return Status::FailedPrecondition("loop already init");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(
+        StrFormat("epoll_create1 failed: %s", std::strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const int err = errno;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::Internal(
+        StrFormat("eventfd failed: %s", std::strerror(err)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::Internal(
+        StrFormat("epoll_ctl(wakeup) failed: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(
+        StrFormat("epoll_ctl(ADD fd %d) failed: %s", fd,
+                  std::strerror(errno)));
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(
+        StrFormat("epoll_ctl(MOD fd %d) failed: %s", fd,
+                  std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  // The fd may already be closed (kernel auto-removes it then) — EPERM /
+  // EBADF / ENOENT here are not actionable.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::RunAfter(double delay_ms, std::function<void()> fn) {
+  Timer t;
+  t.when = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  delay_ms > 0 ? delay_ms : 0));
+  t.seq = timer_seq_++;
+  t.fn = std::move(fn);
+  timers_.push(std::move(t));
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t buf;
+  while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::RunDueTimers() {
+  const Clock::time_point now = Clock::now();
+  while (!timers_.empty() && timers_.top().when <= now) {
+    // top() is const; the function is copied, not moved — timers are rare
+    // (accept backoff), so this is not a hot path.
+    std::function<void()> fn = timers_.top().fn;
+    timers_.pop();
+    fn();
+  }
+}
+
+int EventLoop::NextTimeoutMs() const {
+  if (timers_.empty()) return -1;
+  const auto delta = timers_.top().when - Clock::now();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(delta).count();
+  if (ms <= 0) return 0;
+  if (ms > 60'000) return 60'000;
+  return static_cast<int>(ms) + 1;  // round up so the timer is really due
+}
+
+bool EventLoop::InLoopThread() const {
+  return loop_thread_.load(std::memory_order_acquire) ==
+         std::this_thread::get_id();
+}
+
+void EventLoop::Run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!stopped()) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                               NextTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself broke; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      // Look the handler up at delivery time and invoke a copy: a handler
+      // that removes its own (or a sibling's) registration mid-batch must
+      // not invalidate what we are executing.
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      Handler h = it->second;
+      h(events[i].events);
+      if (stopped()) break;
+    }
+    RunDueTimers();
+    RunPostedTasks();
+  }
+  // One final drain so tasks posted just before Stop() still run (the
+  // server's shutdown handshake posts its last state transitions).
+  RunPostedTasks();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace mrs

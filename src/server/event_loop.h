@@ -1,0 +1,109 @@
+#ifndef MRS_SERVER_EVENT_LOOP_H_
+#define MRS_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mrs {
+
+/// A single-threaded epoll reactor: the core of the async server
+/// front-end. One thread calls Run(); it multiplexes readiness events for
+/// registered file descriptors, callbacks Post()ed from other threads
+/// (worker-pool completions — an eventfd wakes the epoll wait), and
+/// one-shot timers (accept backoff). Everything except Post() and Stop()
+/// must be called from the loop thread; handlers run on the loop thread,
+/// so per-connection state they touch needs no locking.
+///
+/// Registration is level-triggered: a handler that leaves bytes unread is
+/// simply invoked again on the next iteration, which keeps per-event work
+/// bounded (one read per connection per wakeup) and connections fair
+/// under a firehose peer.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd. Must be called
+  /// (and succeed) before anything else.
+  Status Init();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `handler` runs on
+  /// the loop thread each time the fd is ready. The fd is not owned.
+  Status Add(int fd, uint32_t events, Handler handler);
+
+  /// Changes the interest set of a registered fd. `events` may be 0 to
+  /// keep the registration but deliver nothing (accept backoff).
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside the fd's own handler: the
+  /// dispatch loop looks handlers up by fd at delivery time, so a removed
+  /// fd's stale readiness event is skipped, not dispatched.
+  void Remove(int fd);
+
+  /// Enqueues `fn` to run on the loop thread; wakes the loop. Thread-safe.
+  /// After Stop() the task is retained but never runs (the drain protocol
+  /// in SchedServer guarantees nothing observable is lost).
+  void Post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread after `delay_ms`. Loop thread only.
+  void RunAfter(double delay_ms, std::function<void()> fn);
+
+  /// Dispatches until Stop(). Returns after the stop flag is observed;
+  /// pending posted tasks queued before the stop are still drained once.
+  void Run();
+
+  /// Signals Run() to return. Thread-safe, idempotent.
+  void Stop();
+
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// True on the thread currently inside Run() (false before Run starts).
+  bool InLoopThread() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Timer {
+    Clock::time_point when;
+    uint64_t seq;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void DrainWakeup();
+  void RunPostedTasks();
+  void RunDueTimers();
+  int NextTimeoutMs() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+
+  // Loop-thread-only state.
+  std::unordered_map<int, Handler> handlers_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t timer_seq_ = 0;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace mrs
+
+#endif  // MRS_SERVER_EVENT_LOOP_H_

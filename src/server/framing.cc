@@ -8,7 +8,7 @@ namespace mrs {
 
 namespace {
 
-constexpr size_t kHeaderBytes = 4;
+constexpr size_t kHeaderBytes = kFrameHeaderBytes;
 
 uint32_t DecodeLength(const char* p) {
   return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
@@ -18,6 +18,13 @@ uint32_t DecodeLength(const char* p) {
 }
 
 }  // namespace
+
+void EncodeFrameHeader(uint32_t n, char out[kFrameHeaderBytes]) {
+  out[0] = static_cast<char>((n >> 24) & 0xff);
+  out[1] = static_cast<char>((n >> 16) & 0xff);
+  out[2] = static_cast<char>((n >> 8) & 0xff);
+  out[3] = static_cast<char>(n & 0xff);
+}
 
 Result<std::string> EncodeFrame(std::string_view payload) {
   // The check must precede the uint32_t narrowing: without it a > 4 GiB
@@ -29,13 +36,11 @@ Result<std::string> EncodeFrame(std::string_view payload) {
         StrFormat("payload of %zu bytes exceeds the %zu-byte frame cap",
                   payload.size(), kMaxFrameBytes));
   }
-  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char header[kHeaderBytes];
+  EncodeFrameHeader(static_cast<uint32_t>(payload.size()), header);
   std::string frame;
   frame.reserve(kHeaderBytes + payload.size());
-  frame.push_back(static_cast<char>((n >> 24) & 0xff));
-  frame.push_back(static_cast<char>((n >> 16) & 0xff));
-  frame.push_back(static_cast<char>((n >> 8) & 0xff));
-  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(header, kHeaderBytes);
   frame.append(payload);
   return frame;
 }

@@ -21,6 +21,17 @@ namespace mrs {
 /// sender refuses to emit what the parser would reject.
 inline constexpr size_t kMaxFrameBytes = 16 * 1024 * 1024;
 
+/// Number of bytes in the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Writes the 4-byte big-endian length prefix for an `n`-byte payload
+/// into `out`. The caller has already validated n <= kMaxFrameBytes.
+/// This is the zero-copy write path of the reactor front-end: the header
+/// lives in the connection's pending-write slot and the payload is
+/// writev'd straight out of the response string — no concatenated frame
+/// is ever materialized.
+void EncodeFrameHeader(uint32_t n, char out[kFrameHeaderBytes]);
+
 /// The frame for `payload`: length prefix + payload bytes. Fails with
 /// InvalidArgument when the payload exceeds kMaxFrameBytes — previously a
 /// payload larger than 4 GiB was silently truncated through the uint32_t

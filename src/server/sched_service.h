@@ -42,10 +42,13 @@ struct SchedServiceOptions {
 class SchedService {
  public:
   explicit SchedService(const SchedServiceOptions& options = {});
+  virtual ~SchedService() = default;
 
   /// Processes one request payload into one response payload. Never
-  /// throws; malformed input yields an "error" response.
-  std::string Handle(const std::string& request);
+  /// throws; malformed input yields an "error" response. Virtual so the
+  /// reactor-vs-threaded differential tests can substitute deterministic
+  /// or adversarial (slow, oversized) handlers for the real scheduler.
+  virtual std::string Handle(const std::string& request);
 
   /// The underlying scheduler. Callers must not touch it while another
   /// thread may be inside Handle (test/diagnostic aid).

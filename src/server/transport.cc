@@ -1,6 +1,7 @@
 #include "server/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -177,6 +178,21 @@ Result<std::unique_ptr<Connection>> ConnectTcp(const std::string& host,
   return std::unique_ptr<Connection>(new SocketConnection(fd));
 }
 
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::Internal(
+        StrFormat("fcntl(F_GETFL) failed: %s", std::strerror(errno)));
+  }
+  const int wanted =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Status::Internal(
+        StrFormat("fcntl(F_SETFL) failed: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 SocketListener::~SocketListener() { Close(); }
 
 Status SocketListener::Listen(const std::string& host, int port) {
@@ -202,7 +218,10 @@ Status SocketListener::Listen(const std::string& host, int port) {
     return Status::Unavailable(StrFormat("bind %s:%d failed: %s", host.c_str(),
                                          port, std::strerror(err)));
   }
-  if (::listen(fd, 64) != 0) {
+  // A deep backlog matters for the connection-scaling bench: tens of
+  // thousands of connects arrive faster than the reactor accepts them.
+  // The kernel clamps this to net.core.somaxconn.
+  if (::listen(fd, 4096) != 0) {
     const int err = errno;
     ::close(fd);
     return Status::Internal(
@@ -231,9 +250,19 @@ Result<std::unique_ptr<Connection>> SocketListener::Accept() {
       ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return std::unique_ptr<Connection>(new SocketConnection(conn));
     }
-    if (errno == EINTR) continue;
-    return Status::Unavailable(
-        StrFormat("accept failed: %s", std::strerror(errno)));
+    const int err = errno;
+    if (err == EINTR || err == ECONNABORTED) continue;
+    // A concurrent Close() surfaces as EBADF/EINVAL on the old fd; report
+    // it as the listener going away, not as an accept malfunction.
+    if (fd_.load(std::memory_order_acquire) < 0) {
+      return Status::FailedPrecondition("listener closed");
+    }
+    if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+      return Status::Unavailable(
+          StrFormat("accept hit resource pressure: %s", std::strerror(err)));
+    }
+    return Status::Internal(
+        StrFormat("accept failed: %s", std::strerror(err)));
   }
 }
 
