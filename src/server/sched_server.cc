@@ -39,6 +39,7 @@ ServerMetrics::ServerMetrics(MetricsRegistry* registry) {
   accept_errors = reg->GetCounter("server.accept_errors");
   protocol_errors = reg->GetCounter("server.protocol_errors");
   backlog_closed = reg->GetCounter("server.backlog_closed");
+  epoll_errors = reg->GetCounter("server.epoll_errors");
   connections = reg->GetGauge("server.connections");
   write_backlog = reg->GetGauge("server.write_backlog_bytes");
   request_ms = reg->GetHistogram("server.request_ms");
@@ -341,7 +342,14 @@ struct SchedServer::Reactor {
         // advance loop below would have popped them; defensive.
         break;
       }
-      const ssize_t n = ::writev(c->fd, iov, iovcnt);
+      // sendmsg instead of writev for MSG_NOSIGNAL: a peer that resets
+      // while responses are queued must surface as EPIPE on this
+      // connection, not a process-fatal SIGPIPE (the threaded engine's
+      // send in transport.cc carries the same flag).
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      const ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
@@ -374,7 +382,14 @@ struct SchedServer::Reactor {
                              (c->out.empty() ? 0u : uint32_t{EPOLLOUT});
     if (desired == c->events) return;
     c->events = desired;
-    loop.Modify(c->fd, desired);
+    const Status modified = loop.Modify(c->fd, desired);
+    if (!modified.ok()) {
+      // A connection stuck with a stale interest set would never see
+      // EPOLLOUT for its queued output and could wedge the drain; better
+      // to drop it than to hang it.
+      metrics().epoll_errors->Increment();
+      CloseConn(c);
+    }
   }
 
   void MaybeFinish(const std::shared_ptr<Conn>& c) {

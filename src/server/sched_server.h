@@ -59,6 +59,7 @@ struct ServerMetrics {
   Counter* accept_errors;     ///< transient accept failures survived
   Counter* protocol_errors;   ///< connections dropped for bad framing
   Counter* backlog_closed;    ///< connections dropped over the write cap
+  Counter* epoll_errors;      ///< connections dropped: epoll re-arm failed
   Gauge* connections;         ///< currently open connections
   Gauge* write_backlog;       ///< total unsent response bytes buffered
   Histogram* request_ms;      ///< frame fully parsed -> response flushed

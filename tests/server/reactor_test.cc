@@ -11,11 +11,17 @@
 //  * drain-on-shutdown with a response still being computed;
 //  * write-backlog cap: a peer that stops reading is closed with a typed
 //    error (server.backlog_closed) instead of wedging the loop;
+//  * peers that RST with responses queued must not kill the process
+//    (the write path's MSG_NOSIGNAL vs SIGPIPE regression);
 //  * accept-loop survival under RLIMIT_NOFILE pressure (EMFILE), both
 //    engines — the `fast`-label smoke for ulimit -n.
 
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -361,6 +367,79 @@ TEST(ReactorAdversarialTest, WriteBacklogCapClosesStoppedReader) {
   for (const auto& [name, value] : snap.gauges) {
     if (name == "server.write_backlog_bytes") EXPECT_EQ(value, 0.0);
   }
+}
+
+TEST(ReactorAdversarialTest, AbortingPeerWithQueuedResponsesDoesNotKillServer) {
+  // Regression for the write path's SIGPIPE exposure: the reactor must
+  // write with sendmsg(MSG_NOSIGNAL) so a peer that resets while 12 MiB
+  // of response is still queued surfaces as EPIPE/ECONNRESET on that
+  // connection. With a bare writev the kernel could deliver SIGPIPE,
+  // whose default action kills the whole process — every other
+  // connection with it. The clients here send a request, never read, and
+  // abort with an RST (SO_LINGER {on, 0}) mid-response.
+  MetricsRegistry metrics;
+  BigService service;
+  SchedServer server(&service, ReactorOptions(&metrics, true));
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+
+  for (int round = 0; round < 10; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    auto frame = EncodeFrame("fire and forget");
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(::send(fd, frame->data(), frame->size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame->size()));
+    // FIN now (half-close) so the server's side sits in CLOSE_WAIT while
+    // it streams the response — the state where a subsequent RST marks
+    // the socket EPIPE and a bare write raises SIGPIPE on its very next
+    // call (an RST against ESTABLISHED yields only ECONNRESET first).
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+    // Drain part of the response so the server keeps re-entering its
+    // write burst, then abort with an RST (SO_LINGER {on, 0}) while it
+    // is likely mid-burst with megabytes still queued.
+    char sink[64 * 1024];
+    size_t drained = 0;
+    while (drained < (1u << 20) + static_cast<size_t>(round) * 37 * 1024) {
+      const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+      if (n <= 0) break;
+      drained += static_cast<size_t>(n);
+    }
+    const linger reset{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &reset, sizeof(reset));
+    ::close(fd);
+  }
+
+  // The server notices every aborted connection, returns the backlog
+  // accounting to zero, and the loop is still alive and serving.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (true) {
+    const MetricsSnapshot snap = metrics.Snapshot();
+    double connections = -1.0;
+    double backlog = -1.0;
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == "server.connections") connections = value;
+      if (name == "server.write_backlog_bytes") backlog = value;
+    }
+    if (connections == 0.0 && backlog == 0.0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "aborted connections never fully reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto client = SchedClient::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Call("still alive?");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().size(), 12u * 1024 * 1024);
+  client->Close();
+  server.Shutdown();
 }
 
 int CountOpenFds() {
